@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: power-gating domain size.  The paper gates cores in
+ * groups of eight ("a reasonable number for a chip of this
+ * complexity"); this harness sweeps the domain size, exposing the
+ * trade between gating resolution (finer = more cores off) and
+ * switching overhead (finer = more transitions).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lte;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_banner("Ablation: power-gating domain size", args);
+
+    core::StudyConfig base_cfg = args.study_config();
+    core::UplinkStudy probe(base_cfg);
+    probe.prepare();
+    const double cycles_per_op = probe.cycles_per_op();
+
+    report::TextTable table({"domain size", "domains", "Avg power (W)",
+                             "saving vs NAP+IDLE (W)"});
+    double napidle_power = 0.0;
+    {
+        core::StudyConfig cfg = base_cfg;
+        cfg.sim.cycles_per_op = cycles_per_op;
+        core::UplinkStudy study(cfg);
+        study.prepare();
+        napidle_power =
+            study.run_strategy(mgmt::Strategy::kNapIdle).avg_power_w;
+    }
+    for (std::uint32_t domain : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        core::StudyConfig cfg = base_cfg;
+        cfg.power.domain_size = domain;
+        cfg.sim.cycles_per_op = cycles_per_op;
+        core::UplinkStudy study(cfg);
+        study.prepare();
+        const auto outcome =
+            study.run_strategy(mgmt::Strategy::kPowerGating);
+        table.add_row({std::to_string(domain),
+                       std::to_string(64 / domain),
+                       report::fmt(outcome.avg_power_w, 2),
+                       report::fmt(napidle_power - outcome.avg_power_w,
+                                   2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nper-core gating (domain 1) maximises static savings"
+                 " but needs 64\npower grids; one whole-chip domain "
+                 "saves almost nothing because the\nworkload rarely "
+                 "drops to zero.  The paper's choice of 8 captures "
+                 "most\nof the benefit with a practical grid count.\n";
+    return 0;
+}

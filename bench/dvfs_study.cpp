@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extension study: estimation-driven DVFS (the paper's related-work
+ * pointer — Choi et al.'s frame-based DVFS applied to subframes).
+ * Per subframe, the clock is scaled to the slowest frequency that
+ * still fits the estimated workload, with core power scaling as
+ * f * V(f)^2.  Compared against the paper's clock-gating strategies
+ * and combined with NAP+IDLE, reporting both power and the
+ * responsiveness cost (per-user completion latency).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lte;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_banner("Extension: estimation-driven DVFS", args);
+
+    core::StudyConfig base_cfg = args.study_config();
+    core::UplinkStudy study(base_cfg);
+    study.prepare();
+
+    struct Variant
+    {
+        const char *name;
+        mgmt::Strategy strategy;
+        bool dvfs;
+    };
+    const Variant variants[] = {
+        {"NONAP", mgmt::Strategy::kNoNap, false},
+        {"NAP+IDLE", mgmt::Strategy::kNapIdle, false},
+        {"DVFS", mgmt::Strategy::kNoNap, true},
+        {"DVFS+NAP+IDLE", mgmt::Strategy::kNapIdle, true},
+    };
+
+    report::TextTable table({"Variant", "Avg power (W)",
+                             "mean latency (subframes)",
+                             "max latency", "99% deadline (3 sf)"});
+    for (const auto &v : variants) {
+        core::StudyConfig cfg = base_cfg;
+        cfg.sim.dvfs = v.dvfs;
+        cfg.sim.cycles_per_op = study.cycles_per_op();
+        core::UplinkStudy run_study(cfg);
+        // Reuse the prepared calibration by re-preparing quickly: the
+        // estimator depends only on the cost model, which is shared.
+        run_study.prepare();
+        const auto outcome = run_study.run_strategy(v.strategy);
+        table.add_row(
+            {v.name, report::fmt(outcome.avg_power_w, 2),
+             report::fmt(outcome.sim.mean_latency(), 2),
+             report::fmt(outcome.sim.max_latency(), 1),
+             report::fmt(100.0 * outcome.sim.deadline_hit_rate(3.0),
+                         1) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDVFS trades latency headroom for quadratic voltage "
+                 "savings; combining\nit with NAP+IDLE stacks both "
+                 "mechanisms, at the cost of running closer\nto the "
+                 "responsiveness limit (the paper permits 2-3 "
+                 "subframes in flight).\n";
+    return 0;
+}

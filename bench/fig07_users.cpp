@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 7 — number of users per subframe produced by the evaluation
+ * input parameter model (every 25th subframe plotted in the paper).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "workload/paper_model.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lte;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_banner("Fig. 7: users per subframe", args);
+
+    const auto cfg = args.study_config();
+    workload::PaperModel model(cfg.model);
+
+    std::vector<double> x, users;
+    Histogram histogram(0.0, 11.0, 11);
+    RunningStats stats;
+    for (std::uint64_t i = 0; i < args.subframes; ++i) {
+        const auto sf = model.next_subframe();
+        x.push_back(static_cast<double>(i));
+        users.push_back(static_cast<double>(sf.users.size()));
+        histogram.add(static_cast<double>(sf.users.size()));
+        stats.add(static_cast<double>(sf.users.size()));
+    }
+
+    report::SeriesSet set("subframe", x);
+    set.add("users", users);
+    set.print_summary(std::cout);
+    args.maybe_write_csv(set, "fig07_users", args.plot_stride());
+
+    std::cout << "\nuser-count distribution:\n";
+    report::TextTable table({"users", "subframes", "share"});
+    for (std::size_t bin = 0; bin < histogram.bin_count(); ++bin) {
+        table.add_row({std::to_string(bin),
+                       std::to_string(histogram.count(bin)),
+                       report::fmt(100.0 *
+                                       static_cast<double>(
+                                           histogram.count(bin)) /
+                                       static_cast<double>(
+                                           histogram.total()),
+                                   1) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: users vary constantly and rapidly between 1 "
+                 "and 10.\nmeasured: mean "
+              << report::fmt(stats.mean(), 2) << ", stddev "
+              << report::fmt(stats.stddev(), 2) << ", range ["
+              << stats.min() << ", " << stats.max() << "]\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 11 — steady-state activity vs PRBs for the twelve
+ * (layers, modulation) configurations, measured on the simulated
+ * TILEPro64 with 62 workers exactly as the paper's protocol
+ * (Sec. VI-A): one fixed user configuration per run, activity from
+ * cycle accounting.  Prints the fitted k_{L,M} slopes (Eq. 3).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "mgmt/estimator.hpp"
+#include "sim/calibrate.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lte;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_banner(
+        "Fig. 11: activity vs PRBs per (layers, modulation)", args);
+
+    sim::SimConfig sim_cfg;
+    sim_cfg.cycles_per_op = sim::calibrate_cycles_per_op(sim_cfg);
+
+    const std::uint32_t step = args.full ? 2 : 8;
+    const double duration = args.full ? 2.0 : 0.4;
+
+    std::vector<double> x;
+    for (std::uint32_t prb = 2; prb <= 200; prb += step)
+        x.push_back(static_cast<double>(prb));
+
+    report::SeriesSet set("prb", x);
+    mgmt::CalibrationTable table;
+
+    for (std::uint32_t layers = 1; layers <= 4; ++layers) {
+        for (Modulation mod : kAllModulations) {
+            std::vector<double> activity;
+            std::vector<mgmt::CalibrationSample> samples;
+            for (std::uint32_t prb = 2; prb <= 200; prb += step) {
+                phy::UserParams user;
+                user.prb = prb;
+                user.layers = layers;
+                user.mod = mod;
+                const double a = sim::steady_state_activity(
+                    sim_cfg, user, 4, duration);
+                activity.push_back(100.0 * a);
+                samples.push_back({prb, a});
+            }
+            table.fit(layers, mod, samples);
+            set.add(std::string(modulation_name(mod)) + "_" +
+                        std::to_string(layers) + "L",
+                    std::move(activity));
+        }
+    }
+
+    std::cout << "activity (%) per series:\n";
+    set.print_summary(std::cout);
+    args.maybe_write_csv(set, "fig11_calibration");
+
+    std::cout << "\nfitted slopes k_{L,M} (activity per PRB, Eq. 3):\n";
+    report::TextTable slopes({"layers", "QPSK", "16QAM", "64QAM"});
+    for (std::uint32_t layers = 1; layers <= 4; ++layers) {
+        slopes.add_row(
+            {std::to_string(layers),
+             report::fmt(table.get(layers, Modulation::kQpsk), 6),
+             report::fmt(table.get(layers, Modulation::k16Qam), 6),
+             report::fmt(table.get(layers, Modulation::k64Qam), 6)});
+    }
+    slopes.print(std::cout);
+
+    std::cout << "\npaper: clear linear correlation; the "
+                 "4-layer/64-QAM curve reaches\n       ~100% activity "
+                 "at 200 PRBs.\nmeasured: k(4,64QAM) x 200 = "
+              << report::fmt(table.get(4, Modulation::k64Qam) * 200.0, 3)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the DSP kernels the receive
+ * chain is built from: FFT plans across size classes, channel
+ * estimation, MMSE combiner weights, antenna combining, soft
+ * demapping, interleaving, CRC, and the turbo codec extension.
+ */
+#include <benchmark/benchmark.h>
+
+#include "channel/signal_source.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "phy/channel_estimator.hpp"
+#include "phy/combiner.hpp"
+#include "phy/crc.hpp"
+#include "phy/scfdma.hpp"
+#include "phy/scrambler.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/modulation.hpp"
+#include "phy/turbo.hpp"
+#include "phy/user_processor.hpp"
+#include "phy/zadoff_chu.hpp"
+
+namespace {
+
+using namespace lte;
+
+CVec
+random_signal(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    CVec v(n);
+    for (auto &s : v) {
+        s = cf32(static_cast<float>(rng.next_gaussian()),
+                 static_cast<float>(rng.next_gaussian()));
+    }
+    return v;
+}
+
+void
+BM_FftForward(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    fft::Fft plan(n);
+    const CVec in = random_signal(n, n);
+    CVec out(n);
+    for (auto _ : state) {
+        plan.forward(in.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+// 5-smooth sizes, a prime-factor size (direct DFT), and a Bluestein
+// size, covering the library's three code paths.
+BENCHMARK(BM_FftForward)->Arg(12)->Arg(144)->Arg(300)->Arg(1200)
+    ->Arg(492)->Arg(804);
+
+void
+BM_ChannelEstimate(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const CVec ref = phy::user_dmrs(1, 0, m, 0);
+    CVec rx = random_signal(m, m);
+    for (auto _ : state) {
+        auto est = phy::estimate_channel(rx, ref);
+        benchmark::DoNotOptimize(est.freq_response.data());
+    }
+}
+BENCHMARK(BM_ChannelEstimate)->Arg(120)->Arg(600)->Arg(1200);
+
+void
+BM_CombinerWeights(benchmark::State &state)
+{
+    const auto layers = static_cast<std::size_t>(state.range(0));
+    const std::size_t m = 300;
+    Rng rng(9);
+    std::vector<std::vector<CVec>> channel(
+        4, std::vector<CVec>(layers));
+    for (auto &ant : channel) {
+        for (auto &layer : ant)
+            layer = random_signal(m, rng.next_u64());
+    }
+    for (auto _ : state) {
+        auto w = phy::compute_combiner_weights(channel, 0.05f);
+        benchmark::DoNotOptimize(&w);
+    }
+}
+BENCHMARK(BM_CombinerWeights)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_SoftDemap(benchmark::State &state)
+{
+    const auto mod = static_cast<Modulation>(state.range(0));
+    const CVec symbols = random_signal(1200, 7);
+    for (auto _ : state) {
+        auto llrs = phy::demodulate_soft(symbols, mod, 0.05f);
+        benchmark::DoNotOptimize(llrs.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            1200);
+}
+BENCHMARK(BM_SoftDemap)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_Interleave(benchmark::State &state)
+{
+    const CVec in = random_signal(1200, 3);
+    for (auto _ : state) {
+        auto out = phy::interleave(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Interleave);
+
+void
+BM_Crc24(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<std::uint8_t> bits(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto &b : bits)
+        b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(phy::crc24(bits));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Crc24)->Arg(1024)->Arg(16384);
+
+void
+BM_TurboEncode(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<std::uint8_t> info(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto &b : info)
+        b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(phy::turbo_encode(info));
+}
+BENCHMARK(BM_TurboEncode)->Arg(256)->Arg(1024);
+
+void
+BM_TurboDecode(benchmark::State &state)
+{
+    Rng rng(8);
+    const std::size_t k = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> info(k);
+    for (auto &b : info)
+        b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+    const auto coded = phy::turbo_encode(info);
+    std::vector<Llr> llrs(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+        llrs[i] = (coded[i] ? -2.0f : 2.0f) +
+                  static_cast<float>(rng.next_gaussian());
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(phy::turbo_decode(llrs, k));
+}
+BENCHMARK(BM_TurboDecode)->Arg(256);
+
+void
+BM_GoldSequence(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            phy::gold_sequence(0x12345, 14400));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 14400);
+}
+BENCHMARK(BM_GoldSequence);
+
+void
+BM_ScFdmaModulate(benchmark::State &state)
+{
+    phy::ScFdmaConfig cfg;
+    const CVec carrier =
+        phy::map_to_carrier(random_signal(1200, 4), 0, cfg);
+    for (auto _ : state) {
+        auto time = phy::scfdma_modulate(carrier, 1, cfg);
+        benchmark::DoNotOptimize(time.data());
+    }
+}
+BENCHMARK(BM_ScFdmaModulate);
+
+void
+BM_FullUserSubframe(benchmark::State &state)
+{
+    phy::UserParams params;
+    params.prb = static_cast<std::uint32_t>(state.range(0));
+    params.layers = 2;
+    params.mod = Modulation::k16Qam;
+    Rng rng(11);
+    const auto signal = channel::random_user_signal(params, 4, rng);
+    const phy::ReceiverConfig cfg;
+    for (auto _ : state) {
+        phy::UserProcessor proc(params, cfg, &signal);
+        benchmark::DoNotOptimize(proc.process_all());
+    }
+}
+BENCHMARK(BM_FullUserSubframe)->Arg(10)->Arg(50)->Arg(200);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cost-model validation: the discrete-event simulator charges tasks
+ * according to the analytical op model; this harness times the *real*
+ * kernels (the same UserProcessor the native runtime executes) across
+ * the PRB/layer/modulation space and reports how well the model
+ * predicts relative native cost.  A high correlation is what licenses
+ * the TILEPro64-simulator substitution (DESIGN.md Sec. 1).
+ */
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "channel/signal_source.hpp"
+#include "common/rng.hpp"
+#include "phy/op_model.hpp"
+#include "phy/user_processor.hpp"
+
+namespace {
+
+using namespace lte;
+
+double
+native_seconds(const phy::UserParams &params, int repeats)
+{
+    Rng rng(1234 + params.prb);
+    const auto signal = channel::random_user_signal(params, 4, rng);
+    const phy::ReceiverConfig cfg;
+
+    // Warm the FFT plan cache so planning cost is not measured.
+    {
+        phy::UserProcessor proc(params, cfg, &signal);
+        proc.process_all();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+        phy::UserProcessor proc(params, cfg, &signal);
+        proc.process_all();
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+               .count() /
+           repeats;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = lte::bench::BenchArgs::parse(argc, argv);
+    lte::bench::print_banner(
+        "Validation: op model vs native kernel time", args);
+
+    struct Case
+    {
+        std::uint32_t prb;
+        std::uint32_t layers;
+        Modulation mod;
+    };
+    const Case cases[] = {
+        {10, 1, Modulation::kQpsk},   {40, 1, Modulation::kQpsk},
+        {100, 1, Modulation::kQpsk},  {40, 2, Modulation::k16Qam},
+        {100, 2, Modulation::k16Qam}, {40, 4, Modulation::k64Qam},
+        {100, 4, Modulation::k64Qam}, {200, 4, Modulation::k64Qam},
+    };
+    const int repeats = args.full ? 20 : 5;
+
+    lte::report::TextTable table({"prb", "layers", "mod", "model Mops",
+                                  "native ms", "ns/op"});
+    double sx = 0.0, sy = 0.0, sxy = 0.0, sxx = 0.0, syy = 0.0;
+    std::size_t n = 0;
+    for (const auto &c : cases) {
+        phy::UserParams params;
+        params.prb = c.prb;
+        params.layers = c.layers;
+        params.mod = c.mod;
+        const double ops = static_cast<double>(
+            phy::user_task_costs(params, 4).total());
+        const double secs = native_seconds(params, repeats);
+        table.add_row({std::to_string(c.prb), std::to_string(c.layers),
+                       modulation_name(c.mod),
+                       lte::report::fmt(ops / 1e6, 2),
+                       lte::report::fmt(secs * 1e3, 2),
+                       lte::report::fmt(secs / ops * 1e9, 2)});
+        // Correlate in log space (costs span ~2 orders of magnitude).
+        const double x = std::log(ops), y = std::log(secs);
+        sx += x;
+        sy += y;
+        sxy += x * y;
+        sxx += x * x;
+        syy += y * y;
+        ++n;
+    }
+    table.print(std::cout);
+
+    const double dn = static_cast<double>(n);
+    const double corr =
+        (dn * sxy - sx * sy) /
+        std::sqrt((dn * sxx - sx * sx) * (dn * syy - sy * sy));
+    std::cout << "\nlog-log correlation between model flops and native "
+                 "wall time: "
+              << lte::report::fmt(corr, 3)
+              << "\n(values near 1.0 mean the simulator's relative "
+                 "task costs track the real\nkernels; the absolute "
+                 "scale is set separately by calibration)\n";
+    return corr > 0.95 ? 0 : 1;
+}

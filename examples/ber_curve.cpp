@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Extension example: bit-error-rate of the full uplink at decreasing
+ * SNR, comparing the paper's pass-through decoding against the real
+ * rate-1/3 turbo codec this library adds.  Demonstrates why base
+ * stations spend dedicated silicon on turbo decoding.
+ *
+ * usage: ber_curve [trials_per_point]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "channel/signal_source.hpp"
+#include "common/rng.hpp"
+#include "phy/user_processor.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace lte;
+
+struct BerPoint
+{
+    double ber = 0.0;
+    double fer = 0.0;
+};
+
+BerPoint
+measure(double snr_db, bool real_turbo, std::size_t trials,
+        std::uint64_t seed)
+{
+    phy::UserParams user;
+    user.id = 2;
+    user.prb = 12;
+    user.layers = 1;
+    user.mod = Modulation::kQpsk;
+
+    phy::ReceiverConfig cfg;
+    cfg.use_real_turbo = real_turbo;
+
+    std::size_t bit_errors = 0, bits_total = 0, frame_errors = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        Rng rng(seed + t);
+        const auto realistic = channel::realistic_user_signal(
+            user, 4, snr_db, rng, real_turbo);
+        phy::UserProcessor proc(user, cfg, &realistic.signal);
+        const auto result = proc.process_all();
+
+        const auto &expect = realistic.expected_bits;
+        for (std::size_t i = 0;
+             i < expect.size() && i < result.bits.size(); ++i) {
+            bit_errors += result.bits[i] != expect[i];
+        }
+        bits_total += expect.size();
+        frame_errors += result.crc_ok ? 0 : 1;
+    }
+    return {static_cast<double>(bit_errors) /
+                static_cast<double>(bits_total),
+            static_cast<double>(frame_errors) /
+                static_cast<double>(trials)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t trials =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+
+    std::cout << "uplink BER/FER: pass-through vs real turbo "
+                 "(QPSK, 12 PRB, 1 layer, 4 RX antennas, " << trials
+              << " frames per point)\n\n";
+
+    lte::report::TextTable table({"SNR (dB)", "passthrough BER",
+                                  "passthrough FER", "turbo BER",
+                                  "turbo FER"});
+    for (double snr : {12.0, 8.0, 5.0, 3.0, 1.0}) {
+        const auto pass = measure(snr, false, trials, 1000);
+        const auto turbo = measure(snr, true, trials, 1000);
+        table.add_row({lte::report::fmt(snr, 0),
+                       lte::report::fmt(pass.ber, 5),
+                       lte::report::fmt(pass.fer, 2),
+                       lte::report::fmt(turbo.ber, 5),
+                       lte::report::fmt(turbo.fer, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nthe turbo code holds the frame error rate near "
+                 "zero well below the\nSNR where uncoded (pass-through)"
+                 " reception falls apart.\n";
+    return 0;
+}

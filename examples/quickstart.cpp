@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: push one user's subframe through the complete uplink —
+ * UE transmitter, MIMO channel, and the base-station receive chain
+ * (channel estimation, MMSE combining, SC-FDMA despreading,
+ * deinterleaving, soft demapping, CRC) — and check that the payload
+ * survives.
+ */
+#include <iostream>
+
+#include "channel/mimo_channel.hpp"
+#include "common/rng.hpp"
+#include "phy/user_processor.hpp"
+#include "tx/transmitter.hpp"
+
+int
+main()
+{
+    using namespace lte;
+
+    // A user scheduled with 24 PRBs, two spatial layers, 16-QAM.
+    phy::UserParams user;
+    user.id = 1;
+    user.prb = 24;
+    user.layers = 2;
+    user.mod = Modulation::k16Qam;
+
+    std::cout << "LTE uplink quickstart: " << user.prb << " PRBs, "
+              << user.layers << " layers, " << modulation_name(user.mod)
+              << "\n";
+
+    Rng rng(42);
+
+    // 1. UE side: random payload -> CRC -> symbols -> DFT spread grid.
+    const tx::TxResult tx = tx::transmit_user(user, rng);
+    std::cout << "transmitted payload: " << tx.payload_bits.size()
+              << " bits (CRC-24A attached)\n";
+
+    // 2. Radio channel: 4 RX antennas, multipath fading, 30 dB SNR.
+    channel::ChannelConfig chan_cfg;
+    chan_cfg.snr_db = 30.0;
+    channel::MimoChannel chan(chan_cfg, user.layers, rng);
+    const phy::UserSignal rx = chan.apply(tx.grid, user, rng);
+
+    // 3. Base-station receiver (the paper's Fig. 3 chain).
+    phy::ReceiverConfig rx_cfg;
+    phy::UserProcessor proc(user, rx_cfg, &rx);
+    const phy::UserResult result = proc.process_all();
+
+    std::cout << "decoded " << result.bits.size() << " bits\n"
+              << "CRC check: " << (result.crc_ok ? "PASS" : "FAIL")
+              << "\n"
+              << "payload match: "
+              << (result.bits == tx.payload_bits ? "exact" : "MISMATCH")
+              << "\n"
+              << "EVM (rms): " << result.evm_rms << "\n"
+              << "estimated noise variance: " << result.noise_var
+              << "\n";
+    return result.crc_ok && result.bits == tx.payload_bits ? 0 : 1;
+}

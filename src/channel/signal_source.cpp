@@ -1,0 +1,51 @@
+#include "channel/signal_source.hpp"
+
+#include "channel/mimo_channel.hpp"
+#include "tx/transmitter.hpp"
+
+namespace lte::channel {
+
+phy::UserSignal
+random_user_signal(const phy::UserParams &params, std::size_t n_antennas,
+                   Rng &rng)
+{
+    params.validate();
+    phy::UserSignal out;
+    out.antennas.resize(n_antennas);
+    const float scale = 1.0f / std::sqrt(2.0f);
+    for (auto &ant : out.antennas) {
+        for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+            const std::size_t m_sc = params.sc_in_slot(slot);
+            for (auto &sym : ant.slots[slot]) {
+                sym.resize(m_sc);
+                for (auto &v : sym) {
+                    v = cf32(static_cast<float>(rng.next_gaussian()) *
+                                 scale,
+                             static_cast<float>(rng.next_gaussian()) *
+                                 scale);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+RealisticSignal
+realistic_user_signal(const phy::UserParams &params,
+                      std::size_t n_antennas, double snr_db, Rng &rng,
+                      bool real_turbo)
+{
+    ChannelConfig cfg;
+    cfg.n_antennas = n_antennas;
+    cfg.snr_db = snr_db;
+
+    tx::TxResult txr = tx::transmit_user(params, rng, real_turbo);
+    MimoChannel chan(cfg, params.layers, rng);
+
+    RealisticSignal out;
+    out.signal = chan.apply(txr.grid, params, rng);
+    out.expected_bits = std::move(txr.payload_bits);
+    return out;
+}
+
+} // namespace lte::channel

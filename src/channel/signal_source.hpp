@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fast synthetic receiver input, matching the paper's approach of
+ * driving the benchmark with random IQ data (Sec. IV-B.1): every
+ * sample is unit-variance complex Gaussian noise.  The receive chain
+ * performs identical work on it (CRC simply fails), which is what the
+ * scheduling and power studies need.
+ */
+#ifndef LTE_CHANNEL_SIGNAL_SOURCE_HPP
+#define LTE_CHANNEL_SIGNAL_SOURCE_HPP
+
+#include "common/rng.hpp"
+#include "phy/params.hpp"
+#include "phy/user_processor.hpp"
+
+namespace lte::channel {
+
+/** Random IQ input for one user's allocation. */
+phy::UserSignal random_user_signal(const phy::UserParams &params,
+                                   std::size_t n_antennas, Rng &rng);
+
+/**
+ * Full-fidelity input: transmit a random payload through a freshly
+ * drawn MIMO channel at the given SNR.  Returns the signal and the
+ * payload bits a correct receiver reproduces.
+ */
+struct RealisticSignal
+{
+    phy::UserSignal signal;
+    std::vector<std::uint8_t> expected_bits;
+};
+
+RealisticSignal realistic_user_signal(const phy::UserParams &params,
+                                      std::size_t n_antennas,
+                                      double snr_db, Rng &rng,
+                                      bool real_turbo = false);
+
+} // namespace lte::channel
+
+#endif // LTE_CHANNEL_SIGNAL_SOURCE_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-checking helpers. LTE_CHECK is used for caller errors (throws
+ * std::invalid_argument, cf. gem5's fatal()); LTE_ASSERT for internal
+ * invariants (throws std::logic_error, cf. panic()).
+ */
+#ifndef LTE_COMMON_CHECK_HPP
+#define LTE_COMMON_CHECK_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lte {
+
+namespace detail {
+
+[[noreturn]] inline void
+throw_check_failure(const char *expr, const char *file, int line,
+                    const std::string &msg)
+{
+    std::ostringstream os;
+    os << "check failed: " << expr << " at " << file << ":" << line;
+    if (!msg.empty())
+        os << " (" << msg << ")";
+    throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void
+throw_assert_failure(const char *expr, const char *file, int line,
+                     const std::string &msg)
+{
+    std::ostringstream os;
+    os << "internal assertion failed: " << expr << " at "
+       << file << ":" << line;
+    if (!msg.empty())
+        os << " (" << msg << ")";
+    throw std::logic_error(os.str());
+}
+
+} // namespace detail
+
+/** Validate a caller-supplied condition; throws std::invalid_argument. */
+#define LTE_CHECK(cond, msg) \
+    do { \
+        if (!(cond)) { \
+            ::lte::detail::throw_check_failure(#cond, __FILE__, __LINE__, \
+                                               (msg)); \
+        } \
+    } while (0)
+
+/** Validate an internal invariant; throws std::logic_error. */
+#define LTE_ASSERT(cond, msg) \
+    do { \
+        if (!(cond)) { \
+            ::lte::detail::throw_assert_failure(#cond, __FILE__, __LINE__, \
+                                                (msg)); \
+        } \
+    } while (0)
+
+} // namespace lte
+
+#endif // LTE_COMMON_CHECK_HPP

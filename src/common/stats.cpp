@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lte {
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::clear()
+{
+    *this = RunningStats{};
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+RmsWindow::RmsWindow(double window_seconds)
+    : window_seconds_(window_seconds)
+{
+    LTE_CHECK(window_seconds > 0.0, "window must be positive");
+}
+
+void
+RmsWindow::add(double value, double duration)
+{
+    LTE_CHECK(duration >= 0.0, "duration must be non-negative");
+    while (duration > 0.0) {
+        const double room = window_seconds_ - filled_;
+        const double take = std::min(room, duration);
+        sumsq_ += value * value * take;
+        filled_ += take;
+        duration -= take;
+        // Tolerate float accumulation when samples tile the window.
+        if (filled_ >= window_seconds_ * (1.0 - 1e-9))
+            emit_window();
+    }
+}
+
+void
+RmsWindow::flush()
+{
+    // Ignore float residue left behind by exactly tiling samples.
+    if (filled_ > window_seconds_ * 1e-6)
+        emit_window();
+}
+
+void
+RmsWindow::emit_window()
+{
+    windows_.push_back(std::sqrt(sumsq_ / filled_));
+    sumsq_ = 0.0;
+    filled_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    LTE_CHECK(hi > lo, "histogram range must be non-empty");
+    LTE_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::ptrdiff_t>(
+        frac * static_cast<double>(counts_.size()));
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::bin_center(std::size_t bin) const
+{
+    LTE_CHECK(bin < counts_.size(), "bin out of range");
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+} // namespace lte

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Streaming statistics helpers used by the power model, the workload
+ * estimator evaluation, and the benchmark harnesses.
+ */
+#ifndef LTE_COMMON_STATS_HPP
+#define LTE_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace lte {
+
+/**
+ * Welford-style running mean/variance with min/max tracking.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the statistics. */
+    void add(double x);
+
+    /** Reset to the empty state. */
+    void clear();
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Root-mean-square accumulation over fixed-duration windows, modelling
+ * the paper's NI USB-6210 post-processing: the DAQ samples current
+ * every 8 us and the authors report the RMS over every 100 ms.
+ *
+ * add() folds a (value, duration) pair into the current window; each
+ * time accumulated duration crosses the window length, the RMS of the
+ * finished window is appended to windows().
+ */
+class RmsWindow
+{
+  public:
+    /** @param window_seconds duration of one RMS window. */
+    explicit RmsWindow(double window_seconds);
+
+    /** Accumulate a constant value held for @p duration seconds. */
+    void add(double value, double duration);
+
+    /** Finish a partially filled window, if any, and flush it. */
+    void flush();
+
+    /** Completed per-window RMS values, in time order. */
+    const std::vector<double> &windows() const { return windows_; }
+
+    double window_seconds() const { return window_seconds_; }
+
+  private:
+    void emit_window();
+
+    double window_seconds_;
+    double sumsq_ = 0.0;   ///< integral of value^2 over the open window
+    double filled_ = 0.0;  ///< seconds accumulated in the open window
+    std::vector<double> windows_;
+};
+
+/**
+ * Simple fixed-capacity histogram over [lo, hi) with uniform bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Count a sample; out-of-range samples clamp to the edge bins. */
+    void add(double x);
+
+    std::size_t bin_count() const { return counts_.size(); }
+    std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    std::size_t total() const { return total_; }
+    /** Center value of a bin. */
+    double bin_center(std::size_t bin) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace lte
+
+#endif // LTE_COMMON_STATS_HPP

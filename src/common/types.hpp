@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fundamental sample and index types shared across the LTE library.
+ */
+#ifndef LTE_COMMON_TYPES_HPP
+#define LTE_COMMON_TYPES_HPP
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lte {
+
+/** Complex baseband sample, single precision (matches the benchmark's C float pairs). */
+using cf32 = std::complex<float>;
+
+/** Complex double-precision value used inside numerically sensitive kernels. */
+using cf64 = std::complex<double>;
+
+/** A contiguous buffer of complex samples. */
+using CVec = std::vector<cf32>;
+
+/** Soft bit (log-likelihood ratio). Positive means the bit is more likely 0. */
+using Llr = float;
+
+/** Number of subcarriers in one physical resource block (3GPP TS 36.211). */
+inline constexpr std::size_t kScPerPrb = 12;
+
+/** SC-FDMA symbols per slot with normal cyclic prefix. */
+inline constexpr std::size_t kSymbolsPerSlot = 7;
+
+/** Data (non-reference) SC-FDMA symbols per slot: 3 + 3 around the DMRS. */
+inline constexpr std::size_t kDataSymbolsPerSlot = 6;
+
+/** Index of the demodulation reference symbol within a slot. */
+inline constexpr std::size_t kRefSymbolIndex = 3;
+
+/** Slots per subframe. */
+inline constexpr std::size_t kSlotsPerSubframe = 2;
+
+/** Subframes per 10 ms radio frame. */
+inline constexpr std::size_t kSubframesPerFrame = 10;
+
+/** Maximum users schedulable in one subframe (paper Sec. II-A). */
+inline constexpr std::size_t kMaxUsersPerSubframe = 10;
+
+/** Maximum PRBs allocatable in one subframe (paper Fig. 6, MAX_PRB). */
+inline constexpr std::size_t kMaxPrbPerSubframe = 200;
+
+/** Maximum spatial layers in the LTE-Advanced uplink (paper Sec. II-B). */
+inline constexpr std::size_t kMaxLayers = 4;
+
+/** Maximum receive antennas modelled (paper Sec. III). */
+inline constexpr std::size_t kMaxRxAntennas = 4;
+
+/** Modulation schemes supported by the uplink (paper Sec. II-B). */
+enum class Modulation : std::uint8_t {
+    kQpsk = 0,   ///< 2 bits per symbol
+    k16Qam = 1,  ///< 4 bits per symbol
+    k64Qam = 2,  ///< 6 bits per symbol
+};
+
+/** @return the number of bits carried by one modulated symbol. */
+constexpr std::size_t
+bits_per_symbol(Modulation mod)
+{
+    switch (mod) {
+      case Modulation::kQpsk: return 2;
+      case Modulation::k16Qam: return 4;
+      case Modulation::k64Qam: return 6;
+    }
+    return 2;
+}
+
+/** @return a short human-readable name ("QPSK", "16QAM", "64QAM"). */
+constexpr const char *
+modulation_name(Modulation mod)
+{
+    switch (mod) {
+      case Modulation::kQpsk: return "QPSK";
+      case Modulation::k16Qam: return "16QAM";
+      case Modulation::k64Qam: return "64QAM";
+    }
+    return "?";
+}
+
+/** All modulations, in increasing order of bits per symbol. */
+inline constexpr Modulation kAllModulations[] = {
+    Modulation::kQpsk, Modulation::k16Qam, Modulation::k64Qam,
+};
+
+} // namespace lte
+
+#endif // LTE_COMMON_TYPES_HPP

@@ -1,0 +1,114 @@
+#include "core/uplink_study.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mgmt/core_allocator.hpp"
+
+namespace lte::core {
+
+void
+StudyConfig::scale_to(std::uint64_t n)
+{
+    LTE_CHECK(n >= 2, "need at least two subframes");
+    const double scale = static_cast<double>(n) /
+                         static_cast<double>(subframes);
+    subframes = n;
+    model.ramp_subframes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(model.ramp_subframes) * scale));
+    model.prob_update_interval = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(model.prob_update_interval) * scale));
+}
+
+UplinkStudy::UplinkStudy(const StudyConfig &config)
+    : config_(config)
+{
+    config_.sim.validate();
+    config_.power.validate();
+    config_.model.validate();
+}
+
+void
+UplinkStudy::prepare()
+{
+    // 1. Machine saturation point: peak workload fills 62 workers at
+    //    one subframe per DELTA (Sec. V-B operating point).
+    config_.sim.cycles_per_op = sim::calibrate_cycles_per_op(
+        config_.sim, config_.n_antennas, config_.model.seed);
+
+    // 2. Steady-state sweeps fit the k_{L,M} slopes (Fig. 11).
+    const mgmt::CalibrationTable table =
+        sim::calibrate_table(config_.sim, config_.sweep,
+                             config_.n_antennas);
+    estimator_ = mgmt::WorkloadEstimator(table);
+}
+
+const mgmt::CalibrationTable &
+UplinkStudy::table() const
+{
+    LTE_CHECK(estimator_.has_value(), "call prepare() first");
+    return estimator_->table();
+}
+
+std::vector<std::uint32_t>
+UplinkStudy::gating_plan(const sim::SimResult &result) const
+{
+    mgmt::GatingPlanner planner(config_.power.domain_size,
+                                config_.power.total_cores);
+    std::vector<std::uint32_t> powered;
+    powered.reserve(result.intervals.size());
+    for (std::uint32_t demand : result.active_cores) {
+        for (std::uint32_t p : planner.push(demand))
+            powered.push_back(p);
+    }
+    for (std::uint32_t p : planner.finish())
+        powered.push_back(p);
+    // Pad trailing drain intervals with the final decision.
+    const std::uint32_t last =
+        powered.empty() ? config_.power.total_cores : powered.back();
+    while (powered.size() < result.intervals.size())
+        powered.push_back(last);
+    return powered;
+}
+
+StrategyOutcome
+UplinkStudy::run_strategy(mgmt::Strategy strategy)
+{
+    workload::PaperModel model(config_.model);
+    return run_strategy_on(strategy, model, config_.subframes);
+}
+
+StrategyOutcome
+UplinkStudy::run_strategy_on(mgmt::Strategy strategy,
+                             workload::ParameterModel &model,
+                             std::uint64_t subframes)
+{
+    LTE_CHECK(estimator_.has_value(), "call prepare() first");
+
+    sim::SimConfig sim_cfg = config_.sim;
+    sim_cfg.strategy = strategy;
+
+    sim::Machine machine(sim_cfg, config_.n_antennas);
+    machine.set_estimator(estimator_);
+
+    StrategyOutcome outcome;
+    outcome.strategy = strategy;
+    outcome.sim = machine.run(model, subframes);
+
+    const power::PowerModel pm(config_.power);
+    if (strategy == mgmt::Strategy::kPowerGating) {
+        outcome.powered = gating_plan(outcome.sim);
+        outcome.series =
+            pm.power_series_gated(outcome.sim, outcome.powered);
+    } else {
+        outcome.series = pm.power_series(outcome.sim);
+    }
+    outcome.avg_power_w = power::PowerModel::average_power(outcome.series);
+    outcome.avg_dynamic_w =
+        outcome.avg_power_w - config_.power.base_power_w;
+    return outcome;
+}
+
+} // namespace lte::core

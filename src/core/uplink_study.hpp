@@ -1,0 +1,102 @@
+/**
+ * @file
+ * High-level facade for the paper's power-management study
+ * (Secs. V-VI): calibrates the simulator and the workload estimator,
+ * runs any strategy over the evaluation input model, and returns
+ * power series and aggregates.  This is the API the figure/table
+ * benches and the examples drive.
+ */
+#ifndef LTE_CORE_UPLINK_STUDY_HPP
+#define LTE_CORE_UPLINK_STUDY_HPP
+
+#include <optional>
+#include <vector>
+
+#include "mgmt/estimator.hpp"
+#include "mgmt/strategy.hpp"
+#include "power/power_model.hpp"
+#include "sim/calibrate.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_config.hpp"
+#include "workload/paper_model.hpp"
+
+namespace lte::core {
+
+/** Full study configuration; defaults follow the paper. */
+struct StudyConfig
+{
+    sim::SimConfig sim;
+    power::PowerModelConfig power;
+    workload::PaperModelConfig model;
+    sim::CalibrationSweep sweep;
+    std::size_t n_antennas = 4;
+    /** Subframes per strategy run (paper: 68 000 = 340 s). */
+    std::uint64_t subframes = 68000;
+
+    /**
+     * Scale the run to @p n subframes, shrinking the workload ramp
+     * proportionally so the triangular load shape is preserved.
+     */
+    void scale_to(std::uint64_t n);
+};
+
+/** Everything produced by one strategy run. */
+struct StrategyOutcome
+{
+    mgmt::Strategy strategy = mgmt::Strategy::kNoNap;
+    sim::SimResult sim;
+    /** Thermal-corrected power series (one sample per subframe). */
+    std::vector<power::PowerSample> series;
+    /** Eq. 6-7 powered-core plan (PowerGating runs only). */
+    std::vector<std::uint32_t> powered;
+    double avg_power_w = 0.0;
+    double avg_dynamic_w = 0.0; ///< avg_power - base power
+};
+
+class UplinkStudy
+{
+  public:
+    explicit UplinkStudy(const StudyConfig &config);
+
+    /**
+     * Calibrate cycles_per_op (machine saturation at peak load) and
+     * fit the k_{L,M} estimator table from steady-state sweeps
+     * (Sec. VI-A).  Must run before run_strategy().
+     */
+    void prepare();
+
+    bool prepared() const { return estimator_.has_value(); }
+    const mgmt::CalibrationTable &table() const;
+    const StudyConfig &config() const { return config_; }
+    /** The calibrated cycles/op scale (after prepare()). */
+    double cycles_per_op() const { return config_.sim.cycles_per_op; }
+
+    /** Run one strategy over a fresh instance of the paper's input
+     *  model. */
+    StrategyOutcome run_strategy(mgmt::Strategy strategy);
+
+    /**
+     * Run one strategy over an arbitrary input model (consumed from
+     * its current state) for @p subframes dispatches — used for
+     * scenarios beyond the paper's evaluation model, e.g. the diurnal
+     * 25%-load study.
+     */
+    StrategyOutcome run_strategy_on(mgmt::Strategy strategy,
+                                    workload::ParameterModel &model,
+                                    std::uint64_t subframes);
+
+    /**
+     * Eq. 6-7: powered-core plan for a simulated run, padded with its
+     * last value to cover trailing drain intervals.
+     */
+    std::vector<std::uint32_t>
+    gating_plan(const sim::SimResult &result) const;
+
+  private:
+    StudyConfig config_;
+    std::optional<mgmt::WorkloadEstimator> estimator_;
+};
+
+} // namespace lte::core
+
+#endif // LTE_CORE_UPLINK_STUDY_HPP

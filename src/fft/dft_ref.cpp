@@ -1,0 +1,45 @@
+#include "fft/dft_ref.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace lte::fft {
+
+namespace {
+
+CVec
+dft_impl(const CVec &in, double sign, bool normalise)
+{
+    const std::size_t n = in.size();
+    CVec out(n);
+    const double scale = normalise ? 1.0 / static_cast<double>(n) : 1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        cf64 acc(0.0, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double angle = sign * 2.0 * std::numbers::pi *
+                                 static_cast<double>(j * k % n) /
+                                 static_cast<double>(n);
+            const cf64 w(std::cos(angle), std::sin(angle));
+            acc += cf64(in[j].real(), in[j].imag()) * w;
+        }
+        out[k] = cf32(static_cast<float>(acc.real() * scale),
+                      static_cast<float>(acc.imag() * scale));
+    }
+    return out;
+}
+
+} // namespace
+
+CVec
+dft_reference(const CVec &in)
+{
+    return dft_impl(in, -1.0, false);
+}
+
+CVec
+idft_reference(const CVec &in)
+{
+    return dft_impl(in, 1.0, true);
+}
+
+} // namespace lte::fft

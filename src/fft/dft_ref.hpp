@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Naive O(n^2) double-precision DFT used as a golden reference when
+ * testing the production FFT plans.
+ */
+#ifndef LTE_FFT_DFT_REF_HPP
+#define LTE_FFT_DFT_REF_HPP
+
+#include "common/types.hpp"
+
+namespace lte::fft {
+
+/** Unnormalised forward DFT computed in double precision. */
+CVec dft_reference(const CVec &in);
+
+/** Inverse DFT (with 1/N scale) computed in double precision. */
+CVec idft_reference(const CVec &in);
+
+} // namespace lte::fft
+
+#endif // LTE_FFT_DFT_REF_HPP

@@ -1,0 +1,355 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace lte::fft {
+
+namespace {
+
+/** Largest prime factor handled by the direct-DFT base case; sizes with
+ *  a bigger prime factor go through Bluestein. */
+constexpr std::size_t kMaxDirectPrime = 61;
+
+/** @return the smallest prime factor of n (n >= 2). */
+std::size_t
+smallest_factor(std::size_t n)
+{
+    if (n % 2 == 0)
+        return 2;
+    for (std::size_t f = 3; f * f <= n; f += 2) {
+        if (n % f == 0)
+            return f;
+    }
+    return n;
+}
+
+/** @return the largest prime factor of n (n >= 1). */
+std::size_t
+largest_prime_factor(std::size_t n)
+{
+    std::size_t largest = 1;
+    while (n > 1) {
+        const std::size_t f = smallest_factor(n);
+        largest = f;
+        while (n % f == 0)
+            n /= f;
+    }
+    return largest;
+}
+
+/** Approximate flop costs of complex primitives. */
+constexpr std::uint64_t kCplxMulFlops = 6;
+constexpr std::uint64_t kCplxAddFlops = 2;
+
+std::uint64_t
+mixed_radix_ops(std::size_t n)
+{
+    if (n <= 1)
+        return 0;
+    const std::size_t p = smallest_factor(n);
+    if (p == n) {
+        // Direct DFT base case: n^2 complex MACs.
+        return n * n * (kCplxMulFlops + kCplxAddFlops);
+    }
+    const std::size_t m = n / p;
+    // p sub-transforms + per-output-column twiddles and a pxp DFT.
+    const std::uint64_t combine =
+        m * (p * kCplxMulFlops + p * p * (kCplxMulFlops + kCplxAddFlops));
+    return p * mixed_radix_ops(m) + combine;
+}
+
+} // namespace
+
+/**
+ * Private implementation: either a mixed-radix recursive Cooley-Tukey
+ * transform (all prime factors <= kMaxDirectPrime) or a Bluestein
+ * chirp-z transform built on a power-of-two plan.
+ */
+struct Fft::Impl
+{
+    explicit Impl(std::size_t n);
+
+    void transform(const cf32 *in, cf32 *out, bool inverse) const;
+
+    // --- mixed radix ---
+    void
+    recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
+            std::size_t n, std::size_t root_stride, bool inverse) const;
+
+    cf32 root(std::size_t index, bool inverse) const;
+
+    // --- Bluestein ---
+    void bluestein(const cf32 *in, cf32 *out, bool inverse) const;
+
+    std::size_t n;
+    bool use_bluestein;
+
+    /** exp(-2*pi*i*k/n) for k in [0, n) (forward direction). */
+    std::vector<cf32> roots;
+
+    // Bluestein state (empty unless use_bluestein).
+    std::size_t conv_n = 0;              ///< power-of-two convolution size
+    std::unique_ptr<Fft> conv_fft;       ///< plan of size conv_n
+    std::vector<cf32> chirp;             ///< b_k = exp(-i*pi*k^2/n), k in [0, n)
+    std::vector<cf32> chirp_fft;         ///< FFT of the zero-padded conjugate chirp
+};
+
+Fft::Impl::Impl(std::size_t size)
+    : n(size)
+{
+    LTE_CHECK(n >= 1, "FFT size must be >= 1");
+    use_bluestein = largest_prime_factor(n) > kMaxDirectPrime;
+
+    roots.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double angle =
+            -2.0 * std::numbers::pi * static_cast<double>(k) /
+            static_cast<double>(n);
+        roots[k] = cf32(static_cast<float>(std::cos(angle)),
+                        static_cast<float>(std::sin(angle)));
+    }
+
+    if (use_bluestein) {
+        conv_n = next_pow2(2 * n - 1);
+        conv_fft = std::make_unique<Fft>(conv_n);
+
+        chirp.resize(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            // k^2 mod 2n keeps the angle argument small and exact.
+            const std::size_t k2 = (k * k) % (2 * n);
+            const double angle =
+                -std::numbers::pi * static_cast<double>(k2) /
+                static_cast<double>(n);
+            chirp[k] = cf32(static_cast<float>(std::cos(angle)),
+                            static_cast<float>(std::sin(angle)));
+        }
+
+        // FFT of the conjugate chirp, wrapped for circular convolution.
+        std::vector<cf32> b(conv_n, cf32(0.0f, 0.0f));
+        b[0] = std::conj(chirp[0]);
+        for (std::size_t k = 1; k < n; ++k) {
+            b[k] = std::conj(chirp[k]);
+            b[conv_n - k] = std::conj(chirp[k]);
+        }
+        chirp_fft.resize(conv_n);
+        conv_fft->forward(b.data(), chirp_fft.data());
+    }
+}
+
+cf32
+Fft::Impl::root(std::size_t index, bool inverse) const
+{
+    const cf32 w = roots[index % n];
+    return inverse ? std::conj(w) : w;
+}
+
+void
+Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
+                   std::size_t len, std::size_t root_stride,
+                   bool inverse) const
+{
+    if (len == 1) {
+        out[0] = in[0];
+        return;
+    }
+
+    const std::size_t p = smallest_factor(len);
+    const std::size_t m = len / p;
+
+    if (p == len) {
+        // Prime base case: direct DFT using the master root table.
+        // W_len^(jk) == roots[(j*k mod len) * root_stride].
+        for (std::size_t k = 0; k < len; ++k) {
+            cf32 acc(0.0f, 0.0f);
+            for (std::size_t j = 0; j < len; ++j) {
+                const std::size_t idx = ((j * k) % len) * root_stride;
+                acc += in[j * in_stride] * root(idx, inverse);
+            }
+            out[k] = acc;
+        }
+        return;
+    }
+
+    // Transform the p decimated subsequences.
+    for (std::size_t q = 0; q < p; ++q) {
+        recurse(in + q * in_stride, in_stride * p, out + q * m, m,
+                root_stride * p, inverse);
+    }
+
+    // Combine: X[k + r*m] = sum_q W_len^(q*k) * W_p^(q*r) * Y_q[k].
+    cf32 t[kMaxDirectPrime];
+    for (std::size_t k = 0; k < m; ++k) {
+        for (std::size_t q = 0; q < p; ++q)
+            t[q] = out[q * m + k] * root(q * k * root_stride, inverse);
+        for (std::size_t r = 0; r < p; ++r) {
+            cf32 acc(0.0f, 0.0f);
+            for (std::size_t q = 0; q < p; ++q) {
+                const std::size_t idx =
+                    ((q * r) % p) * m * root_stride;
+                acc += t[q] * root(idx, inverse);
+            }
+            out[k + r * m] = acc;
+        }
+    }
+}
+
+void
+Fft::Impl::bluestein(const cf32 *in, cf32 *out, bool inverse) const
+{
+    // Chirp-z identity: with chirp_k = exp(-i*pi*k^2/n),
+    //   X_k = chirp_k * (a (*) b)_k,  a_j = x_j * chirp_j,
+    //   b_m = conj(chirp_m)  (wrapped for circular convolution).
+    // The inverse transform conjugates both chirp and kernel.
+    std::vector<cf32> a(conv_n, cf32(0.0f, 0.0f));
+    for (std::size_t k = 0; k < n; ++k) {
+        const cf32 c = inverse ? std::conj(chirp[k]) : chirp[k];
+        a[k] = in[k] * c;
+    }
+
+    std::vector<cf32> fa(conv_n);
+    conv_fft->forward(a.data(), fa.data());
+    if (inverse) {
+        // The convolution kernel is conj(chirp); for the inverse
+        // transform the kernel is chirp itself, whose FFT is the
+        // conjugate-mirrored chirp_fft. Recompute cheaply via symmetry:
+        // FFT(conj(b))[k] = conj(FFT(b)[(conv_n - k) % conv_n]).
+        for (std::size_t k = 0; k < conv_n; ++k) {
+            const std::size_t mirror = (conv_n - k) % conv_n;
+            fa[k] *= std::conj(chirp_fft[mirror]);
+        }
+    } else {
+        for (std::size_t k = 0; k < conv_n; ++k)
+            fa[k] *= chirp_fft[k];
+    }
+
+    std::vector<cf32> conv(conv_n);
+    conv_fft->inverse(fa.data(), conv.data());
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const cf32 c = inverse ? std::conj(chirp[k]) : chirp[k];
+        out[k] = conv[k] * c;
+    }
+}
+
+void
+Fft::Impl::transform(const cf32 *in, cf32 *out, bool inverse) const
+{
+    if (use_bluestein) {
+        bluestein(in, out, inverse);
+    } else if (in == out) {
+        std::vector<cf32> tmp(in, in + n);
+        recurse(tmp.data(), 1, out, n, 1, inverse);
+    } else {
+        recurse(in, 1, out, n, 1, inverse);
+    }
+
+    if (inverse) {
+        const float scale = 1.0f / static_cast<float>(n);
+        for (std::size_t k = 0; k < n; ++k)
+            out[k] *= scale;
+    }
+}
+
+Fft::Fft(std::size_t n)
+    : impl_(std::make_unique<Impl>(n))
+{
+}
+
+Fft::~Fft() = default;
+
+std::size_t
+Fft::size() const
+{
+    return impl_->n;
+}
+
+void
+Fft::forward(const cf32 *in, cf32 *out) const
+{
+    impl_->transform(in, out, false);
+}
+
+void
+Fft::inverse(const cf32 *in, cf32 *out) const
+{
+    impl_->transform(in, out, true);
+}
+
+std::uint64_t
+Fft::op_count(std::size_t n)
+{
+    if (n <= 1)
+        return 0;
+    if (largest_prime_factor(n) <= kMaxDirectPrime)
+        return mixed_radix_ops(n);
+    // Bluestein: two forward + one inverse transform of conv_n, plus
+    // the pointwise chirp multiplies.
+    const std::size_t conv_n = next_pow2(2 * n - 1);
+    return 3 * mixed_radix_ops(conv_n) +
+           (2 * n + conv_n) * kCplxMulFlops;
+}
+
+std::size_t
+Fft::next_5_smooth(std::size_t n)
+{
+    if (n <= 1)
+        return 1;
+    std::size_t candidate = n;
+    while (!is_5_smooth(candidate))
+        ++candidate;
+    return candidate;
+}
+
+std::uint64_t
+Fft::op_count_smooth(std::size_t n)
+{
+    return mixed_radix_ops(next_5_smooth(n));
+}
+
+FftCache &
+FftCache::instance()
+{
+    static FftCache cache;
+    return cache;
+}
+
+std::shared_ptr<const Fft>
+FftCache::get(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = plans_.find(n);
+    if (it != plans_.end())
+        return it->second;
+    auto plan = std::make_shared<const Fft>(n);
+    plans_.emplace(n, plan);
+    return plan;
+}
+
+std::size_t
+FftCache::plan_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plans_.size();
+}
+
+CVec
+fft_forward(const CVec &in)
+{
+    CVec out(in.size());
+    FftCache::instance().get(in.size())->forward(in.data(), out.data());
+    return out;
+}
+
+CVec
+fft_inverse(const CVec &in)
+{
+    CVec out(in.size());
+    FftCache::instance().get(in.size())->inverse(in.data(), out.data());
+    return out;
+}
+
+} // namespace lte::fft

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Complex FFT library used by every frequency/time transform in the
+ * receiver (Fig. 2/3 of the paper): mixed-radix Cooley-Tukey for sizes
+ * whose prime factors are small, with a Bluestein (chirp-z) fallback
+ * for arbitrary sizes.  LTE DFT-s-OFDM allocations are 12 x PRBs
+ * subcarriers, so non-5-smooth sizes occur routinely.
+ */
+#ifndef LTE_FFT_FFT_HPP
+#define LTE_FFT_FFT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lte::fft {
+
+/**
+ * A planned complex FFT of a fixed size.
+ *
+ * The plan precomputes twiddle tables (and, for Bluestein sizes, the
+ * chirp sequence and its transform).  forward() computes the
+ * unnormalised DFT; inverse() applies the 1/N scale so that
+ * inverse(forward(x)) == x.
+ *
+ * Plans are immutable after construction, and both transform methods
+ * are const and safe to call concurrently from multiple threads.
+ */
+class Fft
+{
+  public:
+    /** Plan a transform of @p n points (n >= 1). */
+    explicit Fft(std::size_t n);
+    ~Fft();
+
+    Fft(const Fft &) = delete;
+    Fft &operator=(const Fft &) = delete;
+
+    /** Transform size. */
+    std::size_t size() const;
+
+    /** Unnormalised forward DFT. @p in and @p out must hold size() samples
+     *  and may alias. */
+    void forward(const cf32 *in, cf32 *out) const;
+
+    /** Inverse DFT including the 1/N normalisation. May alias. */
+    void inverse(const cf32 *in, cf32 *out) const;
+
+    /**
+     * Analytical floating-point operation count of one transform of
+     * size @p n under this library's algorithm choices (including the
+     * direct-DFT/Bluestein cliffs at sizes with large prime factors).
+     */
+    static std::uint64_t op_count(std::size_t n);
+
+    /**
+     * Smooth-envelope operation count: the cost of transforming the
+     * next 5-smooth size >= @p n, i.e. of an implementation that pads
+     * awkward sizes the way production SC-FDMA receivers do.  The
+     * simulator's cycle-cost model uses this (DESIGN.md Sec. 3) so
+     * that workload scales linearly in PRBs, matching the clean
+     * linear behaviour the paper measures in Fig. 11.
+     */
+    static std::uint64_t op_count_smooth(std::size_t n);
+
+    /** The smallest integer >= n whose prime factors are all in
+     *  {2, 3, 5}. */
+    static std::size_t next_5_smooth(std::size_t n);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Process-wide cache of FFT plans keyed by size.
+ *
+ * Subframe processing repeatedly needs the same handful of sizes; the
+ * cache makes plan lookup cheap and thread-safe (worker threads share
+ * plans, which are themselves const-thread-safe).
+ */
+class FftCache
+{
+  public:
+    /** The singleton cache instance. */
+    static FftCache &instance();
+
+    /** @return a shared plan for size @p n, creating it if needed. */
+    std::shared_ptr<const Fft> get(std::size_t n);
+
+    /** Number of distinct plans currently cached. */
+    std::size_t plan_count() const;
+
+  private:
+    FftCache() = default;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::size_t, std::shared_ptr<const Fft>> plans_;
+};
+
+/** Convenience out-of-place forward FFT via the shared cache. */
+CVec fft_forward(const CVec &in);
+
+/** Convenience out-of-place inverse FFT via the shared cache. */
+CVec fft_inverse(const CVec &in);
+
+} // namespace lte::fft
+
+#endif // LTE_FFT_FFT_HPP

@@ -1,0 +1,188 @@
+#include "matrix/cmat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lte::matrix {
+
+CMat::CMat(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cf32(0.0f, 0.0f))
+{
+}
+
+CMat::CMat(std::size_t rows, std::size_t cols, std::vector<cf32> values)
+    : rows_(rows), cols_(cols), data_(std::move(values))
+{
+    LTE_CHECK(data_.size() == rows * cols, "value count must match shape");
+}
+
+CMat
+CMat::identity(std::size_t n)
+{
+    CMat m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = cf32(1.0f, 0.0f);
+    return m;
+}
+
+cf32 &
+CMat::at(std::size_t r, std::size_t c)
+{
+    LTE_CHECK(r < rows_ && c < cols_, "index out of range");
+    return data_[r * cols_ + c];
+}
+
+const cf32 &
+CMat::at(std::size_t r, std::size_t c) const
+{
+    LTE_CHECK(r < rows_ && c < cols_, "index out of range");
+    return data_[r * cols_ + c];
+}
+
+CMat
+CMat::hermitian() const
+{
+    CMat out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(c, r) = std::conj(data_[r * cols_ + c]);
+    }
+    return out;
+}
+
+CMat
+CMat::mul(const CMat &rhs) const
+{
+    LTE_CHECK(cols_ == rhs.rows_, "inner dimensions must match");
+    CMat out(rows_, rhs.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const cf32 a = data_[r * cols_ + k];
+            for (std::size_t c = 0; c < rhs.cols_; ++c)
+                out.at(r, c) += a * rhs.data_[k * rhs.cols_ + c];
+        }
+    }
+    return out;
+}
+
+std::vector<cf32>
+CMat::mul_vec(const std::vector<cf32> &vec) const
+{
+    LTE_CHECK(vec.size() == cols_, "vector length must match cols");
+    std::vector<cf32> out(rows_, cf32(0.0f, 0.0f));
+    for (std::size_t r = 0; r < rows_; ++r) {
+        cf32 acc(0.0f, 0.0f);
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += data_[r * cols_ + c] * vec[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+CMat
+CMat::add(const CMat &rhs) const
+{
+    LTE_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "shapes must match");
+    CMat out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += rhs.data_[i];
+    return out;
+}
+
+CMat
+CMat::add_scaled_identity(float s) const
+{
+    LTE_CHECK(rows_ == cols_, "square matrix required");
+    CMat out = *this;
+    for (std::size_t i = 0; i < rows_; ++i)
+        out.at(i, i) += cf32(s, 0.0f);
+    return out;
+}
+
+CMat
+CMat::inverse() const
+{
+    LTE_CHECK(rows_ == cols_, "square matrix required");
+    const std::size_t n = rows_;
+    // Augmented [A | I] Gauss-Jordan with partial pivoting.
+    CMat a = *this;
+    CMat inv = identity(n);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Pivot: the row with the largest magnitude in this column.
+        std::size_t pivot = col;
+        float best = std::abs(a.at(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const float mag = std::abs(a.at(r, col));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        LTE_CHECK(best > 1e-20f, "matrix is singular");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(a.at(col, c), a.at(pivot, c));
+                std::swap(inv.at(col, c), inv.at(pivot, c));
+            }
+        }
+
+        const cf32 scale = cf32(1.0f, 0.0f) / a.at(col, col);
+        for (std::size_t c = 0; c < n; ++c) {
+            a.at(col, c) *= scale;
+            inv.at(col, c) *= scale;
+        }
+
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r == col)
+                continue;
+            const cf32 factor = a.at(r, col);
+            if (factor == cf32(0.0f, 0.0f))
+                continue;
+            for (std::size_t c = 0; c < n; ++c) {
+                a.at(r, c) -= factor * a.at(col, c);
+                inv.at(r, c) -= factor * inv.at(col, c);
+            }
+        }
+    }
+    return inv;
+}
+
+std::vector<cf32>
+CMat::solve(const std::vector<cf32> &b) const
+{
+    return inverse().mul_vec(b);
+}
+
+float
+CMat::frobenius_norm() const
+{
+    float acc = 0.0f;
+    for (const cf32 &v : data_)
+        acc += std::norm(v);
+    return std::sqrt(acc);
+}
+
+float
+CMat::max_abs_diff(const CMat &rhs) const
+{
+    LTE_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "shapes must match");
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::abs(data_[i] - rhs.data_[i]));
+    return worst;
+}
+
+std::uint64_t
+CMat::inverse_op_count(std::size_t n)
+{
+    // Gauss-Jordan on [A | I]: ~2n^3 complex MACs, 8 flops each.
+    const std::uint64_t n3 = static_cast<std::uint64_t>(n) * n * n;
+    return 2 * n3 * 8;
+}
+
+} // namespace lte::matrix

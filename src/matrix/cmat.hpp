@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small dense complex matrices for MIMO combiner-weight computation.
+ *
+ * The receiver needs per-subcarrier linear algebra on matrices no
+ * larger than antennas x layers (4 x 4 in LTE-Advanced uplink), so this
+ * is a simple row-major value type with O(n^3) kernels rather than a
+ * BLAS wrapper.
+ */
+#ifndef LTE_MATRIX_CMAT_HPP
+#define LTE_MATRIX_CMAT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lte::matrix {
+
+/** A dense row-major complex matrix. */
+class CMat
+{
+  public:
+    /** An empty 0x0 matrix. */
+    CMat() = default;
+
+    /** A rows x cols matrix of zeros. */
+    CMat(std::size_t rows, std::size_t cols);
+
+    /** A rows x cols matrix from row-major initial values. */
+    CMat(std::size_t rows, std::size_t cols, std::vector<cf32> values);
+
+    /** The n x n identity. */
+    static CMat identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    cf32 &at(std::size_t r, std::size_t c);
+    const cf32 &at(std::size_t r, std::size_t c) const;
+
+    /** Direct access to row-major storage. */
+    const std::vector<cf32> &data() const { return data_; }
+
+    /** Conjugate transpose. */
+    CMat hermitian() const;
+
+    /** Matrix product this * rhs. */
+    CMat mul(const CMat &rhs) const;
+
+    /** Matrix-vector product (vec.size() == cols()). */
+    std::vector<cf32> mul_vec(const std::vector<cf32> &vec) const;
+
+    /** this + rhs (same shape). */
+    CMat add(const CMat &rhs) const;
+
+    /** this + s*I (square only); used for MMSE diagonal loading. */
+    CMat add_scaled_identity(float s) const;
+
+    /**
+     * Inverse via Gauss-Jordan elimination with partial pivoting
+     * (square only).  @throws std::invalid_argument if singular to
+     * working precision.
+     */
+    CMat inverse() const;
+
+    /** Solve this * x = b for x (square only). */
+    std::vector<cf32> solve(const std::vector<cf32> &b) const;
+
+    /** Frobenius norm. */
+    float frobenius_norm() const;
+
+    /** Max absolute entry-wise difference against another matrix. */
+    float max_abs_diff(const CMat &rhs) const;
+
+    /**
+     * Analytical flop count for inverting an n x n complex matrix with
+     * this implementation; feeds the simulator cost model.
+     */
+    static std::uint64_t inverse_op_count(std::size_t n);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<cf32> data_;
+};
+
+} // namespace lte::matrix
+
+#endif // LTE_MATRIX_CMAT_HPP

@@ -1,0 +1,100 @@
+#include "mgmt/core_allocator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace lte::mgmt {
+
+std::uint32_t
+discretise_to_domains(std::uint32_t active_cores,
+                      std::uint32_t domain_size,
+                      std::uint32_t total_cores)
+{
+    LTE_CHECK(domain_size >= 1, "domain size must be >= 1");
+    LTE_CHECK(total_cores >= domain_size, "chip smaller than a domain");
+    const auto domains = static_cast<std::uint32_t>(
+        ceil_div(active_cores, domain_size));
+    return std::min(domains * domain_size, total_cores);
+}
+
+GatingPlanner::GatingPlanner(std::uint32_t domain_size,
+                             std::uint32_t total_cores,
+                             std::uint32_t lookahead,
+                             std::uint32_t history)
+    : domain_size_(domain_size), total_cores_(total_cores),
+      lookahead_(lookahead), history_(history)
+{
+    LTE_CHECK(domain_size >= 1 && total_cores >= domain_size,
+              "invalid domain geometry");
+}
+
+std::vector<std::uint32_t>
+GatingPlanner::drain_ready()
+{
+    std::vector<std::uint32_t> decisions;
+    while (emitted_ + lookahead_ < fed_) {
+        // Window for subframe `emitted_`: indices
+        // [emitted_ - history_, emitted_ + lookahead_], clamped at 0.
+        const std::uint64_t lo =
+            emitted_ >= history_ ? emitted_ - history_ : 0;
+        // window_ front currently corresponds to index `lo` after the
+        // pruning done below on earlier iterations.
+        std::uint32_t powered = 0;
+        const std::uint64_t hi = emitted_ + lookahead_;
+        for (std::uint64_t i = lo; i <= hi; ++i) {
+            const std::uint64_t offset = i - front_index_;
+            powered = std::max(powered,
+                               window_[static_cast<std::size_t>(offset)]);
+        }
+        decisions.push_back(powered);
+        ++emitted_;
+        // Prune entries older than any future window needs.
+        const std::uint64_t needed_from =
+            emitted_ >= history_ ? emitted_ - history_ : 0;
+        while (front_index_ < needed_from) {
+            window_.pop_front();
+            ++front_index_;
+        }
+    }
+    return decisions;
+}
+
+std::vector<std::uint32_t>
+GatingPlanner::push(std::uint32_t active_cores)
+{
+    window_.push_back(
+        discretise_to_domains(active_cores, domain_size_, total_cores_));
+    ++fed_;
+    return drain_ready();
+}
+
+std::vector<std::uint32_t>
+GatingPlanner::finish()
+{
+    std::vector<std::uint32_t> decisions;
+    while (emitted_ < fed_) {
+        const std::uint64_t lo =
+            emitted_ >= history_ ? emitted_ - history_ : 0;
+        const std::uint64_t hi =
+            std::min(emitted_ + lookahead_, fed_ - 1);
+        std::uint32_t powered = 0;
+        for (std::uint64_t i = lo; i <= hi; ++i) {
+            const std::uint64_t offset = i - front_index_;
+            powered = std::max(powered,
+                               window_[static_cast<std::size_t>(offset)]);
+        }
+        decisions.push_back(powered);
+        ++emitted_;
+        const std::uint64_t needed_from =
+            emitted_ >= history_ ? emitted_ - history_ : 0;
+        while (front_index_ < needed_from && !window_.empty()) {
+            window_.pop_front();
+            ++front_index_;
+        }
+    }
+    return decisions;
+}
+
+} // namespace lte::mgmt

@@ -1,0 +1,98 @@
+#include "mgmt/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lte::mgmt {
+
+std::size_t
+CalibrationTable::index(std::uint32_t layers, Modulation mod)
+{
+    LTE_CHECK(layers >= 1 && layers <= kMaxLayers, "layers must be 1..4");
+    return (layers - 1) * 3 + static_cast<std::size_t>(mod);
+}
+
+void
+CalibrationTable::set(std::uint32_t layers, Modulation mod,
+                      double k_per_prb)
+{
+    LTE_CHECK(k_per_prb >= 0.0, "slope must be non-negative");
+    k_[index(layers, mod)] = k_per_prb;
+}
+
+double
+CalibrationTable::get(std::uint32_t layers, Modulation mod) const
+{
+    return k_[index(layers, mod)];
+}
+
+void
+CalibrationTable::fit(std::uint32_t layers, Modulation mod,
+                      const std::vector<CalibrationSample> &samples)
+{
+    LTE_CHECK(!samples.empty(), "need at least one calibration sample");
+    // Weighted through-origin fit with k = sum(w*y) / sum(w*x) rather
+    // than the classic least squares sum(xy)/sum(x^2): the latter
+    // weights points by x^2 and overfits the largest allocations
+    // (whose cost per PRB is highest because of the FFT log factor),
+    // biasing estimates for the typical mix of small users.  With
+    // weights equal to the traffic mix's density, k is the
+    // mixture-average cost per PRB, which is what Eq. 4's per-user
+    // sums need to be unbiased.
+    double swy = 0.0, swx = 0.0;
+    for (const auto &s : samples) {
+        LTE_CHECK(s.weight >= 0.0, "weights must be non-negative");
+        swx += s.weight * static_cast<double>(s.prb);
+        swy += s.weight * s.activity;
+    }
+    LTE_CHECK(swx > 0.0,
+              "samples must include a weighted non-zero PRB count");
+    k_[index(layers, mod)] = std::max(0.0, swy / swx);
+}
+
+bool
+CalibrationTable::complete() const
+{
+    return std::all_of(k_.begin(), k_.end(),
+                       [](double k) { return k > 0.0; });
+}
+
+WorkloadEstimator::WorkloadEstimator(CalibrationTable table)
+    : table_(table)
+{
+}
+
+double
+WorkloadEstimator::estimate_user(const phy::UserParams &user) const
+{
+    return static_cast<double>(user.prb) *
+           table_.get(user.layers, user.mod);
+}
+
+double
+WorkloadEstimator::estimate_subframe(
+    const phy::SubframeParams &subframe) const
+{
+    double activity = 0.0;
+    for (const auto &user : subframe.users)
+        activity += estimate_user(user);
+    return std::clamp(activity, 0.0, 1.0);
+}
+
+std::uint32_t
+WorkloadEstimator::active_cores(double estimated_activity,
+                                std::uint32_t max_cores,
+                                std::uint32_t margin) const
+{
+    LTE_CHECK(max_cores >= 1, "need at least one core");
+    const double raw =
+        estimated_activity * static_cast<double>(max_cores) +
+        static_cast<double>(margin);
+    const auto cores = static_cast<std::uint32_t>(std::ceil(raw));
+    return std::clamp<std::uint32_t>(cores, std::min(margin, max_cores),
+                                     max_cores);
+}
+
+} // namespace lte::mgmt

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Subframe workload estimation (paper Sec. VI-A).
+ *
+ * Activity is linear in a user's PRB count with a slope k_{L,M} that
+ * depends on layers L and modulation M (Fig. 11, Eq. 3); a subframe's
+ * activity is the sum over its users (Eq. 4).  The CalibrationTable
+ * holds the twelve slopes, fitted from steady-state activity
+ * measurements exactly as the paper does.
+ */
+#ifndef LTE_MGMT_ESTIMATOR_HPP
+#define LTE_MGMT_ESTIMATOR_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "phy/params.hpp"
+
+namespace lte::mgmt {
+
+/** One steady-state calibration observation. */
+struct CalibrationSample
+{
+    std::uint32_t prb = 0;
+    double activity = 0.0; ///< measured activity in [0, 1]
+    /** Relative weight of this observation in the fit — set to the
+     *  traffic mix's density at this allocation size so the fitted
+     *  slope is unbiased for the users the estimator will see. */
+    double weight = 1.0;
+};
+
+/**
+ * The k_{L,M} slope table: activity per PRB for each (layers,
+ * modulation) configuration.
+ */
+class CalibrationTable
+{
+  public:
+    CalibrationTable() = default;
+
+    /** Set a slope directly. */
+    void set(std::uint32_t layers, Modulation mod, double k_per_prb);
+
+    /** @return the slope for a configuration (0 if never set). */
+    double get(std::uint32_t layers, Modulation mod) const;
+
+    /**
+     * Weighted through-origin fit of activity = k * PRBs for one
+     * configuration's sample set: k = sum(w*y) / sum(w*x).
+     */
+    void fit(std::uint32_t layers, Modulation mod,
+             const std::vector<CalibrationSample> &samples);
+
+    /** True once every (layers, modulation) slot holds a slope > 0. */
+    bool complete() const;
+
+  private:
+    static std::size_t index(std::uint32_t layers, Modulation mod);
+
+    std::array<double, kMaxLayers * 3> k_{};
+};
+
+/** Implements Eqs. 3-5 of the paper. */
+class WorkloadEstimator
+{
+  public:
+    explicit WorkloadEstimator(CalibrationTable table);
+
+    /** Eq. 3: estimated activity contribution of one user. */
+    double estimate_user(const phy::UserParams &user) const;
+
+    /** Eq. 4: estimated activity of a subframe, clamped to [0, 1]. */
+    double estimate_subframe(const phy::SubframeParams &subframe) const;
+
+    /**
+     * Eq. 5: active cores = estimated activity x max_cores + margin
+     * (margin defaults to the paper's two-core over-provisioning),
+     * clamped to [margin, max_cores].
+     */
+    std::uint32_t active_cores(double estimated_activity,
+                               std::uint32_t max_cores,
+                               std::uint32_t margin = 2) const;
+
+    const CalibrationTable &table() const { return table_; }
+
+  private:
+    CalibrationTable table_;
+};
+
+} // namespace lte::mgmt
+
+#endif // LTE_MGMT_ESTIMATOR_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The power-management strategies compared in the paper's evaluation
+ * (Sec. VI-B/C, Table I and Table II).
+ */
+#ifndef LTE_MGMT_STRATEGY_HPP
+#define LTE_MGMT_STRATEGY_HPP
+
+namespace lte::mgmt {
+
+/** Core-deactivation policy. */
+enum class Strategy
+{
+    /** All worker cores stay active and spin when idle. */
+    kNoNap,
+    /** Reactive: a core naps when it finds no work, waking
+     *  periodically to poll (paper IDLE). */
+    kIdle,
+    /** Proactive: cores beyond the estimated requirement nap
+     *  (paper NAP, Eq. 5). */
+    kNap,
+    /** Both: estimated deactivation plus reactive napping of the
+     *  remaining active-but-idle cores (paper NAP+IDLE). */
+    kNapIdle,
+    /** NAP+IDLE plus analytical power gating of 8-core domains
+     *  (paper Sec. VI-C, Eqs. 6-9). */
+    kPowerGating,
+};
+
+/** Display name matching the paper's figures. */
+constexpr const char *
+strategy_name(Strategy s)
+{
+    switch (s) {
+      case Strategy::kNoNap: return "NONAP";
+      case Strategy::kIdle: return "IDLE";
+      case Strategy::kNap: return "NAP";
+      case Strategy::kNapIdle: return "NAP+IDLE";
+      case Strategy::kPowerGating: return "PowerGating";
+    }
+    return "?";
+}
+
+/** All strategies in the paper's presentation order. */
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kNoNap, Strategy::kIdle, Strategy::kNap,
+    Strategy::kNapIdle, Strategy::kPowerGating,
+};
+
+} // namespace lte::mgmt
+
+#endif // LTE_MGMT_STRATEGY_HPP

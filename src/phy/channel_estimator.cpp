@@ -1,0 +1,85 @@
+#include "phy/channel_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fft/fft.hpp"
+
+namespace lte::phy {
+
+std::pair<std::size_t, std::size_t>
+window_extent(std::size_t n, double window_fraction)
+{
+    // Total kept bins; at least one, never more than n.
+    const auto total = std::clamp<std::size_t>(
+        static_cast<std::size_t>(window_fraction * static_cast<double>(n)),
+        1, n);
+    const std::size_t back = total / 4;
+    const std::size_t front = total - back;
+    return {front, back};
+}
+
+ChannelEstimate
+estimate_channel(const CVec &received_ref, const CVec &layer_ref,
+                 const ChannelEstimatorConfig &cfg)
+{
+    LTE_CHECK(!received_ref.empty(), "empty reference symbol");
+    LTE_CHECK(received_ref.size() == layer_ref.size(),
+              "reference length mismatch");
+    LTE_CHECK(cfg.window_fraction > 0.0 && cfg.window_fraction <= 1.0,
+              "window fraction out of range");
+
+    const std::size_t n = received_ref.size();
+
+    // 1. Matched filter: DMRS samples have unit magnitude, so
+    //    multiplying by the conjugate divides out the known sequence.
+    CVec raw(n);
+    for (std::size_t k = 0; k < n; ++k)
+        raw[k] = received_ref[k] * std::conj(layer_ref[k]);
+
+    // 2. To the delay domain.
+    auto plan = fft::FftCache::instance().get(n);
+    CVec delay(n);
+    plan->inverse(raw.data(), delay.data());
+
+    // 3. Window: keep [0, front) and [n-back, n).
+    const auto [front, back] = window_extent(n, cfg.window_fraction);
+    CVec kept(n, cf32(0.0f, 0.0f));
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i < front || i >= n - back)
+            kept[i] = delay[i];
+    }
+
+    // Noise bins: the guard region between this layer's window and the
+    // next cyclic-shift bin at n/4, which holds neither this layer's
+    // taps nor any other layer's.
+    double noise_energy = 0.0;
+    std::size_t noise_bins = 0;
+    const std::size_t guard = n / 32;
+    const std::size_t lo = front + guard;
+    const std::size_t hi = n / 4 > guard ? n / 4 - guard : 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+        noise_energy += std::norm(delay[i]);
+        ++noise_bins;
+    }
+
+    // 4. Back to the frequency domain.
+    ChannelEstimate est;
+    est.freq_response.resize(n);
+    plan->forward(kept.data(), est.freq_response.data());
+
+    // Noise estimate: the IFFT of unit-variance frequency-domain noise
+    // has per-bin variance 1/n, so scale back up by n to express the
+    // estimate per subcarrier.  noise_var stays 0 when the allocation
+    // is too small to have guard bins; the caller falls back to its
+    // configured default.
+    if (noise_bins > 0) {
+        est.noise_var = static_cast<float>(
+            noise_energy / static_cast<double>(noise_bins) *
+            static_cast<double>(n));
+    }
+    return est;
+}
+
+} // namespace lte::phy

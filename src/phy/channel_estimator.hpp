@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-(antenna, layer) channel estimation, the first parallel stage of
+ * user processing (paper Sec. II-C / Fig. 5).
+ *
+ * The estimator implements the paper's four-kernel chain:
+ *   1. matched filter — multiply the received reference symbol by the
+ *      conjugate of the layer's known DMRS sequence;
+ *   2. IFFT — to the time (delay) domain, where the layer's channel
+ *      impulse response sits near delay 0 and other layers' responses
+ *      sit at offsets n*N/4 thanks to their cyclic shifts;
+ *   3. window — keep only the delay bins that can contain this layer's
+ *      channel, suppressing noise and inter-layer leakage;
+ *   4. FFT — back to the frequency domain, yielding the denoised
+ *      per-subcarrier channel estimate.
+ *
+ * A noise-variance estimate is derived from the delay bins the window
+ * discards (they contain only noise for a well-behaved channel).
+ */
+#ifndef LTE_PHY_CHANNEL_ESTIMATOR_HPP
+#define LTE_PHY_CHANNEL_ESTIMATOR_HPP
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace lte::phy {
+
+/** Result of estimating one (antenna, layer) channel over one slot. */
+struct ChannelEstimate
+{
+    /** Channel frequency response per allocated subcarrier. */
+    CVec freq_response;
+    /** Estimated noise variance in the discarded delay bins. */
+    float noise_var = 0.0f;
+};
+
+/** Tuning knobs for the estimator window. */
+struct ChannelEstimatorConfig
+{
+    /**
+     * Fraction of delay bins kept (split 3:1 between causal taps at
+     * the start and pre-cursor taps at the end of the delay axis).
+     * Must keep the window inside +-N/8 so 4 cyclic-shifted layers
+     * stay separable.
+     */
+    double window_fraction = 0.125;
+};
+
+/**
+ * Estimate the channel seen by one layer on one antenna.
+ *
+ * @param received_ref the received DMRS symbol on this antenna
+ *                     (allocated subcarriers only)
+ * @param layer_ref    the known layer-specific DMRS sequence (same
+ *                     length; unit-magnitude samples)
+ * @param cfg          window configuration
+ */
+ChannelEstimate estimate_channel(const CVec &received_ref,
+                                 const CVec &layer_ref,
+                                 const ChannelEstimatorConfig &cfg = {});
+
+/**
+ * The number of leading/trailing delay bins kept by the window for a
+ * transform of size @p n under @p window_fraction (exposed for tests).
+ * first = causal taps kept at the start, second = taps kept at the end.
+ */
+std::pair<std::size_t, std::size_t>
+window_extent(std::size_t n, double window_fraction);
+
+} // namespace lte::phy
+
+#endif // LTE_PHY_CHANNEL_ESTIMATOR_HPP

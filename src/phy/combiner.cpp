@@ -1,0 +1,84 @@
+#include "phy/combiner.hpp"
+
+#include "common/check.hpp"
+#include "matrix/cmat.hpp"
+
+namespace lte::phy {
+
+CombinerWeights::CombinerWeights(std::size_t n_sc, std::size_t layers,
+                                 std::size_t antennas)
+    : n_sc_(n_sc), layers_(layers), antennas_(antennas),
+      w_(n_sc * layers * antennas, cf32(0.0f, 0.0f))
+{
+}
+
+cf32 &
+CombinerWeights::at(std::size_t sc, std::size_t layer, std::size_t antenna)
+{
+    LTE_CHECK(sc < n_sc_ && layer < layers_ && antenna < antennas_,
+              "weight index out of range");
+    return w_[(sc * layers_ + layer) * antennas_ + antenna];
+}
+
+const cf32 &
+CombinerWeights::at(std::size_t sc, std::size_t layer,
+                    std::size_t antenna) const
+{
+    return const_cast<CombinerWeights *>(this)->at(sc, layer, antenna);
+}
+
+CombinerWeights
+compute_combiner_weights(const std::vector<std::vector<CVec>> &channel,
+                         float noise_var)
+{
+    LTE_CHECK(!channel.empty(), "need at least one antenna");
+    const std::size_t antennas = channel.size();
+    LTE_CHECK(!channel[0].empty(), "need at least one layer");
+    const std::size_t layers = channel[0].size();
+    const std::size_t n_sc = channel[0][0].size();
+    LTE_CHECK(noise_var > 0.0f, "noise variance must be positive");
+    for (const auto &ant : channel) {
+        LTE_CHECK(ant.size() == layers, "ragged layer dimension");
+        for (const auto &resp : ant)
+            LTE_CHECK(resp.size() == n_sc, "ragged subcarrier dimension");
+    }
+
+    CombinerWeights out(n_sc, layers, antennas);
+    matrix::CMat h(antennas, layers);
+    for (std::size_t sc = 0; sc < n_sc; ++sc) {
+        for (std::size_t a = 0; a < antennas; ++a) {
+            for (std::size_t l = 0; l < layers; ++l)
+                h.at(a, l) = channel[a][l][sc];
+        }
+        const matrix::CMat hh = h.hermitian();
+        const matrix::CMat w =
+            hh.mul(h).add_scaled_identity(noise_var).inverse().mul(hh);
+        for (std::size_t l = 0; l < layers; ++l) {
+            for (std::size_t a = 0; a < antennas; ++a)
+                out.at(sc, l, a) = w.at(l, a);
+        }
+    }
+    return out;
+}
+
+CVec
+combine_layer(const std::vector<CVec> &rx_symbol,
+              const CombinerWeights &weights, std::size_t layer)
+{
+    LTE_CHECK(rx_symbol.size() == weights.antennas(),
+              "antenna count mismatch");
+    LTE_CHECK(layer < weights.layers(), "layer out of range");
+    const std::size_t n_sc = weights.n_subcarriers();
+    for (const auto &ant : rx_symbol)
+        LTE_CHECK(ant.size() == n_sc, "subcarrier count mismatch");
+
+    CVec out(n_sc, cf32(0.0f, 0.0f));
+    for (std::size_t a = 0; a < rx_symbol.size(); ++a) {
+        const CVec &y = rx_symbol[a];
+        for (std::size_t sc = 0; sc < n_sc; ++sc)
+            out[sc] += weights.at(sc, layer, a) * y[sc];
+    }
+    return out;
+}
+
+} // namespace lte::phy

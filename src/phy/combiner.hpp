@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MIMO combiner-weight computation and antenna combining
+ * (paper Sec. II-C): the combiner weights merge the data received on
+ * multiple antennas into per-layer streams while adjusting for channel
+ * conditions.
+ *
+ * Weights are per-subcarrier MMSE:
+ *   W(f) = (H(f)^H H(f) + sigma^2 I)^-1 H(f)^H        (layers x antennas)
+ * which reduces to matched-filter/MRC scaling for a single layer.
+ */
+#ifndef LTE_PHY_COMBINER_HPP
+#define LTE_PHY_COMBINER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lte::phy {
+
+/**
+ * Per-subcarrier combiner weights for one slot.
+ *
+ * Storage is subcarrier-major: weight(sc, layer, antenna).
+ */
+class CombinerWeights
+{
+  public:
+    CombinerWeights() = default;
+
+    CombinerWeights(std::size_t n_sc, std::size_t layers,
+                    std::size_t antennas);
+
+    std::size_t n_subcarriers() const { return n_sc_; }
+    std::size_t layers() const { return layers_; }
+    std::size_t antennas() const { return antennas_; }
+
+    cf32 &at(std::size_t sc, std::size_t layer, std::size_t antenna);
+    const cf32 &at(std::size_t sc, std::size_t layer,
+                   std::size_t antenna) const;
+
+  private:
+    std::size_t n_sc_ = 0;
+    std::size_t layers_ = 0;
+    std::size_t antennas_ = 0;
+    std::vector<cf32> w_;
+};
+
+/**
+ * Compute MMSE combiner weights from per-(antenna, layer) channel
+ * estimates.
+ *
+ * @param channel  channel[antenna][layer] is the frequency response on
+ *                 the allocated subcarriers; all entries same length
+ * @param noise_var effective noise variance (diagonal loading)
+ */
+CombinerWeights
+compute_combiner_weights(const std::vector<std::vector<CVec>> &channel,
+                         float noise_var);
+
+/**
+ * Combine one received SC-FDMA symbol across antennas into one layer's
+ * frequency-domain samples: z(f) = sum_a W(f, layer, a) * y_a(f).
+ *
+ * @param rx_symbol rx_symbol[antenna] holds the received samples of
+ *                  this symbol on that antenna
+ */
+CVec combine_layer(const std::vector<CVec> &rx_symbol,
+                   const CombinerWeights &weights, std::size_t layer);
+
+} // namespace lte::phy
+
+#endif // LTE_PHY_COMBINER_HPP

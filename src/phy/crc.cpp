@@ -1,0 +1,38 @@
+#include "phy/crc.hpp"
+
+#include "common/check.hpp"
+
+namespace lte::phy {
+
+std::uint32_t
+crc24(const std::vector<std::uint8_t> &bits, std::uint32_t poly)
+{
+    std::uint32_t reg = 0;
+    for (std::uint8_t bit : bits) {
+        LTE_CHECK(bit <= 1, "bits must be 0 or 1");
+        const std::uint32_t msb = (reg >> 23) & 1u;
+        reg = (reg << 1) & 0xFFFFFFu;
+        if (msb ^ bit)
+            reg ^= poly & 0xFFFFFFu;
+    }
+    return reg;
+}
+
+std::vector<std::uint8_t>
+crc24_attach(std::vector<std::uint8_t> bits, std::uint32_t poly)
+{
+    const std::uint32_t crc = crc24(bits, poly);
+    for (int i = 23; i >= 0; --i)
+        bits.push_back(static_cast<std::uint8_t>((crc >> i) & 1u));
+    return bits;
+}
+
+bool
+crc24_check(const std::vector<std::uint8_t> &bits, std::uint32_t poly)
+{
+    if (bits.size() < 24)
+        return false;
+    return crc24(bits, poly) == 0;
+}
+
+} // namespace lte::phy

@@ -1,0 +1,47 @@
+#include "phy/interleaver.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace lte::phy {
+
+std::vector<std::size_t>
+interleave_permutation(std::size_t n, std::size_t columns)
+{
+    LTE_CHECK(columns >= 1, "need at least one column");
+    const std::size_t rows = ceil_div(n, columns);
+    std::vector<std::size_t> perm;
+    perm.reserve(n);
+    // Read column-wise from a row-wise-written rows x columns matrix,
+    // skipping the padding cells of a ragged final row.
+    for (std::size_t c = 0; c < columns; ++c) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t src = r * columns + c;
+            if (src < n)
+                perm.push_back(src);
+        }
+    }
+    return perm;
+}
+
+CVec
+interleave(const CVec &in, std::size_t columns)
+{
+    const auto perm = interleave_permutation(in.size(), columns);
+    CVec out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = in[perm[i]];
+    return out;
+}
+
+CVec
+deinterleave(const CVec &in, std::size_t columns)
+{
+    const auto perm = interleave_permutation(in.size(), columns);
+    CVec out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[perm[i]] = in[i];
+    return out;
+}
+
+} // namespace lte::phy

@@ -1,0 +1,215 @@
+#include "phy/modulation.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace lte::phy {
+
+namespace {
+
+/**
+ * Per-axis amplitude from the bits controlling that axis, per
+ * TS 36.211: the first bit selects the sign, later bits select the
+ * magnitude ring, Gray coded.
+ */
+float
+axis_16qam(std::uint8_t sign_bit, std::uint8_t mag_bit)
+{
+    const float sign = sign_bit ? -1.0f : 1.0f;
+    const float mag = mag_bit ? 3.0f : 1.0f;
+    return sign * mag / std::sqrt(10.0f);
+}
+
+float
+axis_64qam(std::uint8_t sign_bit, std::uint8_t b1, std::uint8_t b2)
+{
+    const float sign = sign_bit ? -1.0f : 1.0f;
+    // Gray ladder: (b1, b2) = 00 -> 3, 01 -> 1, 10 -> 5, 11 -> 7.
+    float mag;
+    if (!b1)
+        mag = b2 ? 1.0f : 3.0f;
+    else
+        mag = b2 ? 7.0f : 5.0f;
+    return sign * mag / std::sqrt(42.0f);
+}
+
+cf32
+map_symbol(const std::uint8_t *b, Modulation mod)
+{
+    switch (mod) {
+      case Modulation::kQpsk: {
+        const float a = 1.0f / std::sqrt(2.0f);
+        return cf32(b[0] ? -a : a, b[1] ? -a : a);
+      }
+      case Modulation::k16Qam:
+        return cf32(axis_16qam(b[0], b[2]), axis_16qam(b[1], b[3]));
+      case Modulation::k64Qam:
+        return cf32(axis_64qam(b[0], b[2], b[4]),
+                    axis_64qam(b[1], b[3], b[5]));
+    }
+    return cf32(0.0f, 0.0f);
+}
+
+CVec
+build_constellation(Modulation mod)
+{
+    const std::size_t bps = bits_per_symbol(mod);
+    const std::size_t points = std::size_t{1} << bps;
+    CVec table(points);
+    for (std::size_t v = 0; v < points; ++v) {
+        std::uint8_t bits[6] = {};
+        for (std::size_t i = 0; i < bps; ++i)
+            bits[i] = static_cast<std::uint8_t>((v >> (bps - 1 - i)) & 1);
+        table[v] = map_symbol(bits, mod);
+    }
+    return table;
+}
+
+/**
+ * Per-axis level table: the amplitude for every pattern of the bits
+ * controlling one axis (I bits are the even global positions, Q bits
+ * the odd ones; pattern bit 0 is the earliest global bit).
+ */
+struct AxisTable
+{
+    std::size_t n_bits = 1;      ///< bits per axis
+    std::vector<float> levels;   ///< amplitude per pattern (size 2^n)
+};
+
+AxisTable
+build_axis_table(Modulation mod)
+{
+    AxisTable table;
+    table.n_bits = bits_per_symbol(mod) / 2;
+    const std::size_t patterns = std::size_t{1} << table.n_bits;
+    table.levels.resize(patterns);
+    for (std::size_t p = 0; p < patterns; ++p) {
+        const auto b0 = static_cast<std::uint8_t>(p & 1);
+        const auto b1 = static_cast<std::uint8_t>((p >> 1) & 1);
+        const auto b2 = static_cast<std::uint8_t>((p >> 2) & 1);
+        switch (mod) {
+          case Modulation::kQpsk:
+            table.levels[p] = b0 ? -1.0f / std::sqrt(2.0f)
+                                 : 1.0f / std::sqrt(2.0f);
+            break;
+          case Modulation::k16Qam:
+            table.levels[p] = axis_16qam(b0, b1);
+            break;
+          case Modulation::k64Qam:
+            table.levels[p] = axis_64qam(b0, b1, b2);
+            break;
+        }
+    }
+    return table;
+}
+
+const AxisTable &
+axis_table(Modulation mod)
+{
+    static const AxisTable qpsk = build_axis_table(Modulation::kQpsk);
+    static const AxisTable qam16 = build_axis_table(Modulation::k16Qam);
+    static const AxisTable qam64 = build_axis_table(Modulation::k64Qam);
+    switch (mod) {
+      case Modulation::kQpsk: return qpsk;
+      case Modulation::k16Qam: return qam16;
+      case Modulation::k64Qam: return qam64;
+    }
+    return qpsk;
+}
+
+} // namespace
+
+const CVec &
+constellation(Modulation mod)
+{
+    static const CVec qpsk = build_constellation(Modulation::kQpsk);
+    static const CVec qam16 = build_constellation(Modulation::k16Qam);
+    static const CVec qam64 = build_constellation(Modulation::k64Qam);
+    switch (mod) {
+      case Modulation::kQpsk: return qpsk;
+      case Modulation::k16Qam: return qam16;
+      case Modulation::k64Qam: return qam64;
+    }
+    return qpsk;
+}
+
+CVec
+modulate(const std::vector<std::uint8_t> &bits, Modulation mod)
+{
+    const std::size_t bps = bits_per_symbol(mod);
+    LTE_CHECK(bits.size() % bps == 0,
+              "bit count must be a multiple of bits per symbol");
+    CVec out(bits.size() / bps);
+    for (std::size_t s = 0; s < out.size(); ++s)
+        out[s] = map_symbol(bits.data() + s * bps, mod);
+    return out;
+}
+
+std::vector<Llr>
+demodulate_soft(const CVec &symbols, Modulation mod, float noise_var)
+{
+    LTE_CHECK(noise_var > 0.0f, "noise variance must be positive");
+    const std::size_t bps = bits_per_symbol(mod);
+    const AxisTable &table = axis_table(mod);
+    const std::size_t patterns = table.levels.size();
+    const float inv_nv = 1.0f / noise_var;
+
+    std::vector<Llr> llrs(symbols.size() * bps);
+    std::vector<float> dist(patterns);
+
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        const cf32 y = symbols[s];
+        // Global bit k lives on axis k % 2 as axis bit k / 2; the
+        // cross-axis distance cancels in best1 - best0, so each axis
+        // is demapped independently.
+        for (int axis = 0; axis < 2; ++axis) {
+            const float v = axis == 0 ? y.real() : y.imag();
+            for (std::size_t p = 0; p < patterns; ++p) {
+                const float d = v - table.levels[p];
+                dist[p] = d * d;
+            }
+            for (std::size_t bit = 0; bit < table.n_bits; ++bit) {
+                float best0 = std::numeric_limits<float>::max();
+                float best1 = std::numeric_limits<float>::max();
+                for (std::size_t p = 0; p < patterns; ++p) {
+                    if ((p >> bit) & 1)
+                        best1 = std::min(best1, dist[p]);
+                    else
+                        best0 = std::min(best0, dist[p]);
+                }
+                llrs[s * bps + 2 * bit + axis] =
+                    (best1 - best0) * inv_nv;
+            }
+        }
+    }
+    return llrs;
+}
+
+float
+nearest_point_distance2(cf32 y, Modulation mod)
+{
+    const AxisTable &table = axis_table(mod);
+    float best_i = std::numeric_limits<float>::max();
+    float best_q = std::numeric_limits<float>::max();
+    for (float level : table.levels) {
+        const float di = y.real() - level;
+        const float dq = y.imag() - level;
+        best_i = std::min(best_i, di * di);
+        best_q = std::min(best_q, dq * dq);
+    }
+    return best_i + best_q;
+}
+
+std::vector<std::uint8_t>
+hard_decision(const std::vector<Llr> &llrs)
+{
+    std::vector<std::uint8_t> bits(llrs.size());
+    for (std::size_t i = 0; i < llrs.size(); ++i)
+        bits[i] = llrs[i] >= 0.0f ? 0 : 1;
+    return bits;
+}
+
+} // namespace lte::phy

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Constellation mapping and soft demapping for the LTE uplink
+ * modulations (QPSK, 16-QAM, 64-QAM), following the Gray mappings of
+ * 3GPP TS 36.211 Sec. 7.1.
+ *
+ * The soft demapper produces max-log LLRs with the convention
+ * LLR > 0 => bit 0 more likely, matching the mapping where bit value 0
+ * selects the positive half-axis.
+ */
+#ifndef LTE_PHY_MODULATION_HPP
+#define LTE_PHY_MODULATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lte::phy {
+
+/**
+ * Map a bit string onto constellation symbols.
+ *
+ * @param bits input bits (0/1), size must be a multiple of
+ *             bits_per_symbol(mod)
+ * @param mod  modulation scheme
+ * @return unit-average-energy constellation symbols
+ */
+CVec modulate(const std::vector<std::uint8_t> &bits, Modulation mod);
+
+/**
+ * Max-log soft demapping.
+ *
+ * Computed separably per axis (square Gray constellations make the
+ * cross-axis distance terms cancel in the max-log metric), which is
+ * exactly equal to the exhaustive 2-D max-log LLR at a fraction of
+ * the cost.
+ *
+ * @param symbols   received (equalised) symbols
+ * @param mod       modulation scheme
+ * @param noise_var effective noise variance after combining (> 0)
+ * @return bits_per_symbol(mod) LLRs per input symbol
+ */
+std::vector<Llr> demodulate_soft(const CVec &symbols, Modulation mod,
+                                 float noise_var);
+
+/**
+ * Squared Euclidean distance from @p y to the nearest constellation
+ * point of @p mod (separable per axis; used for EVM).
+ */
+float nearest_point_distance2(cf32 y, Modulation mod);
+
+/** Hard decisions from LLRs (LLR >= 0 -> bit 0). */
+std::vector<std::uint8_t> hard_decision(const std::vector<Llr> &llrs);
+
+/** The full constellation of @p mod (2^bits points, Gray mapped). */
+const CVec &constellation(Modulation mod);
+
+} // namespace lte::phy
+
+#endif // LTE_PHY_MODULATION_HPP

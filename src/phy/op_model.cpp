@@ -1,0 +1,85 @@
+#include "phy/op_model.hpp"
+
+#include "fft/fft.hpp"
+#include "matrix/cmat.hpp"
+
+namespace lte::phy {
+
+namespace {
+
+constexpr std::uint64_t kCplxMulFlops = 6;
+constexpr std::uint64_t kCplxMacFlops = 8;
+
+/** Channel estimation for one (antenna, layer) pair in one slot. */
+std::uint64_t
+chanest_slot_ops(std::size_t m)
+{
+    const std::uint64_t fft_ops = fft::Fft::op_count_smooth(m);
+    const std::uint64_t matched_filter = m * kCplxMulFlops;
+    const std::uint64_t window = m;            // select/zero pass
+    const std::uint64_t noise_estimate = m;    // magnitude accumulation
+    return matched_filter + 2 * fft_ops + window + noise_estimate;
+}
+
+/** Combiner weights for one slot: per-subcarrier MMSE. */
+std::uint64_t
+weights_slot_ops(std::size_t m, std::size_t antennas, std::size_t layers)
+{
+    const std::uint64_t gram = antennas * layers * layers * kCplxMacFlops;
+    const std::uint64_t load = layers * 2;
+    const std::uint64_t inv = matrix::CMat::inverse_op_count(layers);
+    const std::uint64_t mul = layers * layers * antennas * kCplxMacFlops;
+    return m * (gram + load + inv + mul);
+}
+
+/** One (data symbol, layer) demodulation task in one slot. */
+std::uint64_t
+demod_slot_ops(std::size_t m, std::size_t antennas)
+{
+    const std::uint64_t combine = m * antennas * kCplxMacFlops;
+    const std::uint64_t bias = m * (antennas * kCplxMacFlops + 11);
+    const std::uint64_t ifft = fft::Fft::op_count_smooth(m);
+    const std::uint64_t scale = 2 * m;
+    return combine + bias + ifft + scale;
+}
+
+/** Tail processing for one slot and layer (6 data symbols). */
+std::uint64_t
+tail_slot_layer_ops(std::size_t m, Modulation mod)
+{
+    const std::uint64_t bps = bits_per_symbol(mod);
+    // Separable per-axis max-log demapping: 2^(bps/2) levels per axis.
+    const std::uint64_t levels = std::uint64_t{1} << (bps / 2);
+    const std::uint64_t per_symbol =
+        2 +                          // deinterleave move
+        2 * levels * 3 +             // per-axis distance evaluations
+        bps * levels +               // per-bit minima
+        2 * levels * 3 +             // EVM nearest-level search
+        bps * 4;                     // decode + CRC per produced bit
+    return kDataSymbolsPerSlot * m * per_symbol;
+}
+
+} // namespace
+
+UserTaskCosts
+user_task_costs(const UserParams &params, std::size_t n_antennas)
+{
+    params.validate();
+    UserTaskCosts costs;
+    costs.n_chanest_tasks =
+        static_cast<std::uint32_t>(n_antennas * params.layers);
+    costs.n_demod_tasks =
+        static_cast<std::uint32_t>(kDataSymbolsPerSlot * params.layers);
+
+    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+        const std::size_t m = params.sc_in_slot(slot);
+        costs.chanest_task += chanest_slot_ops(m);
+        costs.weights += weights_slot_ops(m, n_antennas, params.layers);
+        costs.demod_task += demod_slot_ops(m, n_antennas);
+        for (std::size_t l = 0; l < params.layers; ++l)
+            costs.tail += tail_slot_layer_ops(m, params.mod);
+    }
+    return costs;
+}
+
+} // namespace lte::phy

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analytical operation counts for the per-user task graph.
+ *
+ * The discrete-event TILEPro64 simulator charges each task a cycle
+ * cost derived from these flop counts (DESIGN.md Sec. 3).  The counts
+ * are computed from the same algorithmic structure the real kernels
+ * use, with one deliberate smoothing: FFT stages are charged at the
+ * padded next-5-smooth size (fft::Fft::op_count_smooth), the strategy
+ * production SC-FDMA receivers use for awkward allocation sizes.
+ * This keeps cost linear in PRBs — matching the clean linear
+ * behaviour the paper measures in Fig. 11 — instead of inheriting the
+ * exact library's direct-DFT/Bluestein cliffs at prime sizes.
+ */
+#ifndef LTE_PHY_OP_MODEL_HPP
+#define LTE_PHY_OP_MODEL_HPP
+
+#include <cstdint>
+
+#include "phy/params.hpp"
+
+namespace lte::phy {
+
+/** Flop counts for one user's subframe processing, per task kind. */
+struct UserTaskCosts
+{
+    /** One (antenna, layer) channel-estimation task (both slots). */
+    std::uint64_t chanest_task = 0;
+    /** The combiner-weight join stage. */
+    std::uint64_t weights = 0;
+    /** One (data-symbol, layer) demodulation task (both slots). */
+    std::uint64_t demod_task = 0;
+    /** The sequential tail: deinterleave, demap, decode, CRC. */
+    std::uint64_t tail = 0;
+
+    std::uint32_t n_chanest_tasks = 0;
+    std::uint32_t n_demod_tasks = 0;
+
+    /** Total flops for the user's subframe. */
+    std::uint64_t
+    total() const
+    {
+        return chanest_task * n_chanest_tasks + weights +
+               demod_task * n_demod_tasks + tail;
+    }
+};
+
+/** Compute the cost model for one user. */
+UserTaskCosts user_task_costs(const UserParams &params,
+                              std::size_t n_antennas);
+
+} // namespace lte::phy
+
+#endif // LTE_PHY_OP_MODEL_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-user and per-subframe workload parameters.
+ *
+ * These four quantities — users, PRBs per user, layers per user, and
+ * modulation per user — are exactly the input parameters the paper
+ * names in Sec. IV as defining the workload of a subframe.
+ */
+#ifndef LTE_PHY_PARAMS_HPP
+#define LTE_PHY_PARAMS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lte::phy {
+
+/**
+ * Scheduling parameters of one user in one subframe.
+ *
+ * The paper counts PRBs per subframe (Fig. 1: a PRB is 12 subcarriers
+ * for one slot, so a 20 MHz carrier offers 200 PRBs per subframe and a
+ * user needs at least 2 — one per slot — to be scheduled).  An odd
+ * allocation puts the extra PRB in slot 0.
+ */
+struct UserParams
+{
+    std::uint32_t id = 0;            ///< stable user identifier
+    std::uint32_t prb = 2;           ///< PRBs in the subframe, 2..200
+    std::uint32_t layers = 1;        ///< spatial layers, 1..4
+    Modulation mod = Modulation::kQpsk;
+
+    /** PRBs occupied in the given slot (0 or 1). */
+    std::uint32_t prb_in_slot(std::size_t slot) const
+    {
+        return slot == 0 ? (prb + 1) / 2 : prb / 2;
+    }
+
+    /** Allocated subcarriers in the given slot. */
+    std::size_t sc_in_slot(std::size_t slot) const
+    {
+        return static_cast<std::size_t>(prb_in_slot(slot)) * kScPerPrb;
+    }
+
+    /** Throws std::invalid_argument if any field is out of range. */
+    void validate() const;
+
+    bool operator==(const UserParams &) const = default;
+};
+
+/** The set of users scheduled in one subframe. */
+struct SubframeParams
+{
+    std::uint64_t subframe_index = 0;
+    std::vector<UserParams> users;
+
+    /** Sum of PRBs over all users. */
+    std::uint32_t total_prb() const;
+
+    /** Throws if users exceed the schedulable limits of Sec. II-A. */
+    void validate() const;
+};
+
+/**
+ * Total data-bit capacity of a user's subframe allocation:
+ * 6 data symbols x 12*prb subcarriers across the two slots, per layer,
+ * times bits per symbol.
+ */
+std::size_t capacity_bits(const UserParams &params);
+
+/**
+ * Information block size for real-turbo mode: the largest multiple of
+ * 8 (K >= 8) such that the rate-1/3 output (3K + 12) fits the capacity.
+ * Throws if the capacity cannot host a minimal block.
+ */
+std::size_t turbo_info_bits(std::size_t capacity);
+
+/** Receiver-side static configuration. */
+struct ReceiverConfig
+{
+    /** Number of receive antennas (paper Sec. III: four). */
+    std::size_t n_antennas = 4;
+
+    /**
+     * Fraction of the time-domain channel-estimate samples kept by the
+     * windowing stage (per layer delay bin).
+     */
+    double window_fraction = 0.125;
+
+    /** MMSE diagonal loading when no noise estimate is available. */
+    float default_noise_var = 0.05f;
+
+    /** Run the real turbo decoder instead of the paper's pass-through. */
+    bool use_real_turbo = false;
+
+    void validate() const;
+};
+
+} // namespace lte::phy
+
+#endif // LTE_PHY_PARAMS_HPP

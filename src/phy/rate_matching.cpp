@@ -1,0 +1,154 @@
+#include "phy/rate_matching.hpp"
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace lte::phy {
+
+namespace {
+
+/** TS 36.212 Table 5.1.4-1 inter-column permutation (32 columns). */
+constexpr int kColumnPermutation[32] = {
+    0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30,
+    1, 17, 9, 25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31};
+
+constexpr std::size_t kColumns = 32;
+
+/**
+ * Index into the turbo_encode() output for position @p i of stream
+ * @p stream (each stream is k + 4 long: k body bits plus four
+ * termination bits).  See the header for the tail assignment.
+ */
+std::int32_t
+stream_to_coded(std::size_t stream, std::size_t i, std::size_t k)
+{
+    const std::size_t tail_base = 3 * k;
+    if (i < k) {
+        return static_cast<std::int32_t>(stream * k + i);
+    }
+    const std::size_t t = i - k; // 0..3
+    switch (stream) {
+      case 0: // x1_0, x1_1, x1_2, x2_0
+        return static_cast<std::int32_t>(
+            t < 3 ? tail_base + 2 * t : tail_base + 6);
+      case 1: // z1_0, z1_1, z1_2, z2_0
+        return static_cast<std::int32_t>(
+            t < 3 ? tail_base + 2 * t + 1 : tail_base + 7);
+      default: // x2_1, z2_1, x2_2, z2_2
+        return static_cast<std::int32_t>(tail_base + 8 + t);
+    }
+}
+
+} // namespace
+
+RateMatcher::RateMatcher(std::size_t k_info)
+    : k_(k_info)
+{
+    LTE_CHECK(k_ >= 8 && k_ % 8 == 0,
+              "rate matcher needs a valid turbo block size");
+
+    const std::size_t d = k_ + 4; // per-stream length
+    rows_ = ceil_div(d, kColumns);
+    const std::size_t padded = rows_ * kColumns;
+    const std::size_t pad = padded - d;
+
+    // Sub-block interleave each stream: write row-wise (with leading
+    // NULLs), read the permuted columns top to bottom.  Streams 0 and
+    // 1 use the plain column read; stream 2 uses the spec's shifted
+    // read pattern pi(j) = (P[j / R] + 32 * (j mod R) + 1) mod padded.
+    auto interleave_stream = [&](std::size_t stream) {
+        std::vector<std::int32_t> v(padded, -1);
+        auto row_major = [&](std::size_t pos) -> std::int32_t {
+            // Position in the padded row-major matrix.
+            return pos < pad ? -1
+                             : stream_to_coded(stream, pos - pad, k_);
+        };
+        if (stream < 2) {
+            std::size_t out = 0;
+            for (std::size_t c = 0; c < kColumns; ++c) {
+                const auto col =
+                    static_cast<std::size_t>(kColumnPermutation[c]);
+                for (std::size_t r = 0; r < rows_; ++r)
+                    v[out++] = row_major(r * kColumns + col);
+            }
+        } else {
+            for (std::size_t j = 0; j < padded; ++j) {
+                const auto col = static_cast<std::size_t>(
+                    kColumnPermutation[j / rows_]);
+                const std::size_t pos =
+                    (col + kColumns * (j % rows_) + 1) % padded;
+                v[j] = row_major(pos);
+            }
+        }
+        return v;
+    };
+
+    const auto v0 = interleave_stream(0);
+    const auto v1 = interleave_stream(1);
+    const auto v2 = interleave_stream(2);
+
+    // Circular buffer: v0 followed by v1/v2 interlaced.
+    cb_.reserve(3 * padded);
+    cb_.insert(cb_.end(), v0.begin(), v0.end());
+    for (std::size_t i = 0; i < padded; ++i) {
+        cb_.push_back(v1[i]);
+        cb_.push_back(v2[i]);
+    }
+}
+
+std::size_t
+RateMatcher::rv_offset(unsigned rv) const
+{
+    LTE_CHECK(rv <= 3, "redundancy version must be 0..3");
+    // k0 = R * (2 * ceil(Ncb / (8R)) * rv + 2), TS 36.212.
+    const std::size_t ncb = cb_.size();
+    return rows_ *
+           (2 * ceil_div(ncb, 8 * rows_) * static_cast<std::size_t>(rv) +
+            2) %
+           ncb;
+}
+
+std::vector<std::uint8_t>
+RateMatcher::select(const std::vector<std::uint8_t> &turbo_coded,
+                    std::size_t e_bits, unsigned rv) const
+{
+    LTE_CHECK(turbo_coded.size() == coded_size(),
+              "coded length must match the block size");
+    LTE_CHECK(e_bits >= 1, "must transmit at least one bit");
+
+    std::vector<std::uint8_t> out;
+    out.reserve(e_bits);
+    std::size_t pos = rv_offset(rv);
+    while (out.size() < e_bits) {
+        const std::int32_t src = cb_[pos];
+        if (src >= 0)
+            out.push_back(turbo_coded[static_cast<std::size_t>(src)]);
+        pos = (pos + 1) % cb_.size();
+    }
+    return out;
+}
+
+std::vector<Llr>
+RateMatcher::empty_soft_buffer() const
+{
+    return std::vector<Llr>(coded_size(), 0.0f);
+}
+
+void
+RateMatcher::accumulate(std::vector<Llr> &soft_buffer,
+                        const std::vector<Llr> &e_llrs, unsigned rv) const
+{
+    LTE_CHECK(soft_buffer.size() == coded_size(),
+              "soft buffer must be in decoder layout");
+    std::size_t pos = rv_offset(rv);
+    std::size_t consumed = 0;
+    while (consumed < e_llrs.size()) {
+        const std::int32_t src = cb_[pos];
+        if (src >= 0)
+            soft_buffer[static_cast<std::size_t>(src)] +=
+                e_llrs[consumed++];
+        pos = (pos + 1) % cb_.size();
+    }
+}
+
+} // namespace lte::phy

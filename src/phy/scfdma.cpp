@@ -1,0 +1,126 @@
+#include "phy/scfdma.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "fft/fft.hpp"
+
+namespace lte::phy {
+
+void
+ScFdmaConfig::validate() const
+{
+    LTE_CHECK(n_fft >= 128 && (n_fft & (n_fft - 1)) == 0,
+              "carrier FFT size must be a power of two >= 128");
+    LTE_CHECK(n_used >= 1 && n_used < n_fft,
+              "used band must fit inside the carrier");
+}
+
+std::size_t
+ScFdmaConfig::cp_length(std::size_t symbol_in_slot) const
+{
+    LTE_CHECK(symbol_in_slot < kSymbolsPerSlot, "symbol out of range");
+    const std::size_t base = symbol_in_slot == 0 ? 160 : 144;
+    return base * n_fft / 2048;
+}
+
+std::size_t
+ScFdmaConfig::samples_per_slot() const
+{
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < kSymbolsPerSlot; ++s)
+        total += n_fft + cp_length(s);
+    return total;
+}
+
+namespace {
+
+/**
+ * Carrier bin of used-band index u: the used band straddles DC with
+ * the upper half on positive frequencies (bins 1..) and the lower
+ * half wrapped to the top of the FFT order; DC itself is unused.
+ */
+std::size_t
+used_to_bin(std::size_t u, const ScFdmaConfig &cfg)
+{
+    const std::size_t half = cfg.n_used / 2;
+    if (u >= half)
+        return u - half + 1; // positive frequencies, skipping DC
+    return cfg.n_fft - half + u; // negative frequencies
+}
+
+} // namespace
+
+CVec
+map_to_carrier(const CVec &alloc, std::size_t start_sc,
+               const ScFdmaConfig &cfg)
+{
+    cfg.validate();
+    LTE_CHECK(start_sc + alloc.size() <= cfg.n_used,
+              "allocation exceeds the used band");
+    CVec carrier(cfg.n_fft, cf32(0.0f, 0.0f));
+    for (std::size_t k = 0; k < alloc.size(); ++k)
+        carrier[used_to_bin(start_sc + k, cfg)] = alloc[k];
+    return carrier;
+}
+
+CVec
+extract_from_carrier(const CVec &carrier, std::size_t start_sc,
+                     std::size_t alloc_size, const ScFdmaConfig &cfg)
+{
+    cfg.validate();
+    LTE_CHECK(carrier.size() == cfg.n_fft, "carrier size mismatch");
+    LTE_CHECK(start_sc + alloc_size <= cfg.n_used,
+              "allocation exceeds the used band");
+    CVec alloc(alloc_size);
+    for (std::size_t k = 0; k < alloc_size; ++k)
+        alloc[k] = carrier[used_to_bin(start_sc + k, cfg)];
+    return alloc;
+}
+
+CVec
+scfdma_modulate(const CVec &carrier, std::size_t symbol_in_slot,
+                const ScFdmaConfig &cfg)
+{
+    cfg.validate();
+    LTE_CHECK(carrier.size() == cfg.n_fft, "carrier size mismatch");
+
+    CVec time(cfg.n_fft);
+    fft::FftCache::instance().get(cfg.n_fft)->inverse(carrier.data(),
+                                                      time.data());
+    // Unitary scaling so energy is preserved across the pair.
+    const float scale = std::sqrt(static_cast<float>(cfg.n_fft));
+    for (auto &v : time)
+        v *= scale;
+
+    const std::size_t cp = cfg.cp_length(symbol_in_slot);
+    CVec out;
+    out.reserve(cp + cfg.n_fft);
+    out.insert(out.end(), time.end() - static_cast<std::ptrdiff_t>(cp),
+               time.end());
+    out.insert(out.end(), time.begin(), time.end());
+    return out;
+}
+
+CVec
+scfdma_demodulate(const CVec &time, std::size_t symbol_in_slot,
+                  const ScFdmaConfig &cfg)
+{
+    cfg.validate();
+    const std::size_t cp = cfg.cp_length(symbol_in_slot);
+    LTE_CHECK(time.size() == cp + cfg.n_fft,
+              "time-domain symbol length mismatch");
+
+    CVec body(time.begin() + static_cast<std::ptrdiff_t>(cp),
+              time.end());
+    CVec carrier(cfg.n_fft);
+    fft::FftCache::instance().get(cfg.n_fft)->forward(body.data(),
+                                                      carrier.data());
+    const float scale = 1.0f / std::sqrt(static_cast<float>(cfg.n_fft));
+    for (auto &v : carrier)
+        v *= scale;
+    return carrier;
+}
+
+} // namespace lte::phy

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bit-level scrambling with the LTE length-31 Gold sequence
+ * (3GPP TS 36.211 Sec. 7.2).  The uplink scrambles the codeword bits
+ * before modulation so that inter-cell interference looks like noise;
+ * the receiver descrambles in the soft domain by flipping LLR signs.
+ */
+#ifndef LTE_PHY_SCRAMBLER_HPP
+#define LTE_PHY_SCRAMBLER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lte::phy {
+
+/**
+ * Pseudo-random sequence c(n) per TS 36.211 Sec. 7.2: two length-31
+ * LFSRs advanced Nc = 1600 steps past initialisation.
+ *
+ * @param c_init initial state of the second LFSR (31 bits)
+ * @param length number of sequence bits to produce
+ */
+std::vector<std::uint8_t> gold_sequence(std::uint32_t c_init,
+                                        std::size_t length);
+
+/** Scrambling initialiser for a user (RNTI-style composition). */
+std::uint32_t scrambling_init(std::uint32_t user_id,
+                              std::uint32_t cell_id = 1);
+
+/** XOR @p bits with the Gold sequence (an involution). */
+std::vector<std::uint8_t> scramble(const std::vector<std::uint8_t> &bits,
+                                   std::uint32_t c_init);
+
+/**
+ * Soft descrambling: negate the LLRs whose scrambling bit is 1 (a
+ * scrambled 0 arrives as 1 and vice versa).
+ */
+std::vector<Llr> descramble_soft(const std::vector<Llr> &llrs,
+                                 std::uint32_t c_init);
+
+} // namespace lte::phy
+
+#endif // LTE_PHY_SCRAMBLER_HPP

@@ -1,0 +1,374 @@
+#include "phy/turbo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "phy/modulation.hpp"
+
+namespace lte::phy {
+
+namespace {
+
+/** 8-state RSC trellis: g0 = 1 + D^2 + D^3 (feedback),
+ *  g1 = 1 + D + D^3 (parity). State = (r1, r2, r3), r1 most recent. */
+struct Trellis
+{
+    static constexpr int kStates = 8;
+
+    /** Feedback-adjusted register input for info bit c in state s. */
+    static int
+    reg_input(int s, int c)
+    {
+        const int r2 = (s >> 1) & 1;
+        const int r3 = (s >> 2) & 1;
+        return c ^ r2 ^ r3;
+    }
+
+    static int
+    parity(int s, int w)
+    {
+        const int r1 = s & 1;
+        const int r3 = (s >> 2) & 1;
+        return w ^ r1 ^ r3;
+    }
+
+};
+
+int
+rsc_step(int &state, int c, int &parity_out)
+{
+    const int w = Trellis::reg_input(state, c);
+    parity_out = Trellis::parity(state, w);
+    state = ((state << 1) | w) & 0x7;
+    return w;
+}
+
+/** Tail input that forces the feedback-adjusted register input to 0. */
+int
+tail_bit(int state)
+{
+    const int r2 = (state >> 1) & 1;
+    const int r3 = (state >> 2) & 1;
+    return r2 ^ r3;
+}
+
+std::uint64_t
+gcd_u64(std::uint64_t a, std::uint64_t b)
+{
+    while (b) {
+        const std::uint64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+/** Check that pi(i) = (f1*i + f2*i^2) mod k is a bijection. */
+bool
+qpp_is_bijection(std::size_t k, std::uint64_t f1, std::uint64_t f2,
+                 std::vector<std::size_t> &perm)
+{
+    std::vector<bool> hit(k, false);
+    perm.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::uint64_t idx =
+            (f1 * i % k + f2 % k * (i * i % k)) % k;
+        if (hit[idx])
+            return false;
+        hit[idx] = true;
+        perm[i] = static_cast<std::size_t>(idx);
+    }
+    return true;
+}
+
+/**
+ * Minimum circular distance between the images of adjacent inputs —
+ * a key turbo-interleaver quality metric: low spread lets short error
+ * bursts survive both constituent decoders.
+ */
+std::size_t
+qpp_spread(std::size_t k, const std::vector<std::size_t> &perm)
+{
+    std::size_t spread = k;
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+        const std::size_t a = perm[i], b = perm[i + 1];
+        const std::size_t d = a > b ? a - b : b - a;
+        spread = std::min(spread, std::min(d, k - d));
+    }
+    return spread;
+}
+
+constexpr float kNegInf = -1e30f;
+
+/** max-log max* operation. */
+inline float
+maxstar(float a, float b)
+{
+    return std::max(a, b);
+}
+
+/**
+ * One max-log-MAP (BCJR) pass over a terminated RSC code.
+ *
+ * @param sys  systematic channel+apriori LLRs (positive => bit 0)
+ * @param par  parity channel LLRs
+ * @param tail_sys 3 tail systematic LLRs
+ * @param tail_par 3 tail parity LLRs
+ * @return a-posteriori LLR per info bit
+ */
+std::vector<float>
+map_decode(const std::vector<float> &sys, const std::vector<float> &par,
+           const std::array<float, 3> &tail_sys,
+           const std::array<float, 3> &tail_par)
+{
+    const std::size_t k = sys.size();
+    const std::size_t total = k + 3; // info + termination steps
+    constexpr int ns = Trellis::kStates;
+
+    // Precompute per-step transition metrics. Bipolar convention:
+    // bit 0 -> +1, so gamma = 0.5 * (u_pm * L_sys + p_pm * L_par).
+    // Transitions: from state s with info bit c in {0,1}.
+    auto step_llrs = [&](std::size_t t) {
+        const float ls = t < k ? sys[t] : tail_sys[t - k];
+        const float lp = t < k ? par[t] : tail_par[t - k];
+        return std::pair<float, float>(ls, lp);
+    };
+
+    // Forward recursion.
+    std::vector<std::array<float, ns>> alpha(total + 1);
+    alpha[0].fill(kNegInf);
+    alpha[0][0] = 0.0f;
+    for (std::size_t t = 0; t < total; ++t) {
+        alpha[t + 1].fill(kNegInf);
+        const auto [ls, lp] = step_llrs(t);
+        for (int s = 0; s < ns; ++s) {
+            if (alpha[t][s] <= kNegInf)
+                continue;
+            for (int c = 0; c <= 1; ++c) {
+                if (t >= k && c != tail_bit(s))
+                    continue; // termination forces the tail input
+                int st = s;
+                int p;
+                rsc_step(st, c, p);
+                const float u_pm = c ? -1.0f : 1.0f;
+                const float p_pm = p ? -1.0f : 1.0f;
+                const float g = 0.5f * (u_pm * ls + p_pm * lp);
+                alpha[t + 1][st] =
+                    maxstar(alpha[t + 1][st], alpha[t][s] + g);
+            }
+        }
+    }
+
+    // Backward recursion. Termination drives the trellis to state 0.
+    std::vector<std::array<float, ns>> beta(total + 1);
+    beta[total].fill(kNegInf);
+    beta[total][0] = 0.0f;
+    for (std::size_t t = total; t-- > 0;) {
+        beta[t].fill(kNegInf);
+        const auto [ls, lp] = step_llrs(t);
+        for (int s = 0; s < ns; ++s) {
+            for (int c = 0; c <= 1; ++c) {
+                if (t >= k && c != tail_bit(s))
+                    continue;
+                int st = s;
+                int p;
+                rsc_step(st, c, p);
+                if (beta[t + 1][st] <= kNegInf)
+                    continue;
+                const float u_pm = c ? -1.0f : 1.0f;
+                const float p_pm = p ? -1.0f : 1.0f;
+                const float g = 0.5f * (u_pm * ls + p_pm * lp);
+                beta[t][s] = maxstar(beta[t][s], beta[t + 1][st] + g);
+            }
+        }
+    }
+
+    // A-posteriori LLRs for the info bits.
+    std::vector<float> out(k);
+    for (std::size_t t = 0; t < k; ++t) {
+        const auto [ls, lp] = step_llrs(t);
+        float best0 = kNegInf, best1 = kNegInf;
+        for (int s = 0; s < ns; ++s) {
+            if (alpha[t][s] <= kNegInf)
+                continue;
+            for (int c = 0; c <= 1; ++c) {
+                int st = s;
+                int p;
+                rsc_step(st, c, p);
+                const float u_pm = c ? -1.0f : 1.0f;
+                const float p_pm = p ? -1.0f : 1.0f;
+                const float g = 0.5f * (u_pm * ls + p_pm * lp);
+                const float metric = alpha[t][s] + g + beta[t + 1][st];
+                if (c == 0)
+                    best0 = maxstar(best0, metric);
+                else
+                    best1 = maxstar(best1, metric);
+            }
+        }
+        out[t] = best0 - best1;
+    }
+    return out;
+}
+
+} // namespace
+
+QppInterleaver::QppInterleaver(std::size_t k)
+{
+    LTE_CHECK(k >= 8 && k % 8 == 0,
+              "QPP block size must be a positive multiple of 8");
+
+    // Spec anchors (TS 36.212 Table 5.1.3-3).
+    struct Anchor { std::size_t k; std::uint32_t f1, f2; };
+    static constexpr Anchor anchors[] = {
+        {40, 3, 10},
+        {6144, 263, 480},
+    };
+    for (const auto &a : anchors) {
+        if (a.k == k && qpp_is_bijection(k, a.f1, a.f2, perm_)) {
+            f1_ = a.f1;
+            f2_ = a.f2;
+            return;
+        }
+    }
+
+    // Deterministic search: smallest odd f1 coprime to k, then the
+    // smallest non-trivial f2 making the polynomial a bijection with
+    // useful adjacency spread (the spec's parameters all have good
+    // spread; a naive smallest-f2 pick can map neighbours next to
+    // each other, hurting the turbo code).
+    const std::size_t min_spread =
+        std::min<std::size_t>(k / 8, 32);
+    for (std::uint64_t f1 = 3; f1 < k; f1 += 2) {
+        if (gcd_u64(f1, k) != 1)
+            continue;
+        for (std::uint64_t f2 = 2; f2 < k; f2 += 2) {
+            if (qpp_is_bijection(k, f1, f2, perm_) &&
+                qpp_spread(k, perm_) >= min_spread) {
+                f1_ = static_cast<std::uint32_t>(f1);
+                f2_ = static_cast<std::uint32_t>(f2);
+                return;
+            }
+        }
+    }
+    LTE_CHECK(false, "no QPP parameters found for this block size");
+}
+
+std::vector<std::uint8_t>
+turbo_encode(const std::vector<std::uint8_t> &info)
+{
+    const std::size_t k = info.size();
+    LTE_CHECK(k >= 8 && k % 8 == 0,
+              "turbo block size must be a positive multiple of 8");
+    for (std::uint8_t b : info)
+        LTE_CHECK(b <= 1, "bits must be 0 or 1");
+
+    const QppInterleaver pi(k);
+    std::vector<std::uint8_t> out;
+    out.reserve(turbo_encoded_length(k));
+
+    // Systematic part.
+    out.insert(out.end(), info.begin(), info.end());
+
+    // Parity of encoder 1.
+    int s1 = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        int p;
+        rsc_step(s1, info[i], p);
+        out.push_back(static_cast<std::uint8_t>(p));
+    }
+
+    // Parity of encoder 2 (interleaved input).
+    int s2 = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        int p;
+        rsc_step(s2, info[pi.map(i)], p);
+        out.push_back(static_cast<std::uint8_t>(p));
+    }
+
+    // Termination: 3 (x, z) pairs for each encoder.
+    for (int *state : {&s1, &s2}) {
+        for (int step = 0; step < 3; ++step) {
+            const int c = tail_bit(*state);
+            int p;
+            rsc_step(*state, c, p);
+            out.push_back(static_cast<std::uint8_t>(c));
+            out.push_back(static_cast<std::uint8_t>(p));
+        }
+    }
+    LTE_ASSERT(out.size() == turbo_encoded_length(k),
+               "encoder output length mismatch");
+    return out;
+}
+
+std::vector<std::uint8_t>
+turbo_decode(const std::vector<Llr> &llrs, std::size_t k,
+             const TurboDecoderConfig &cfg)
+{
+    LTE_CHECK(llrs.size() == turbo_encoded_length(k),
+              "LLR count does not match block size");
+    LTE_CHECK(cfg.iterations >= 1, "need at least one iteration");
+
+    const QppInterleaver pi(k);
+
+    const auto sys_begin = llrs.begin();
+    const std::vector<float> sys(sys_begin, sys_begin + k);
+    const std::vector<float> par1(sys_begin + k, sys_begin + 2 * k);
+    const std::vector<float> par2(sys_begin + 2 * k, sys_begin + 3 * k);
+
+    // Tail: (x, z) x3 for encoder 1, then for encoder 2.
+    std::array<float, 3> tail_sys1, tail_par1, tail_sys2, tail_par2;
+    const std::size_t tail_base = 3 * k;
+    for (int i = 0; i < 3; ++i) {
+        tail_sys1[i] = llrs[tail_base + 2 * i];
+        tail_par1[i] = llrs[tail_base + 2 * i + 1];
+        tail_sys2[i] = llrs[tail_base + 6 + 2 * i];
+        tail_par2[i] = llrs[tail_base + 6 + 2 * i + 1];
+    }
+
+    // Interleaved systematic stream for decoder 2.
+    std::vector<float> sys_pi(k);
+    for (std::size_t i = 0; i < k; ++i)
+        sys_pi[i] = sys[pi.map(i)];
+
+    std::vector<float> ext12(k, 0.0f); // extrinsic from dec1 to dec2
+    std::vector<float> ext21(k, 0.0f); // extrinsic from dec2 to dec1
+    std::vector<float> post2_deint(k, 0.0f);
+
+    for (std::size_t it = 0; it < cfg.iterations; ++it) {
+        // Decoder 1: a priori from decoder 2 (deinterleaved).
+        std::vector<float> in1(k);
+        for (std::size_t i = 0; i < k; ++i)
+            in1[i] = sys[i] + ext21[i];
+        const auto post1 = map_decode(in1, par1, tail_sys1, tail_par1);
+        for (std::size_t i = 0; i < k; ++i)
+            ext12[i] = cfg.extrinsic_scale * (post1[i] - in1[i]);
+
+        // Decoder 2: a priori from decoder 1 (interleaved).
+        std::vector<float> in2(k);
+        for (std::size_t i = 0; i < k; ++i)
+            in2[i] = sys_pi[i] + ext12[pi.map(i)];
+        const auto post2 = map_decode(in2, par2, tail_sys2, tail_par2);
+        for (std::size_t i = 0; i < k; ++i) {
+            ext21[pi.map(i)] =
+                cfg.extrinsic_scale * (post2[i] - in2[i]);
+            post2_deint[pi.map(i)] = post2[i];
+        }
+    }
+
+    // Decide from the last half-iteration's full posterior.
+    std::vector<std::uint8_t> bits(k);
+    for (std::size_t i = 0; i < k; ++i)
+        bits[i] = post2_deint[i] >= 0.0f ? 0 : 1;
+    return bits;
+}
+
+std::vector<std::uint8_t>
+turbo_passthrough(const std::vector<Llr> &llrs)
+{
+    return hard_decision(llrs);
+}
+
+} // namespace lte::phy

@@ -1,0 +1,245 @@
+#include "phy/user_processor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "fft/fft.hpp"
+#include "phy/channel_estimator.hpp"
+#include "phy/crc.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/modulation.hpp"
+#include "phy/scrambler.hpp"
+#include "phy/turbo.hpp"
+#include "phy/zadoff_chu.hpp"
+
+namespace lte::phy {
+
+namespace {
+
+/** Map a data-symbol index (0..5) to its slot position (skips DMRS). */
+std::size_t
+data_symbol_position(std::size_t data_symbol)
+{
+    return data_symbol < kRefSymbolIndex ? data_symbol : data_symbol + 1;
+}
+
+} // namespace
+
+void
+UserSignal::validate(const UserParams &params, std::size_t n_antennas) const
+{
+    LTE_CHECK(antennas.size() == n_antennas, "antenna count mismatch");
+    for (const auto &ant : antennas) {
+        for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+            for (const auto &sym : ant.slots[slot]) {
+                LTE_CHECK(sym.size() == params.sc_in_slot(slot),
+                          "symbol length mismatch");
+            }
+        }
+    }
+}
+
+std::uint64_t
+bit_checksum(const std::vector<std::uint8_t> &bits)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : bits) {
+        hash ^= b;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+UserProcessor::UserProcessor(const UserParams &params,
+                             const ReceiverConfig &config,
+                             const UserSignal *signal)
+    : params_(params), config_(config), signal_(signal)
+{
+    params_.validate();
+    config_.validate();
+    LTE_CHECK(signal_ != nullptr, "signal must not be null");
+    signal_->validate(params_, config_.n_antennas);
+
+    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+        channel_[slot].assign(config_.n_antennas,
+                              std::vector<CVec>(params_.layers));
+        equalised_[slot].assign(kDataSymbolsPerSlot,
+                                std::vector<CVec>(params_.layers));
+    }
+    task_noise_.assign(n_chanest_tasks() * kSlotsPerSubframe, 0.0f);
+}
+
+std::size_t
+UserProcessor::n_chanest_tasks() const
+{
+    return config_.n_antennas * params_.layers;
+}
+
+std::size_t
+UserProcessor::n_demod_tasks() const
+{
+    return kDataSymbolsPerSlot * params_.layers;
+}
+
+void
+UserProcessor::run_chanest_task(std::size_t task_index)
+{
+    LTE_CHECK(task_index < n_chanest_tasks(), "task index out of range");
+    const std::size_t antenna = task_index / params_.layers;
+    const std::size_t layer = task_index % params_.layers;
+
+    ChannelEstimatorConfig est_cfg;
+    est_cfg.window_fraction = config_.window_fraction;
+
+    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+        const std::size_t m_sc = params_.sc_in_slot(slot);
+        const CVec &received =
+            signal_->antennas[antenna].slots[slot][kRefSymbolIndex];
+        const CVec ref = user_dmrs(params_.id, slot, m_sc, layer);
+        ChannelEstimate est = estimate_channel(received, ref, est_cfg);
+        channel_[slot][antenna][layer] = std::move(est.freq_response);
+        task_noise_[task_index * kSlotsPerSubframe + slot] = est.noise_var;
+    }
+}
+
+void
+UserProcessor::compute_weights()
+{
+    // Pool the per-task noise estimates; fall back to the configured
+    // default when the allocation was too small to provide guard bins.
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (float v : task_noise_) {
+        if (v > 0.0f) {
+            sum += v;
+            ++n;
+        }
+    }
+    noise_var_ = n > 0 ? static_cast<float>(sum / static_cast<double>(n))
+                       : config_.default_noise_var;
+    noise_var_ = std::max(noise_var_, 1e-6f);
+
+    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+        weights_[slot] =
+            compute_combiner_weights(channel_[slot], noise_var_);
+    }
+}
+
+void
+UserProcessor::run_demod_task(std::size_t task_index)
+{
+    LTE_CHECK(task_index < n_demod_tasks(), "task index out of range");
+    const std::size_t data_symbol = task_index % kDataSymbolsPerSlot;
+    const std::size_t layer = task_index / kDataSymbolsPerSlot;
+    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot)
+        demod_one(slot, data_symbol, layer);
+}
+
+void
+UserProcessor::demod_one(std::size_t slot, std::size_t data_symbol,
+                         std::size_t layer)
+{
+    const std::size_t m_sc = params_.sc_in_slot(slot);
+    const std::size_t position = data_symbol_position(data_symbol);
+
+    // Antenna combining.
+    std::vector<CVec> rx(config_.n_antennas);
+    for (std::size_t a = 0; a < config_.n_antennas; ++a)
+        rx[a] = signal_->antennas[a].slots[slot][position];
+    CVec combined = combine_layer(rx, weights_[slot], layer);
+
+    // MMSE bias correction: scale each subcarrier by the effective
+    // gain sum_a W(l,a) H(a,l) so constellation points land on grid.
+    for (std::size_t sc = 0; sc < m_sc; ++sc) {
+        cf32 bias(0.0f, 0.0f);
+        for (std::size_t a = 0; a < config_.n_antennas; ++a) {
+            bias += weights_[slot].at(sc, layer, a) *
+                    channel_[slot][a][layer][sc];
+        }
+        if (std::norm(bias) > 1e-12f)
+            combined[sc] /= bias;
+    }
+
+    // SC-FDMA despreading: back to the time domain where the
+    // constellation symbols live.
+    CVec time(m_sc);
+    fft::FftCache::instance().get(m_sc)->inverse(combined.data(),
+                                                 time.data());
+    // The transmit DFT spread scales by 1/sqrt(m); undo the pair.
+    const float scale = std::sqrt(static_cast<float>(m_sc));
+    for (auto &v : time)
+        v *= scale;
+
+    equalised_[slot][data_symbol][layer] = std::move(time);
+}
+
+UserResult
+UserProcessor::finish()
+{
+    // Canonical framing order (mirrored by the transmitter):
+    // slot -> layer -> data symbol -> sample.
+    std::vector<Llr> llrs;
+    llrs.reserve(capacity_bits(params_));
+    double evm_acc = 0.0;
+    std::size_t evm_n = 0;
+
+    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+        for (std::size_t layer = 0; layer < params_.layers; ++layer) {
+            for (std::size_t ds = 0; ds < kDataSymbolsPerSlot; ++ds) {
+                const CVec deint =
+                    deinterleave(equalised_[slot][ds][layer]);
+                const auto sym_llrs =
+                    demodulate_soft(deint, params_.mod, noise_var_);
+                llrs.insert(llrs.end(), sym_llrs.begin(),
+                            sym_llrs.end());
+                for (const cf32 &y : deint) {
+                    evm_acc += nearest_point_distance2(y, params_.mod);
+                    ++evm_n;
+                }
+            }
+        }
+    }
+    LTE_ASSERT(llrs.size() == capacity_bits(params_),
+               "LLR count mismatch");
+
+    // Soft descrambling with the user's Gold sequence (the inverse of
+    // the transmitter's bit scrambling).
+    llrs = descramble_soft(llrs, scrambling_init(params_.id));
+
+    UserResult result;
+    result.user_id = params_.id;
+    result.noise_var = noise_var_;
+    result.evm_rms = evm_n > 0
+        ? std::sqrt(static_cast<float>(evm_acc /
+                                       static_cast<double>(evm_n)))
+        : 0.0f;
+
+    if (config_.use_real_turbo) {
+        const std::size_t k = turbo_info_bits(capacity_bits(params_));
+        const std::vector<Llr> coded(
+            llrs.begin(),
+            llrs.begin() +
+                static_cast<std::ptrdiff_t>(turbo_encoded_length(k)));
+        result.bits = turbo_decode(coded, k);
+    } else {
+        result.bits = turbo_passthrough(llrs);
+    }
+    result.crc_ok = crc24_check(result.bits);
+    result.checksum = bit_checksum(result.bits);
+    return result;
+}
+
+UserResult
+UserProcessor::process_all()
+{
+    for (std::size_t t = 0; t < n_chanest_tasks(); ++t)
+        run_chanest_task(t);
+    compute_weights();
+    for (std::size_t t = 0; t < n_demod_tasks(); ++t)
+        run_demod_task(t);
+    return finish();
+}
+
+} // namespace lte::phy

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Per-user subframe processing — the paper's Fig. 3 chain with the
+ * Fig. 5 task structure.
+ *
+ * A UserProcessor owns the receive-side state for one user in one
+ * subframe and exposes the exact task granularity of Sec. IV-C:
+ *
+ *   stage 1: n_antennas x n_layers channel-estimation tasks
+ *   join:    combiner-weight computation (single task)
+ *   stage 2: 6 x n_layers demodulation tasks (each handles the same
+ *            data-symbol index in both slots: antenna combining + IFFT)
+ *   tail:    deinterleave, soft demap, descramble, turbo
+ *            (pass-through by default), CRC — sequential in the
+ *            user thread
+ *
+ * Tasks within one stage touch disjoint state, so the stages may be
+ * executed concurrently by different worker threads provided the
+ * caller joins between stages (the work-stealing runtime does; the
+ * serial engine simply calls process_all()).
+ */
+#ifndef LTE_PHY_USER_PROCESSOR_HPP
+#define LTE_PHY_USER_PROCESSOR_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "phy/combiner.hpp"
+#include "phy/params.hpp"
+
+namespace lte::phy {
+
+/**
+ * Received IQ samples for one user's allocation in one subframe:
+ * antennas[a].slots[s][sym] holds the allocated subcarriers of SC-FDMA
+ * symbol sym of slot s on antenna a (the front-end FFT and subcarrier
+ * de-mapping of Fig. 2 are outside the benchmark, as in the paper).
+ */
+struct UserSignal
+{
+    struct Antenna
+    {
+        std::array<std::array<CVec, kSymbolsPerSlot>, kSlotsPerSubframe>
+            slots;
+    };
+    std::vector<Antenna> antennas;
+
+    /** Shape-check against user parameters; throws on mismatch. */
+    void validate(const UserParams &params, std::size_t n_antennas) const;
+};
+
+/** Outcome of processing one user. */
+struct UserResult
+{
+    std::uint32_t user_id = 0;
+    /** Decoded payload bits (CRC included). */
+    std::vector<std::uint8_t> bits;
+    /** Transport-block CRC-24A check outcome. */
+    bool crc_ok = false;
+    /** RMS error-vector magnitude over all data symbols (linear). */
+    float evm_rms = 0.0f;
+    /** Noise variance used for demapping. */
+    float noise_var = 0.0f;
+    /** FNV-1a digest of the decoded bits, for serial-vs-parallel
+     *  validation (paper Sec. IV-D). */
+    std::uint64_t checksum = 0;
+};
+
+/** FNV-1a over a bit vector (exposed for tests and validation). */
+std::uint64_t bit_checksum(const std::vector<std::uint8_t> &bits);
+
+class UserProcessor
+{
+  public:
+    /**
+     * @param params  the user's scheduling parameters
+     * @param config  receiver configuration
+     * @param signal  received samples; must outlive the processor
+     */
+    UserProcessor(const UserParams &params, const ReceiverConfig &config,
+                  const UserSignal *signal);
+
+    /** Number of stage-1 tasks: antennas x layers. */
+    std::size_t n_chanest_tasks() const;
+
+    /** Number of stage-2 tasks: data symbols per slot (6) x layers. */
+    std::size_t n_demod_tasks() const;
+
+    /**
+     * Stage-1 task: estimate the channel for one (antenna, layer) pair
+     * in both slots (matched filter, IFFT, window, FFT).
+     * Tasks with distinct indices may run concurrently.
+     */
+    void run_chanest_task(std::size_t task_index);
+
+    /** Join stage: per-slot MMSE combiner weights; requires all
+     *  stage-1 tasks complete. */
+    void compute_weights();
+
+    /**
+     * Stage-2 task: antenna combining + IFFT for one (data-symbol,
+     * layer) pair, processing both slots; requires compute_weights().
+     */
+    void run_demod_task(std::size_t task_index);
+
+    /** Tail: deinterleave, demap, decode, CRC; requires all stage-2
+     *  tasks complete. */
+    UserResult finish();
+
+    /** Serial convenience: run every stage in order. */
+    UserResult process_all();
+
+    const UserParams &params() const { return params_; }
+
+  private:
+    void demod_one(std::size_t slot, std::size_t data_symbol,
+                   std::size_t layer);
+
+    UserParams params_;
+    ReceiverConfig config_;
+    const UserSignal *signal_;
+
+    /** channel_[slot][antenna][layer] frequency response. */
+    std::array<std::vector<std::vector<CVec>>, kSlotsPerSubframe> channel_;
+    /** Noise-variance estimates from each chanest task. */
+    std::vector<float> task_noise_;
+    float noise_var_ = 0.0f;
+    std::array<CombinerWeights, kSlotsPerSubframe> weights_;
+    /** equalised_[slot][data_symbol][layer]: time-domain samples. */
+    std::array<std::vector<std::vector<CVec>>, kSlotsPerSubframe>
+        equalised_;
+};
+
+} // namespace lte::phy
+
+#endif // LTE_PHY_USER_PROCESSOR_HPP

@@ -1,0 +1,97 @@
+#include "phy/zadoff_chu.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace lte::phy {
+
+namespace {
+
+bool
+is_prime(std::size_t n)
+{
+    if (n < 2)
+        return false;
+    for (std::size_t f = 2; f * f <= n; ++f) {
+        if (n % f == 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::size_t
+largest_prime_below(std::size_t n)
+{
+    LTE_CHECK(n >= 2, "no prime below 2");
+    std::size_t p = n;
+    while (!is_prime(p))
+        --p;
+    return p;
+}
+
+CVec
+zadoff_chu(std::uint32_t root, std::size_t n_zc)
+{
+    LTE_CHECK(n_zc >= 1, "sequence length must be positive");
+    LTE_CHECK(root >= 1 && root < n_zc, "root must be in [1, n_zc)");
+    CVec seq(n_zc);
+    for (std::size_t m = 0; m < n_zc; ++m) {
+        // q*m*(m+1) mod 2*n_zc keeps the phase argument exact.
+        const std::uint64_t num =
+            static_cast<std::uint64_t>(root) * m % (2 * n_zc) * (m + 1) %
+            (2 * n_zc);
+        const double angle = -std::numbers::pi *
+                             static_cast<double>(num) /
+                             static_cast<double>(n_zc);
+        seq[m] = cf32(static_cast<float>(std::cos(angle)),
+                      static_cast<float>(std::sin(angle)));
+    }
+    return seq;
+}
+
+CVec
+dmrs_base_sequence(std::size_t m_sc, std::uint32_t root)
+{
+    LTE_CHECK(m_sc >= kScPerPrb && m_sc % kScPerPrb == 0,
+              "allocation must be a positive multiple of 12 subcarriers");
+    const std::size_t n_zc = largest_prime_below(m_sc);
+    const std::uint32_t q =
+        1 + root % static_cast<std::uint32_t>(n_zc - 1);
+    const CVec zc = zadoff_chu(q, n_zc);
+    CVec seq(m_sc);
+    for (std::size_t k = 0; k < m_sc; ++k)
+        seq[k] = zc[k % n_zc];
+    return seq;
+}
+
+CVec
+dmrs_for_layer(const CVec &base, std::size_t layer)
+{
+    LTE_CHECK(layer < kMaxLayers, "layer out of range");
+    CVec out(base.size());
+    const double alpha = 2.0 * std::numbers::pi *
+                         static_cast<double>(layer) /
+                         static_cast<double>(kMaxLayers);
+    for (std::size_t k = 0; k < base.size(); ++k) {
+        const double angle = alpha * static_cast<double>(k);
+        const cf32 ramp(static_cast<float>(std::cos(angle)),
+                        static_cast<float>(std::sin(angle)));
+        out[k] = base[k] * ramp;
+    }
+    return out;
+}
+
+CVec
+user_dmrs(std::uint32_t user_id, std::size_t slot, std::size_t m_sc,
+          std::size_t layer)
+{
+    const auto root =
+        static_cast<std::uint32_t>(user_id * 7 + slot * 3 + 1);
+    return dmrs_for_layer(dmrs_base_sequence(m_sc, root), layer);
+}
+
+} // namespace lte::phy

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Zadoff-Chu reference-sequence generation for the uplink
+ * demodulation reference signal (DMRS).
+ *
+ * Per 3GPP TS 36.211 Sec. 5.5, base sequences for allocations of three
+ * or more PRBs are cyclic extensions of a Zadoff-Chu sequence whose
+ * length is the largest prime below the allocation size; different
+ * layers are separated by cyclic time shifts, which appear as linear
+ * phase ramps in the frequency domain.  We apply the same construction
+ * for all allocation sizes >= 1 PRB (the spec's special 1-2 PRB QPSK
+ * tables are replaced by the ZC construction; the paper's benchmark is
+ * agnostic to the exact sequence values).
+ */
+#ifndef LTE_PHY_ZADOFF_CHU_HPP
+#define LTE_PHY_ZADOFF_CHU_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace lte::phy {
+
+/**
+ * Raw Zadoff-Chu sequence x_q(m) = exp(-i*pi*q*m*(m+1)/n_zc).
+ *
+ * @param root root index q, coprime with n_zc
+ * @param n_zc sequence length (prime in LTE usage)
+ */
+CVec zadoff_chu(std::uint32_t root, std::size_t n_zc);
+
+/** @return the largest prime <= n (n >= 2). */
+std::size_t largest_prime_below(std::size_t n);
+
+/**
+ * Frequency-domain DMRS base sequence of length @p m_sc (a multiple of
+ * 12): cyclic extension of the largest-prime ZC sequence.
+ *
+ * @param m_sc allocation size in subcarriers
+ * @param root ZC root (mapped into the valid range internally)
+ */
+CVec dmrs_base_sequence(std::size_t m_sc, std::uint32_t root);
+
+/**
+ * Layer-specific DMRS: the base sequence with cyclic shift
+ * alpha = 2*pi*layer/kMaxLayers applied as a frequency-domain phase
+ * ramp exp(i*alpha*k).  Distinct layers end up in disjoint delay bins,
+ * which is what lets the channel-estimation window separate them.
+ */
+CVec dmrs_for_layer(const CVec &base, std::size_t layer);
+
+/**
+ * The complete layer DMRS a given user transmits in a given slot:
+ * base sequence rooted by (user id, slot) with the layer cyclic shift.
+ * Transmitter and receiver must use this same convention.
+ */
+CVec user_dmrs(std::uint32_t user_id, std::size_t slot, std::size_t m_sc,
+               std::size_t layer);
+
+} // namespace lte::phy
+
+#endif // LTE_PHY_ZADOFF_CHU_HPP

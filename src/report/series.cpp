@@ -1,0 +1,64 @@
+#include "report/series.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace lte::report {
+
+SeriesSet::SeriesSet(std::string x_name, std::vector<double> x)
+    : x_name_(std::move(x_name)), x_(std::move(x))
+{
+}
+
+void
+SeriesSet::add(std::string name, std::vector<double> values)
+{
+    LTE_CHECK(values.size() == x_.size(),
+              "series length must match the x-axis");
+    series_.push_back(Series{std::move(name), std::move(values)});
+}
+
+void
+SeriesSet::write_csv(std::ostream &os, std::size_t stride) const
+{
+    LTE_CHECK(stride >= 1, "stride must be >= 1");
+    os << x_name_;
+    for (const auto &s : series_)
+        os << "," << s.name;
+    os << "\n";
+    for (std::size_t i = 0; i < x_.size(); i += stride) {
+        os << x_[i];
+        for (const auto &s : series_)
+            os << "," << s.values[i];
+        os << "\n";
+    }
+}
+
+void
+SeriesSet::print_summary(std::ostream &os) const
+{
+    for (const auto &s : series_) {
+        RunningStats stats;
+        for (double v : s.values)
+            stats.add(v);
+        os << "  " << s.name << ": min=" << stats.min()
+           << " mean=" << stats.mean() << " max=" << stats.max()
+           << " (n=" << stats.count() << ")\n";
+    }
+}
+
+bool
+write_csv_file(const SeriesSet &set, const std::string &path,
+               std::size_t stride)
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    set.write_csv(file, stride);
+    return static_cast<bool>(file);
+}
+
+} // namespace lte::report

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Time/series emission helpers for the figure-regeneration harnesses:
+ * CSV output (one file or stream per figure) and compact terminal
+ * summaries so a bench run is readable without plotting.
+ */
+#ifndef LTE_REPORT_SERIES_HPP
+#define LTE_REPORT_SERIES_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lte::report {
+
+/** A named series sharing the x-axis of its SeriesSet. */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/** A set of series over a common x-axis, e.g. one paper figure. */
+class SeriesSet
+{
+  public:
+    /** @param x_name x-axis label, @param x common x values. */
+    SeriesSet(std::string x_name, std::vector<double> x);
+
+    /** Add a series; must match the x-axis length. */
+    void add(std::string name, std::vector<double> values);
+
+    /**
+     * Write CSV: header "x_name,series1,series2,..." then rows.
+     * @param stride emit every stride-th point (the paper plots every
+     *        25th subframe for readability; stride mirrors that)
+     */
+    void write_csv(std::ostream &os, std::size_t stride = 1) const;
+
+    /** Print per-series min/mean/max summary lines. */
+    void print_summary(std::ostream &os) const;
+
+    std::size_t points() const { return x_.size(); }
+
+  private:
+    std::string x_name_;
+    std::vector<double> x_;
+    std::vector<Series> series_;
+};
+
+/**
+ * Open @p path for writing (creating parent dirs is the caller's
+ * job), returning whether it succeeded; harnesses use this to drop
+ * CSVs next to the binary without failing the run on read-only file
+ * systems.
+ */
+bool write_csv_file(const SeriesSet &set, const std::string &path,
+                    std::size_t stride = 1);
+
+} // namespace lte::report
+
+#endif // LTE_REPORT_SERIES_HPP

@@ -1,0 +1,79 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace lte::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    LTE_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::add_row(std::vector<std::string> cells)
+{
+    LTE_CHECK(cells.size() == headers_.size(),
+              "row width must match header count");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << std::left << std::setw(
+                static_cast<int>(widths[c])) << cells[c] << " ";
+        }
+        os << "|\n";
+    };
+
+    auto print_rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << "+" << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    print_rule();
+    print_row(headers_);
+    print_rule();
+    for (const auto &row : rows_)
+        print_row(row);
+    print_rule();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+fmt_percent(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision);
+    if (fraction > 0.0)
+        os << "+";
+    os << fraction * 100.0 << "%";
+    return os.str();
+}
+
+} // namespace lte::report

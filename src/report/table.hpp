@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal aligned-text table printer shared by the benchmark
+ * harnesses that regenerate the paper's tables.
+ */
+#ifndef LTE_REPORT_TABLE_HPP
+#define LTE_REPORT_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lte::report {
+
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly one cell per column. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helper: fixed-precision double. */
+std::string fmt(double value, int precision = 2);
+
+/** Format helper: signed percentage ("-26%"). */
+std::string fmt_percent(double fraction, int precision = 0);
+
+} // namespace lte::report
+
+#endif // LTE_REPORT_TABLE_HPP

@@ -1,0 +1,153 @@
+#include "runtime/benchmark.hpp"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace lte::runtime {
+
+namespace {
+
+/** Collect the outcome of a completed job. */
+SubframeOutcome
+collect(const SubframeJob &job)
+{
+    SubframeOutcome outcome;
+    outcome.subframe_index = job.params.subframe_index;
+    outcome.users.reserve(job.results.size());
+    for (const auto &result : job.results) {
+        UserOutcome u;
+        u.user_id = result.user_id;
+        u.checksum = result.checksum;
+        u.crc_ok = result.crc_ok;
+        u.evm_rms = result.evm_rms;
+        outcome.users.push_back(u);
+    }
+    return outcome;
+}
+
+bool
+job_done(const SubframeJob &job)
+{
+    return job.users_remaining.load(std::memory_order_acquire) <= 0;
+}
+
+} // namespace
+
+void
+UplinkBenchmarkConfig::validate() const
+{
+    LTE_CHECK(max_in_flight >= 1, "need at least one subframe in flight");
+    LTE_CHECK(delta_ms >= 0.0, "delta must be non-negative");
+    receiver.validate();
+    input.validate();
+}
+
+UplinkBenchmark::UplinkBenchmark(const UplinkBenchmarkConfig &config)
+    : config_(config), input_(config.input)
+{
+    config_.validate();
+    pool_ = std::make_unique<WorkerPool>(config_.pool);
+}
+
+void
+UplinkBenchmark::set_estimator(
+    std::optional<mgmt::WorkloadEstimator> estimator)
+{
+    estimator_ = std::move(estimator);
+}
+
+RunRecord
+UplinkBenchmark::run(workload::ParameterModel &model,
+                     std::size_t n_subframes)
+{
+    using clock = std::chrono::steady_clock;
+
+    RunRecord record;
+    record.subframes.reserve(n_subframes);
+
+    std::deque<std::unique_ptr<SubframeJob>> in_flight;
+    pool_->reset_activity();
+    const auto run_start = clock::now();
+    auto next_dispatch = run_start;
+    const auto delta =
+        std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double, std::milli>(config_.delta_ms));
+
+    const bool proactive =
+        estimator_.has_value() &&
+        (config_.pool.strategy == mgmt::Strategy::kNap ||
+         config_.pool.strategy == mgmt::Strategy::kNapIdle ||
+         config_.pool.strategy == mgmt::Strategy::kPowerGating);
+
+    for (std::size_t i = 0; i < n_subframes; ++i) {
+        // Flow control: keep at most max_in_flight subframes open.
+        while (in_flight.size() >= config_.max_in_flight) {
+            if (job_done(*in_flight.front())) {
+                record.subframes.push_back(collect(*in_flight.front()));
+                in_flight.pop_front();
+            } else {
+                std::this_thread::yield();
+            }
+        }
+
+        phy::SubframeParams params = model.next_subframe();
+        params.validate();
+
+        // Proactive core management (Eq. 5) from the *next* subframe's
+        // known input parameters.
+        if (proactive) {
+            const double estimate =
+                estimator_->estimate_subframe(params);
+            pool_->set_active_workers(estimator_->active_cores(
+                estimate,
+                static_cast<std::uint32_t>(pool_->n_workers()),
+                config_.core_margin));
+        }
+
+        auto job = std::make_unique<SubframeJob>();
+        job->params = params;
+        const auto signals = input_.signals_for(params);
+        job->results.resize(params.users.size());
+        job->users.reserve(params.users.size());
+        for (std::size_t u = 0; u < params.users.size(); ++u) {
+            job->users.push_back(std::make_unique<UserWork>(
+                params.users[u], config_.receiver, signals[u],
+                job.get(), u));
+        }
+
+        // DELTA pacing (paper Sec. IV-B.3).
+        if (config_.delta_ms > 0.0) {
+            std::this_thread::sleep_until(next_dispatch);
+            next_dispatch += delta;
+        }
+
+        if (job->users.empty()) {
+            record.subframes.push_back(collect(*job));
+        } else {
+            pool_->submit(job.get());
+            in_flight.push_back(std::move(job));
+        }
+    }
+
+    // Drain the tail.
+    pool_->wait_idle();
+    while (!in_flight.empty()) {
+        LTE_ASSERT(job_done(*in_flight.front()),
+                   "pool idle but job incomplete");
+        record.subframes.push_back(collect(*in_flight.front()));
+        in_flight.pop_front();
+    }
+
+    const auto snap = pool_->activity();
+    record.wall_seconds =
+        std::chrono::duration<double>(clock::now() - run_start).count();
+    record.activity = snap.activity(pool_->n_workers());
+    record.total_ops = snap.ops;
+    record.steals = pool_->steals();
+    return record;
+}
+
+} // namespace lte::runtime

@@ -1,0 +1,89 @@
+#include "runtime/input_generator.hpp"
+
+#include "channel/signal_source.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace lte::runtime {
+
+void
+InputGeneratorConfig::validate() const
+{
+    LTE_CHECK(n_antennas >= 1 && n_antennas <= kMaxRxAntennas,
+              "antennas must be 1..4");
+    LTE_CHECK(pool_size >= 1, "pool must hold at least one data set");
+}
+
+InputGenerator::InputGenerator(const InputGeneratorConfig &config)
+    : config_(config)
+{
+    config_.validate();
+}
+
+const phy::UserSignal *
+InputGenerator::random_signal(const phy::UserParams &user)
+{
+    auto &pool = pools_[user.prb];
+    if (pool.empty()) {
+        // Derive the pool deterministically from (seed, prb) so the
+        // contents do not depend on request order.
+        Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + user.prb);
+        // Signal shape depends only on the PRB split, so a canonical
+        // single-layer user parameter set suffices.
+        phy::UserParams shape = user;
+        pool.reserve(config_.pool_size);
+        for (std::size_t i = 0; i < config_.pool_size; ++i) {
+            pool.push_back(std::make_unique<phy::UserSignal>(
+                channel::random_user_signal(shape, config_.n_antennas,
+                                            rng)));
+        }
+    }
+    auto &cursor = cursors_[user.prb];
+    const phy::UserSignal *signal = pool[cursor % pool.size()].get();
+    cursor = (cursor + 1) % pool.size();
+    return signal;
+}
+
+const phy::UserSignal *
+InputGenerator::realistic_signal(const phy::UserParams &user)
+{
+    const RealisticKey key{user.id, user.prb, user.layers,
+                           static_cast<std::uint8_t>(user.mod)};
+    auto it = realistic_.find(key);
+    if (it == realistic_.end()) {
+        Rng rng(config_.seed * 0x2545f4914f6cdd1dULL + user.id * 131 +
+                user.prb * 7 + user.layers);
+        auto generated = channel::realistic_user_signal(
+            user, config_.n_antennas, config_.snr_db, rng,
+            config_.real_turbo);
+        RealisticEntry entry;
+        entry.signal = std::make_unique<phy::UserSignal>(
+            std::move(generated.signal));
+        entry.expected_bits = std::move(generated.expected_bits);
+        it = realistic_.emplace(key, std::move(entry)).first;
+    }
+    return it->second.signal.get();
+}
+
+std::vector<const phy::UserSignal *>
+InputGenerator::signals_for(const phy::SubframeParams &subframe)
+{
+    std::vector<const phy::UserSignal *> signals;
+    signals.reserve(subframe.users.size());
+    for (const auto &user : subframe.users) {
+        signals.push_back(config_.realistic ? realistic_signal(user)
+                                            : random_signal(user));
+    }
+    return signals;
+}
+
+const std::vector<std::uint8_t> &
+InputGenerator::expected_bits(const phy::UserParams &user) const
+{
+    const RealisticKey key{user.id, user.prb, user.layers,
+                           static_cast<std::uint8_t>(user.mod)};
+    auto it = realistic_.find(key);
+    return it == realistic_.end() ? empty_bits_ : it->second.expected_bits;
+}
+
+} // namespace lte::runtime

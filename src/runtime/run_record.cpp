@@ -1,0 +1,88 @@
+#include "runtime/run_record.hpp"
+
+#include <sstream>
+
+namespace lte::runtime {
+
+std::uint64_t
+RunRecord::digest() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (v >> (i * 8)) & 0xFF;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    for (const auto &sf : subframes) {
+        mix(sf.subframe_index);
+        for (const auto &u : sf.users) {
+            mix(u.user_id);
+            mix(u.checksum);
+        }
+    }
+    return hash;
+}
+
+std::size_t
+RunRecord::user_count() const
+{
+    std::size_t n = 0;
+    for (const auto &sf : subframes)
+        n += sf.users.size();
+    return n;
+}
+
+double
+RunRecord::crc_pass_rate() const
+{
+    std::size_t total = 0, passed = 0;
+    for (const auto &sf : subframes) {
+        for (const auto &u : sf.users) {
+            ++total;
+            passed += u.crc_ok ? 1 : 0;
+        }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(passed) /
+                            static_cast<double>(total);
+}
+
+bool
+RunRecord::equivalent(const RunRecord &a, const RunRecord &b,
+                      std::string *why)
+{
+    auto fail = [why](const std::string &message) {
+        if (why != nullptr)
+            *why = message;
+        return false;
+    };
+
+    if (a.subframes.size() != b.subframes.size())
+        return fail("subframe counts differ");
+    for (std::size_t i = 0; i < a.subframes.size(); ++i) {
+        const auto &sa = a.subframes[i];
+        const auto &sb = b.subframes[i];
+        if (sa.subframe_index != sb.subframe_index)
+            return fail("subframe index mismatch at position " +
+                        std::to_string(i));
+        if (sa.users.size() != sb.users.size())
+            return fail("user count mismatch in subframe " +
+                        std::to_string(sa.subframe_index));
+        for (std::size_t u = 0; u < sa.users.size(); ++u) {
+            if (sa.users[u].user_id != sb.users[u].user_id)
+                return fail("user id mismatch in subframe " +
+                            std::to_string(sa.subframe_index));
+            if (sa.users[u].checksum != sb.users[u].checksum) {
+                std::ostringstream os;
+                os << "checksum mismatch: subframe "
+                   << sa.subframe_index << " user "
+                   << sa.users[u].user_id;
+                return fail(os.str());
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace lte::runtime

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Run results and the serial-vs-parallel equivalence check of the
+ * paper's Sec. IV-D: every processed subframe records per-user
+ * checksums so runs on different engines (or machines) can be
+ * compared bit-for-bit.
+ */
+#ifndef LTE_RUNTIME_RUN_RECORD_HPP
+#define LTE_RUNTIME_RUN_RECORD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lte::runtime {
+
+/** Outcome of one user's processing. */
+struct UserOutcome
+{
+    std::uint32_t user_id = 0;
+    std::uint64_t checksum = 0;
+    bool crc_ok = false;
+    float evm_rms = 0.0f;
+};
+
+/** Outcome of one subframe. */
+struct SubframeOutcome
+{
+    std::uint64_t subframe_index = 0;
+    std::vector<UserOutcome> users;
+};
+
+/** Full run record: outcomes plus aggregate execution statistics. */
+struct RunRecord
+{
+    std::vector<SubframeOutcome> subframes;
+
+    double wall_seconds = 0.0;
+    double activity = 0.0;       ///< Eq. 2 over the whole run
+    std::uint64_t total_ops = 0; ///< analytical flops executed
+    std::uint64_t steals = 0;    ///< tasks stolen (parallel runs)
+
+    /** Order-sensitive digest over all user checksums. */
+    std::uint64_t digest() const;
+
+    /** Total users processed. */
+    std::size_t user_count() const;
+
+    /** Fraction of processed users whose CRC passed. */
+    double crc_pass_rate() const;
+
+    /**
+     * Sec. IV-D equivalence: same subframes, same users, identical
+     * checksums.  On mismatch, @p why (if non-null) describes the
+     * first difference.
+     */
+    static bool equivalent(const RunRecord &a, const RunRecord &b,
+                           std::string *why = nullptr);
+};
+
+} // namespace lte::runtime
+
+#endif // LTE_RUNTIME_RUN_RECORD_HPP

@@ -1,0 +1,57 @@
+#include "runtime/serial_engine.hpp"
+
+#include <chrono>
+
+#include "phy/op_model.hpp"
+#include "phy/user_processor.hpp"
+
+namespace lte::runtime {
+
+SerialEngine::SerialEngine(const phy::ReceiverConfig &receiver,
+                           const InputGeneratorConfig &input)
+    : receiver_(receiver), input_(input)
+{
+    receiver_.validate();
+}
+
+RunRecord
+SerialEngine::run(workload::ParameterModel &model,
+                  std::size_t n_subframes)
+{
+    using clock = std::chrono::steady_clock;
+    RunRecord record;
+    record.subframes.reserve(n_subframes);
+    const auto start = clock::now();
+
+    for (std::size_t i = 0; i < n_subframes; ++i) {
+        phy::SubframeParams params = model.next_subframe();
+        params.validate();
+        const auto signals = input_.signals_for(params);
+
+        SubframeOutcome outcome;
+        outcome.subframe_index = params.subframe_index;
+        for (std::size_t u = 0; u < params.users.size(); ++u) {
+            phy::UserProcessor proc(params.users[u], receiver_,
+                                    signals[u]);
+            const auto result = proc.process_all();
+            UserOutcome uo;
+            uo.user_id = result.user_id;
+            uo.checksum = result.checksum;
+            uo.crc_ok = result.crc_ok;
+            uo.evm_rms = result.evm_rms;
+            outcome.users.push_back(uo);
+            record.total_ops +=
+                phy::user_task_costs(params.users[u],
+                                     receiver_.n_antennas)
+                    .total();
+        }
+        record.subframes.push_back(std::move(outcome));
+    }
+
+    record.wall_seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    record.activity = 1.0; // a serial run is busy by definition
+    return record;
+}
+
+} // namespace lte::runtime

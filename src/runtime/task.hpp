@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Runtime task plumbing: per-user work state, the two stealable task
+ * kinds (channel estimation, demodulation), and the per-subframe job
+ * that owns everything (paper Sec. IV-C).
+ */
+#ifndef LTE_RUNTIME_TASK_HPP
+#define LTE_RUNTIME_TASK_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/op_model.hpp"
+#include "phy/params.hpp"
+#include "phy/user_processor.hpp"
+
+namespace lte::runtime {
+
+struct SubframeJob;
+
+/**
+ * Work state for one user in one subframe.  The worker that dequeues
+ * this from the global queue becomes the "user thread"; stage
+ * counters track tasks stolen by other workers.
+ */
+struct UserWork
+{
+    UserWork(const phy::UserParams &params,
+             const phy::ReceiverConfig &config,
+             const phy::UserSignal *signal, SubframeJob *parent,
+             std::size_t result_slot)
+        : proc(params, config, signal),
+          costs(phy::user_task_costs(params, config.n_antennas)),
+          parent(parent), result_slot(result_slot),
+          chanest_remaining(
+              static_cast<std::int32_t>(proc.n_chanest_tasks())),
+          demod_remaining(
+              static_cast<std::int32_t>(proc.n_demod_tasks()))
+    {
+    }
+
+    phy::UserProcessor proc;
+    /** Analytical flop counts, for deterministic activity accounting. */
+    phy::UserTaskCosts costs;
+    SubframeJob *parent;
+    std::size_t result_slot;
+    std::atomic<std::int32_t> chanest_remaining;
+    std::atomic<std::int32_t> demod_remaining;
+};
+
+/** A stealable unit of work. */
+struct Task
+{
+    enum class Kind : std::uint8_t { kChanEst, kDemod };
+
+    UserWork *work = nullptr;
+    Kind kind = Kind::kChanEst;
+    std::uint32_t index = 0;
+};
+
+/**
+ * One dispatched subframe: owns the per-user work states and collects
+ * their results.  Must outlive every task referencing it; the worker
+ * pool signals completion through users_remaining.
+ */
+struct SubframeJob
+{
+    phy::SubframeParams params;
+    std::vector<std::unique_ptr<UserWork>> users;
+    std::vector<phy::UserResult> results;
+    std::atomic<std::int32_t> users_remaining{0};
+};
+
+} // namespace lte::runtime
+
+#endif // LTE_RUNTIME_TASK_HPP

@@ -1,0 +1,271 @@
+#include "runtime/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace lte::runtime {
+
+double
+ActivitySnapshot::activity(std::size_t n_workers) const
+{
+    if (wall.count() <= 0 || n_workers == 0)
+        return 0.0;
+    return static_cast<double>(busy.count()) /
+           (static_cast<double>(wall.count()) *
+            static_cast<double>(n_workers));
+}
+
+WorkerPool::WorkerPool(const WorkerPoolConfig &config)
+    : config_(config), active_workers_(config.n_workers),
+      epoch_(std::chrono::steady_clock::now())
+{
+    LTE_CHECK(config_.n_workers >= 1, "need at least one worker");
+
+    deques_.reserve(config_.n_workers);
+    stats_.reserve(config_.n_workers);
+    for (std::size_t w = 0; w < config_.n_workers; ++w) {
+        deques_.push_back(std::make_unique<WsDeque<Task>>());
+        stats_.push_back(std::make_unique<WorkerStats>());
+    }
+    workers_.reserve(config_.n_workers);
+    for (std::size_t w = 0; w < config_.n_workers; ++w)
+        workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    stop_.store(true, std::memory_order_release);
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::submit(SubframeJob *job)
+{
+    LTE_CHECK(job != nullptr, "job must not be null");
+    if (job->users.empty())
+        return;
+    job->users_remaining.store(
+        static_cast<std::int32_t>(job->users.size()),
+        std::memory_order_relaxed);
+    jobs_outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::mutex> lock(global_mutex_);
+        for (auto &user : job->users)
+            global_queue_.push_back(user.get());
+    }
+}
+
+void
+WorkerPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this] {
+        return jobs_outstanding_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+WorkerPool::set_active_workers(std::size_t n)
+{
+    active_workers_.store(
+        std::clamp<std::size_t>(n, 1, workers_.size()),
+        std::memory_order_release);
+}
+
+ActivitySnapshot
+WorkerPool::activity() const
+{
+    ActivitySnapshot snap;
+    for (const auto &s : stats_) {
+        snap.busy += std::chrono::nanoseconds(
+            s->busy_ns.load(std::memory_order_relaxed));
+        snap.ops += s->ops.load(std::memory_order_relaxed);
+    }
+    snap.wall = std::chrono::steady_clock::now() - epoch_;
+    return snap;
+}
+
+void
+WorkerPool::reset_activity()
+{
+    for (auto &s : stats_) {
+        s->busy_ns.store(0, std::memory_order_relaxed);
+        s->ops.store(0, std::memory_order_relaxed);
+        s->steals.store(0, std::memory_order_relaxed);
+    }
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t
+WorkerPool::steals() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : stats_)
+        total += s->steals.load(std::memory_order_relaxed);
+    return total;
+}
+
+UserWork *
+WorkerPool::try_pop_global()
+{
+    std::lock_guard<std::mutex> lock(global_mutex_);
+    if (global_queue_.empty())
+        return nullptr;
+    UserWork *work = global_queue_.front();
+    global_queue_.pop_front();
+    return work;
+}
+
+void
+WorkerPool::account(std::size_t wid,
+                    std::chrono::steady_clock::time_point start,
+                    std::uint64_t ops)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    stats_[wid]->busy_ns.fetch_add(
+        static_cast<std::uint64_t>(elapsed.count()),
+        std::memory_order_relaxed);
+    stats_[wid]->ops.fetch_add(ops, std::memory_order_relaxed);
+}
+
+void
+WorkerPool::execute_task(std::size_t wid, const Task &task)
+{
+    const auto start = std::chrono::steady_clock::now();
+    UserWork *work = task.work;
+    if (task.kind == Task::Kind::kChanEst) {
+        work->proc.run_chanest_task(task.index);
+        account(wid, start, work->costs.chanest_task);
+        work->chanest_remaining.fetch_sub(1, std::memory_order_release);
+    } else {
+        work->proc.run_demod_task(task.index);
+        account(wid, start, work->costs.demod_task);
+        work->demod_remaining.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+bool
+WorkerPool::try_help(std::size_t wid)
+{
+    if (auto task = deques_[wid]->pop_bottom()) {
+        execute_task(wid, *task);
+        return true;
+    }
+    // Steal from a pseudo-random victim; one full scan per attempt.
+    thread_local Rng rng(config_.steal_seed * 1000003 + wid);
+    const std::size_t n = deques_.size();
+    if (n <= 1)
+        return false;
+    const std::size_t start = static_cast<std::size_t>(rng.next_below(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t victim = (start + i) % n;
+        if (victim == wid)
+            continue;
+        if (auto task = deques_[victim]->steal_top()) {
+            stats_[wid]->steals.fetch_add(1, std::memory_order_relaxed);
+            execute_task(wid, *task);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+WorkerPool::run_user(std::size_t wid, UserWork *work)
+{
+    auto &deque = *deques_[wid];
+
+    // Stage 1: channel estimation, one task per (antenna, layer).
+    const auto n_chanest = work->proc.n_chanest_tasks();
+    for (std::size_t t = 0; t < n_chanest; ++t) {
+        deque.push_bottom(
+            Task{work, Task::Kind::kChanEst,
+                 static_cast<std::uint32_t>(t)});
+    }
+    while (work->chanest_remaining.load(std::memory_order_acquire) > 0) {
+        if (auto task = deque.pop_bottom())
+            execute_task(wid, *task);
+        else if (!try_help(wid))
+            std::this_thread::yield();
+    }
+
+    // Join: combiner weights (sequential in the user thread).
+    {
+        const auto start = std::chrono::steady_clock::now();
+        work->proc.compute_weights();
+        account(wid, start, work->costs.weights);
+    }
+
+    // Stage 2: demodulation, one task per (data symbol, layer).
+    const auto n_demod = work->proc.n_demod_tasks();
+    for (std::size_t t = 0; t < n_demod; ++t) {
+        deque.push_bottom(
+            Task{work, Task::Kind::kDemod,
+                 static_cast<std::uint32_t>(t)});
+    }
+    while (work->demod_remaining.load(std::memory_order_acquire) > 0) {
+        if (auto task = deque.pop_bottom())
+            execute_task(wid, *task);
+        else if (!try_help(wid))
+            std::this_thread::yield();
+    }
+
+    finish_user(wid, work);
+}
+
+void
+WorkerPool::finish_user(std::size_t wid, UserWork *work)
+{
+    const auto start = std::chrono::steady_clock::now();
+    work->parent->results[work->result_slot] = work->proc.finish();
+    account(wid, start, work->costs.tail);
+
+    if (work->parent->users_remaining.fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+        // Last user of the subframe: the job is complete.
+        jobs_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        done_cv_.notify_all();
+    }
+}
+
+void
+WorkerPool::worker_main(std::size_t wid)
+{
+    while (!stop_.load(std::memory_order_acquire)) {
+        // NAP emulation: a deactivated worker parks and periodically
+        // wakes to re-check its status (there is no way to remotely
+        // reactivate a napping TILEPro64 core, Sec. V-B).
+        if (wid >= active_workers_.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(config_.nap_poll_period);
+            continue;
+        }
+
+        // Paper order: the global user queue is checked before
+        // stealing so a fresh subframe is picked up promptly.
+        if (UserWork *work = try_pop_global()) {
+            run_user(wid, work);
+            continue;
+        }
+        if (try_help(wid))
+            continue;
+
+        // No work found: behaviour depends on the strategy.
+        switch (config_.strategy) {
+          case mgmt::Strategy::kNoNap:
+          case mgmt::Strategy::kNap:
+            std::this_thread::yield(); // spin (burns activity)
+            break;
+          case mgmt::Strategy::kIdle:
+          case mgmt::Strategy::kNapIdle:
+          case mgmt::Strategy::kPowerGating:
+            std::this_thread::sleep_for(config_.idle_poll_period);
+            break;
+        }
+    }
+}
+
+} // namespace lte::runtime

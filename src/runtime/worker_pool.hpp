@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The Pthreads-style work-stealing worker pool of the paper's default
+ * benchmark version (Sec. IV-C), built on std::thread.
+ *
+ * Each worker owns a task deque.  The scheduling loop follows the
+ * paper exactly: check the global user queue first (a new subframe
+ * beats stealing), then the local deque, then steal from a random
+ * victim.  A worker that dequeues a user becomes that user's "user
+ * thread": it creates the channel-estimation tasks, helps drain them,
+ * performs the combiner-weight join, creates the demodulation tasks,
+ * and runs the sequential tail.
+ *
+ * Core-deactivation strategies are emulated functionally: NAP-style
+ * deactivation parks workers above the active-core watermark (they
+ * wake periodically to re-check, mirroring the TILEPro64 `nap`
+ * semantics); IDLE-style reactive gating makes a workless worker
+ * sleep for a poll period instead of spinning.
+ */
+#ifndef LTE_RUNTIME_WORKER_POOL_HPP
+#define LTE_RUNTIME_WORKER_POOL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mgmt/strategy.hpp"
+#include "runtime/task.hpp"
+#include "runtime/ws_deque.hpp"
+
+namespace lte::runtime {
+
+/** Pool configuration. */
+struct WorkerPoolConfig
+{
+    std::size_t n_workers = 4;
+    mgmt::Strategy strategy = mgmt::Strategy::kNoNap;
+    /** Reactive (IDLE) sleep when no work is found. */
+    std::chrono::microseconds idle_poll_period{200};
+    /** Periodic wake-up of a NAP-deactivated worker. */
+    std::chrono::microseconds nap_poll_period{500};
+    std::uint64_t steal_seed = 1;
+};
+
+/** Aggregate activity accounting (the paper's Eq. 1/2 counters). */
+struct ActivitySnapshot
+{
+    /** Sum over workers of time spent executing useful work. */
+    std::chrono::nanoseconds busy{0};
+    /** Wall-clock duration of the measurement interval. */
+    std::chrono::nanoseconds wall{0};
+    /** Analytical flops executed (deterministic activity measure). */
+    std::uint64_t ops = 0;
+
+    /** busy / (wall * n_workers), the paper's "activity". */
+    double activity(std::size_t n_workers) const;
+};
+
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(const WorkerPoolConfig &config);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Enqueue every user of a prepared job on the global user queue.
+     * The job must outlive its processing; completion is observable
+     * via wait_idle() or job->users_remaining.
+     */
+    void submit(SubframeJob *job);
+
+    /** Block until every submitted job has completed. */
+    void wait_idle();
+
+    /**
+     * NAP control: workers with index >= n park themselves (after
+     * finishing their current work item).  Clamped to [1, n_workers].
+     */
+    void set_active_workers(std::size_t n);
+
+    std::size_t active_workers() const { return active_workers_.load(); }
+    std::size_t n_workers() const { return workers_.size(); }
+
+    /** Activity accounting since construction or the last reset. */
+    ActivitySnapshot activity() const;
+    void reset_activity();
+
+    /** Total tasks stolen from another worker's deque (diagnostics). */
+    std::uint64_t steals() const;
+
+  private:
+    struct alignas(64) WorkerStats
+    {
+        std::atomic<std::uint64_t> busy_ns{0};
+        std::atomic<std::uint64_t> ops{0};
+        std::atomic<std::uint64_t> steals{0};
+    };
+
+    void worker_main(std::size_t wid);
+    UserWork *try_pop_global();
+    bool try_help(std::size_t wid);
+    void run_user(std::size_t wid, UserWork *work);
+    void execute_task(std::size_t wid, const Task &task);
+    void finish_user(std::size_t wid, UserWork *work);
+    void account(std::size_t wid,
+                 std::chrono::steady_clock::time_point start,
+                 std::uint64_t ops);
+
+    WorkerPoolConfig config_;
+
+    std::vector<std::unique_ptr<WsDeque<Task>>> deques_;
+    std::vector<std::unique_ptr<WorkerStats>> stats_;
+    std::vector<std::thread> workers_;
+
+    std::mutex global_mutex_;
+    std::deque<UserWork *> global_queue_;
+
+    std::mutex done_mutex_;
+    std::condition_variable done_cv_;
+    std::atomic<std::int64_t> jobs_outstanding_{0};
+
+    std::atomic<std::size_t> active_workers_;
+    std::atomic<bool> stop_{false};
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace lte::runtime
+
+#endif // LTE_RUNTIME_WORKER_POOL_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Work-stealing deque: the owner pushes and pops at the bottom (LIFO,
+ * cache-friendly), thieves steal from the top (FIFO, oldest task
+ * first) — the classic Blumofe/Leiserson discipline the paper's
+ * runtime relies on (Sec. IV-C, [14][15]).
+ *
+ * The implementation is mutex-based: simple, correct under any
+ * interleaving, and more than fast enough for the task granularity of
+ * this workload (tasks are whole DSP kernels over hundreds of
+ * subcarriers, microseconds at minimum).
+ */
+#ifndef LTE_RUNTIME_WS_DEQUE_HPP
+#define LTE_RUNTIME_WS_DEQUE_HPP
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace lte::runtime {
+
+template <typename T>
+class WsDeque
+{
+  public:
+    /** Owner side: push a task at the bottom. */
+    void
+    push_bottom(const T &task)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        items_.push_back(task);
+    }
+
+    /** Owner side: pop the most recently pushed task. */
+    std::optional<T>
+    pop_bottom()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        T task = items_.back();
+        items_.pop_back();
+        return task;
+    }
+
+    /** Thief side: steal the oldest task. */
+    std::optional<T>
+    steal_top()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        T task = items_.front();
+        items_.pop_front();
+        return task;
+    }
+
+    /** Approximate emptiness (racy by nature; fine for polling). */
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<T> items_;
+};
+
+} // namespace lte::runtime
+
+#endif // LTE_RUNTIME_WS_DEQUE_HPP

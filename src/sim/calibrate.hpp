@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulator calibration and the paper's Sec. VI-A measurement
+ * protocol: cycles-per-op scaling (so the peak paper-model workload
+ * saturates 62 workers at one subframe per 5 ms, the operating point
+ * the paper reports), steady-state single-user activity measurement
+ * (Fig. 11), and the full calibration sweep that fits the k_{L,M}
+ * table used by the workload estimator.
+ */
+#ifndef LTE_SIM_CALIBRATE_HPP
+#define LTE_SIM_CALIBRATE_HPP
+
+#include <cstdint>
+
+#include "mgmt/estimator.hpp"
+#include "sim/sim_config.hpp"
+
+namespace lte::sim {
+
+/**
+ * Choose cycles_per_op such that the mean total work of a
+ * maximum-load subframe (paper model with the ramp probability pinned
+ * at 1.0: every user four layers, 64-QAM) equals the machine capacity
+ * n_workers x delta x clock.
+ */
+double calibrate_cycles_per_op(const SimConfig &config,
+                               std::size_t n_antennas = 4,
+                               std::uint64_t seed = 2012,
+                               std::size_t samples = 200);
+
+/**
+ * Steady-state activity for one user configuration: the same user
+ * every subframe for @p duration_s seconds (paper: ten seconds),
+ * activity measured over the whole run (Eq. 2).
+ */
+double steady_state_activity(const SimConfig &config,
+                             const phy::UserParams &user,
+                             std::size_t n_antennas = 4,
+                             double duration_s = 1.0);
+
+/** Sweep parameters for the Fig. 11 calibration. */
+struct CalibrationSweep
+{
+    std::uint32_t prb_min = 2;
+    std::uint32_t prb_max = 200;
+    std::uint32_t prb_step = 8;
+    /** Steady-state duration per point (paper: 10 s). */
+    double duration_s = 0.5;
+};
+
+/**
+ * Run the calibration sweep over all twelve (layers, modulation)
+ * configurations and fit the slope table (Eq. 3).
+ */
+mgmt::CalibrationTable calibrate_table(const SimConfig &config,
+                                       const CalibrationSweep &sweep = {},
+                                       std::size_t n_antennas = 4);
+
+} // namespace lte::sim
+
+#endif // LTE_SIM_CALIBRATE_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Configuration of the discrete-event TILEPro64 model.
+ *
+ * [SUBSTITUTION — DESIGN.md Sec. 1] The paper runs on real hardware;
+ * we simulate the 64-core chip at the task level: each subframe turns
+ * into the paper's task DAG (Sec. IV-C) whose per-task cycle costs
+ * come from the analytical kernel op model, and a greedy scheduler
+ * with nap/poll semantics plays the role of the work-stealing
+ * Pthreads runtime.  Defaults reproduce the paper's operating point:
+ * 62 workers, one subframe every 5 ms (the sustained rate the paper
+ * reports for the TILEPro64), 700 MHz clock.
+ */
+#ifndef LTE_SIM_SIM_CONFIG_HPP
+#define LTE_SIM_SIM_CONFIG_HPP
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "mgmt/strategy.hpp"
+
+namespace lte::sim {
+
+struct SimConfig
+{
+    /** Worker cores (the chip has 64; one runs drivers, one the
+     *  maintenance thread — Sec. V-B). */
+    std::uint32_t n_workers = 62;
+
+    /** Core clock in Hz (TILEPro64). */
+    double clock_hz = 700e6;
+
+    /** Subframe dispatch period in seconds (the TILEPro64 sustains
+     *  one subframe per 5 ms at maximum workload). */
+    double delta_s = 0.005;
+
+    /** Simulated cycles charged per model flop; set by calibration
+     *  so the maximum workload saturates the chip (DESIGN.md). */
+    double cycles_per_op = 1.0;
+
+    /** Core-deactivation strategy under study. */
+    mgmt::Strategy strategy = mgmt::Strategy::kNoNap;
+
+    /** Wake-poll period of a reactive (IDLE) napping worker looking
+     *  for work; bounds the pickup latency. */
+    double idle_wake_period_s = 200e-6;
+
+    /** Over-provisioning margin of Eq. 5. */
+    std::uint32_t core_margin = 2;
+
+    // --- DVFS extension (the paper's future-work direction) ---
+    /** Scale clock frequency per subframe from the workload estimate
+     *  instead of (or in addition to) gating cores. */
+    bool dvfs = false;
+    /** Estimation headroom added before choosing the frequency. */
+    double dvfs_margin = 0.10;
+    /** Lowest allowed frequency as a fraction of the nominal clock. */
+    double dvfs_min_scale = 0.25;
+
+    void
+    validate() const
+    {
+        LTE_CHECK(n_workers >= 1 && n_workers <= 64,
+                  "workers must be 1..64");
+        LTE_CHECK(clock_hz > 0.0, "clock must be positive");
+        LTE_CHECK(delta_s > 0.0, "delta must be positive");
+        LTE_CHECK(cycles_per_op > 0.0, "cycles/op must be positive");
+        LTE_CHECK(idle_wake_period_s > 0.0,
+                  "wake period must be positive");
+        LTE_CHECK(dvfs_margin >= 0.0 && dvfs_margin <= 1.0,
+                  "DVFS margin must be a fraction");
+        LTE_CHECK(dvfs_min_scale > 0.0 && dvfs_min_scale <= 1.0,
+                  "DVFS floor must be in (0, 1]");
+    }
+};
+
+} // namespace lte::sim
+
+#endif // LTE_SIM_SIM_CONFIG_HPP

@@ -1,0 +1,118 @@
+#include "tx/transmitter.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fft/fft.hpp"
+#include "phy/crc.hpp"
+#include "phy/scrambler.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/modulation.hpp"
+#include "phy/turbo.hpp"
+#include "phy/zadoff_chu.hpp"
+
+namespace lte::tx {
+
+namespace {
+
+std::size_t
+data_symbol_position(std::size_t data_symbol)
+{
+    return data_symbol < kRefSymbolIndex ? data_symbol : data_symbol + 1;
+}
+
+/**
+ * Expand payload bits into the on-air bit stream of capacity length:
+ * pass-through keeps the framed payload; real-turbo mode encodes and
+ * zero-pads.  Either way the stream is scrambled with the user's
+ * Gold sequence (TS 36.211 Sec. 7.2) before modulation.
+ */
+std::vector<std::uint8_t>
+on_air_bits(const phy::UserParams &params,
+            const std::vector<std::uint8_t> &framed, bool real_turbo)
+{
+    const std::size_t capacity = phy::capacity_bits(params);
+    std::vector<std::uint8_t> air;
+    if (!real_turbo) {
+        LTE_CHECK(framed.size() == capacity,
+                  "framed payload must fill the capacity");
+        air = framed;
+    } else {
+        air = phy::turbo_encode(framed);
+        LTE_CHECK(air.size() <= capacity,
+                  "turbo output exceeds allocation capacity");
+        air.resize(capacity, 0);
+    }
+    return phy::scramble(air, phy::scrambling_init(params.id));
+}
+
+} // namespace
+
+TxResult
+transmit_user_payload(const phy::UserParams &params,
+                      std::vector<std::uint8_t> payload, bool real_turbo)
+{
+    params.validate();
+    const std::size_t bps = bits_per_symbol(params.mod);
+
+    const std::vector<std::uint8_t> framed =
+        phy::crc24_attach(std::move(payload));
+    const std::vector<std::uint8_t> air =
+        on_air_bits(params, framed, real_turbo);
+
+    TxResult result;
+    result.payload_bits = framed;
+    result.grid.layers.resize(params.layers);
+
+    // Canonical framing order, mirroring UserProcessor::finish():
+    // slot -> layer -> data symbol -> sample.
+    std::size_t bit_pos = 0;
+    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+        const std::size_t m_sc = params.sc_in_slot(slot);
+        const float dft_scale =
+            1.0f / std::sqrt(static_cast<float>(m_sc));
+        auto plan = fft::FftCache::instance().get(m_sc);
+
+        for (std::size_t layer = 0; layer < params.layers; ++layer) {
+            auto &slots = result.grid.layers[layer].slots[slot];
+
+            // DMRS at the reference position.
+            slots[kRefSymbolIndex] =
+                phy::user_dmrs(params.id, slot, m_sc, layer);
+
+            for (std::size_t ds = 0; ds < kDataSymbolsPerSlot; ++ds) {
+                const std::vector<std::uint8_t> chunk(
+                    air.begin() + static_cast<std::ptrdiff_t>(bit_pos),
+                    air.begin() +
+                        static_cast<std::ptrdiff_t>(bit_pos +
+                                                    m_sc * bps));
+                bit_pos += m_sc * bps;
+
+                const CVec symbols = phy::modulate(chunk, params.mod);
+                const CVec interleaved = phy::interleave(symbols);
+
+                CVec freq(m_sc);
+                plan->forward(interleaved.data(), freq.data());
+                for (auto &v : freq)
+                    v *= dft_scale;
+                slots[data_symbol_position(ds)] = std::move(freq);
+            }
+        }
+    }
+    LTE_ASSERT(bit_pos == air.size(), "framing did not consume all bits");
+    return result;
+}
+
+TxResult
+transmit_user(const phy::UserParams &params, Rng &rng, bool real_turbo)
+{
+    const std::size_t capacity = phy::capacity_bits(params);
+    const std::size_t payload_len =
+        real_turbo ? phy::turbo_info_bits(capacity) - 24 : capacity - 24;
+    std::vector<std::uint8_t> payload(payload_len);
+    for (auto &b : payload)
+        b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+    return transmit_user_payload(params, std::move(payload), real_turbo);
+}
+
+} // namespace lte::tx

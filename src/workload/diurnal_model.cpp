@@ -1,0 +1,98 @@
+#include "workload/diurnal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace lte::workload {
+
+void
+DiurnalModelConfig::validate() const
+{
+    LTE_CHECK(average_load > 0.0 && average_load <= 1.0,
+              "average load must be in (0, 1]");
+    LTE_CHECK(swing >= 0.0 && swing <= 1.0, "swing must be in [0, 1]");
+    LTE_CHECK(period_subframes >= 2, "period must be >= 2 subframes");
+    LTE_CHECK(max_prb >= 2 && max_prb <= kMaxPrbPerSubframe,
+              "max_prb must be 2..200");
+    LTE_CHECK(max_users >= 1 && max_users <= kMaxUsersPerSubframe,
+              "max_users must be 1..10");
+}
+
+DiurnalModel::DiurnalModel(const DiurnalModelConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    cfg_.validate();
+}
+
+void
+DiurnalModel::reset()
+{
+    rng_ = Rng(cfg_.seed);
+    next_index_ = 0;
+}
+
+double
+DiurnalModel::load_at(std::uint64_t subframe) const
+{
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(subframe %
+                                             cfg_.period_subframes) /
+                         static_cast<double>(cfg_.period_subframes);
+    // Trough at t = period/4 ("night"), peak at 3*period/4.
+    const double load =
+        cfg_.average_load * (1.0 - cfg_.swing * std::sin(phase));
+    return std::clamp(load, 0.005, 1.0);
+}
+
+phy::SubframeParams
+DiurnalModel::next_subframe()
+{
+    const std::uint64_t index = next_index_++;
+    const double load = load_at(index);
+
+    phy::SubframeParams sf;
+    sf.subframe_index = index;
+
+    // Offered PRB budget and richness both track the load.
+    const auto budget = static_cast<std::uint32_t>(
+        std::lround(load * static_cast<double>(cfg_.max_prb)));
+    std::uint32_t prb_left = std::max<std::uint32_t>(budget, 2);
+
+    while (sf.users.size() < cfg_.max_users && prb_left >= 2) {
+        double draw =
+            static_cast<double>(cfg_.max_prb) * rng_.next_double();
+        const double distribution = rng_.next_double();
+        if (distribution < 0.4)
+            draw /= 8.0;
+        else if (distribution < 0.6)
+            draw /= 4.0;
+        else if (distribution < 0.9)
+            draw /= 2.0;
+
+        auto user_prb = static_cast<std::uint32_t>(std::floor(draw));
+        user_prb = std::clamp<std::uint32_t>(user_prb, 2, prb_left);
+        prb_left -= user_prb;
+
+        phy::UserParams user;
+        user.id = static_cast<std::uint32_t>(sf.users.size());
+        user.prb = user_prb;
+        user.layers = 1;
+        for (int extra = 0; extra < 3; ++extra) {
+            if (load > rng_.next_double())
+                ++user.layers;
+        }
+        user.mod = Modulation::kQpsk;
+        if (load > rng_.next_double()) {
+            user.mod = Modulation::k16Qam;
+            if (load > rng_.next_double())
+                user.mod = Modulation::k64Qam;
+        }
+        sf.users.push_back(user);
+    }
+    return sf;
+}
+
+} // namespace lte::workload

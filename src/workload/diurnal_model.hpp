@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Diurnal load model — the "more realistic use case" of the paper's
+ * conclusion: base stations average about 25% load with long
+ * low-activity periods (nights).  Load follows a raised sinusoid over
+ * a configurable period; the instantaneous load scales both the PRB
+ * budget offered to the scheduler and the layer/modulation
+ * probability.  This is an extension beyond the paper's evaluation,
+ * used to quantify the larger savings the conclusion predicts.
+ */
+#ifndef LTE_WORKLOAD_DIURNAL_MODEL_HPP
+#define LTE_WORKLOAD_DIURNAL_MODEL_HPP
+
+#include "common/rng.hpp"
+#include "workload/parameter_model.hpp"
+
+namespace lte::workload {
+
+struct DiurnalModelConfig
+{
+    /** Long-run average load in (0, 1]; the paper's "typical" is 0.25. */
+    double average_load = 0.25;
+    /** Peak-to-average swing; load(t) in [avg*(1-s), avg*(1+s)]. */
+    double swing = 0.8;
+    /** Subframes per full day cycle. */
+    std::uint64_t period_subframes = 68000;
+    std::uint32_t max_prb = 200;
+    std::uint32_t max_users = 10;
+    std::uint64_t seed = 424242;
+
+    void validate() const;
+};
+
+class DiurnalModel : public ParameterModel
+{
+  public:
+    explicit DiurnalModel(const DiurnalModelConfig &cfg = {});
+
+    phy::SubframeParams next_subframe() override;
+    void reset() override;
+
+    /** Instantaneous target load for a subframe index. */
+    double load_at(std::uint64_t subframe) const;
+
+  private:
+    DiurnalModelConfig cfg_;
+    Rng rng_;
+    std::uint64_t next_index_ = 0;
+};
+
+} // namespace lte::workload
+
+#endif // LTE_WORKLOAD_DIURNAL_MODEL_HPP

@@ -1,0 +1,126 @@
+#include "workload/paper_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lte::workload {
+
+void
+PaperModelConfig::validate() const
+{
+    LTE_CHECK(max_prb >= 2 && max_prb <= kMaxPrbPerSubframe,
+              "max_prb must be 2..200");
+    LTE_CHECK(max_users >= 1 && max_users <= kMaxUsersPerSubframe,
+              "max_users must be 1..10");
+    LTE_CHECK(ramp_subframes >= 1, "ramp must span at least one subframe");
+    LTE_CHECK(prob_update_interval >= 1, "update interval must be >= 1");
+    LTE_CHECK(prob_min >= 0.0 && prob_min <= prob_max && prob_max <= 1.0,
+              "probability bounds must satisfy 0 <= min <= max <= 1");
+}
+
+PaperModel::PaperModel(const PaperModelConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    cfg_.validate();
+}
+
+void
+PaperModel::reset()
+{
+    rng_ = Rng(cfg_.seed);
+    next_index_ = 0;
+}
+
+double
+PaperModel::current_probability(std::uint64_t subframe) const
+{
+    // Staircase position: the probability changes every
+    // prob_update_interval subframes and traverses min -> max over
+    // ramp_subframes, then max -> min over the next ramp_subframes,
+    // periodically.
+    const std::uint64_t period = 2 * cfg_.ramp_subframes;
+    const std::uint64_t phase = subframe % period;
+    const std::uint64_t stepped =
+        phase / cfg_.prob_update_interval * cfg_.prob_update_interval;
+    double frac;
+    if (stepped < cfg_.ramp_subframes) {
+        frac = static_cast<double>(stepped) /
+               static_cast<double>(cfg_.ramp_subframes);
+    } else {
+        frac = static_cast<double>(period - stepped) /
+               static_cast<double>(cfg_.ramp_subframes);
+    }
+    return cfg_.prob_min + (cfg_.prob_max - cfg_.prob_min) * frac;
+}
+
+double
+PaperModel::prb_density_weight(std::uint32_t prb, std::uint32_t max_prb)
+{
+    LTE_CHECK(max_prb >= 8, "max_prb too small for the divisor mix");
+    // A draw divided by d is uniform on (0, max_prb / d], contributing
+    // density d / max_prb there.  Mixture over the Fig. 6 divisors.
+    struct Branch { double probability; double divisor; };
+    static constexpr Branch branches[] = {
+        {0.4, 8.0}, {0.2, 4.0}, {0.3, 2.0}, {0.1, 1.0}};
+    double density = 0.0;
+    for (const auto &b : branches) {
+        if (static_cast<double>(prb) <=
+            static_cast<double>(max_prb) / b.divisor) {
+            density += b.probability * b.divisor /
+                       static_cast<double>(max_prb);
+        }
+    }
+    return density;
+}
+
+phy::SubframeParams
+PaperModel::next_subframe()
+{
+    const std::uint64_t index = next_index_++;
+    const double prob = current_probability(index);
+
+    phy::SubframeParams sf;
+    sf.subframe_index = index;
+
+    // Fig. 6: users until MAX_USERS or the PRB budget is exhausted.
+    std::uint32_t prb_left = cfg_.max_prb;
+    while (sf.users.size() < cfg_.max_users && prb_left >= 2) {
+        double draw = static_cast<double>(cfg_.max_prb) *
+                      rng_.next_double();
+        // "Create a larger spread in number of PRBs".
+        const double distribution = rng_.next_double();
+        if (distribution < 0.4)
+            draw /= 8.0;
+        else if (distribution < 0.6)
+            draw /= 4.0;
+        else if (distribution < 0.9)
+            draw /= 2.0;
+
+        auto user_prb =
+            static_cast<std::uint32_t>(std::floor(draw));
+        user_prb = std::clamp<std::uint32_t>(user_prb, 2, prb_left);
+        prb_left -= user_prb;
+
+        // Fig. 10: layers and modulation from the ramp probability.
+        phy::UserParams user;
+        user.id = static_cast<std::uint32_t>(sf.users.size());
+        user.prb = user_prb;
+        user.layers = 1;
+        for (int extra = 0; extra < 3; ++extra) {
+            if (prob > rng_.next_double())
+                ++user.layers;
+        }
+        user.mod = Modulation::kQpsk;
+        if (prob > rng_.next_double()) {
+            user.mod = Modulation::k16Qam;
+            if (prob > rng_.next_double())
+                user.mod = Modulation::k64Qam;
+        }
+        sf.users.push_back(user);
+    }
+    return sf;
+}
+
+} // namespace lte::workload

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The paper's evaluation input parameter model (Sec. V-A, Figs. 6 and
+ * 10): per subframe, a random number of users with random PRB
+ * allocations; layer count and modulation probabilities follow a
+ * triangular ramp from 0.6% to 100% and back, stepped every 200
+ * subframes, reaching the peak after 34 000 subframes.
+ */
+#ifndef LTE_WORKLOAD_PAPER_MODEL_HPP
+#define LTE_WORKLOAD_PAPER_MODEL_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "workload/parameter_model.hpp"
+
+namespace lte::workload {
+
+/** Tunables of the paper model; defaults match the paper exactly. */
+struct PaperModelConfig
+{
+    std::uint32_t max_prb = 200;   ///< MAX_PRB (Fig. 6)
+    std::uint32_t max_users = 10;  ///< MAX_USERS (Fig. 6)
+    /** Subframes from minimum to maximum workload (half the period). */
+    std::uint64_t ramp_subframes = 34000;
+    /** The probability is re-evaluated every this many subframes. */
+    std::uint64_t prob_update_interval = 200;
+    double prob_min = 0.006;       ///< 0.6 %
+    double prob_max = 1.0;
+    std::uint64_t seed = 2012;
+
+    void validate() const;
+};
+
+class PaperModel : public ParameterModel
+{
+  public:
+    explicit PaperModel(const PaperModelConfig &cfg = {});
+
+    phy::SubframeParams next_subframe() override;
+    void reset() override;
+
+    /**
+     * The staircase probability used for the layer/modulation draws of
+     * subframe @p subframe (Fig. 10's current_probability()).
+     */
+    double current_probability(std::uint64_t subframe) const;
+
+    /**
+     * Relative probability density of a user PRB allocation of size
+     * @p prb under the Fig. 6 draw (uniform draw divided by 8/4/2/1
+     * with probabilities 0.4/0.2/0.3/0.1).  Used to weight estimator
+     * calibration toward the traffic mix the model generates.
+     */
+    static double prb_density_weight(std::uint32_t prb,
+                                     std::uint32_t max_prb = 200);
+
+    const PaperModelConfig &config() const { return cfg_; }
+
+  private:
+    PaperModelConfig cfg_;
+    Rng rng_;
+    std::uint64_t next_index_ = 0;
+};
+
+} // namespace lte::workload
+
+#endif // LTE_WORKLOAD_PAPER_MODEL_HPP

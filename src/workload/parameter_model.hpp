@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Input-parameter-model interface (paper Sec. IV-B.2): a model is
+ * asked once per subframe for the set of scheduled users and their
+ * parameters.  This mirrors the paper's init_parameter_model() /
+ * uplink_parameters() function pair in object form.
+ */
+#ifndef LTE_WORKLOAD_PARAMETER_MODEL_HPP
+#define LTE_WORKLOAD_PARAMETER_MODEL_HPP
+
+#include "phy/params.hpp"
+
+namespace lte::workload {
+
+/** Produces the workload of successive subframes. */
+class ParameterModel
+{
+  public:
+    virtual ~ParameterModel() = default;
+
+    /** The parameters of the next subframe (advances internal state). */
+    virtual phy::SubframeParams next_subframe() = 0;
+
+    /** Restart the model from its initial state. */
+    virtual void reset() = 0;
+};
+
+} // namespace lte::workload
+
+#endif // LTE_WORKLOAD_PARAMETER_MODEL_HPP

@@ -1,0 +1,26 @@
+#include "workload/steady_model.hpp"
+
+namespace lte::workload {
+
+SteadyModel::SteadyModel(const phy::UserParams &user)
+    : user_(user)
+{
+    user_.validate();
+}
+
+phy::SubframeParams
+SteadyModel::next_subframe()
+{
+    phy::SubframeParams sf;
+    sf.subframe_index = next_index_++;
+    sf.users.push_back(user_);
+    return sf;
+}
+
+void
+SteadyModel::reset()
+{
+    next_index_ = 0;
+}
+
+} // namespace lte::workload

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Steady-state single-user model (paper Sec. VI-A): the same user
+ * parameter configuration every subframe, used to measure the
+ * correlation between input parameters and activity (Fig. 11) because
+ * a single subframe is too short to measure in isolation.
+ */
+#ifndef LTE_WORKLOAD_STEADY_MODEL_HPP
+#define LTE_WORKLOAD_STEADY_MODEL_HPP
+
+#include "workload/parameter_model.hpp"
+
+namespace lte::workload {
+
+class SteadyModel : public ParameterModel
+{
+  public:
+    /** Every subframe carries exactly this one user. */
+    explicit SteadyModel(const phy::UserParams &user);
+
+    phy::SubframeParams next_subframe() override;
+    void reset() override;
+
+  private:
+    phy::UserParams user_;
+    std::uint64_t next_index_ = 0;
+};
+
+} // namespace lte::workload
+
+#endif // LTE_WORKLOAD_STEADY_MODEL_HPP

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the small complex matrix library used in combiner-weight
+ * computation: shape checks, products, Hermitian transpose, inversion
+ * (including the MMSE-style A^H A + sigma^2 I pattern), and solve.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "matrix/cmat.hpp"
+
+namespace lte::matrix {
+namespace {
+
+CMat
+random_matrix(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    CMat m(r, c);
+    for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+            m.at(i, j) = cf32(static_cast<float>(rng.next_gaussian()),
+                              static_cast<float>(rng.next_gaussian()));
+        }
+    }
+    return m;
+}
+
+TEST(CMat, ZeroInitialised)
+{
+    CMat m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(m.at(r, c), cf32(0.0f, 0.0f));
+    }
+}
+
+TEST(CMat, IdentityTimesAnythingIsIdentity)
+{
+    const CMat a = random_matrix(4, 4, 1);
+    const CMat i = CMat::identity(4);
+    EXPECT_LT(i.mul(a).max_abs_diff(a), 1e-6f);
+    EXPECT_LT(a.mul(i).max_abs_diff(a), 1e-6f);
+}
+
+TEST(CMat, AtRangeChecked)
+{
+    CMat m(2, 2);
+    EXPECT_THROW(m.at(2, 0), std::invalid_argument);
+    EXPECT_THROW(m.at(0, 2), std::invalid_argument);
+}
+
+TEST(CMat, ConstructorRejectsBadValueCount)
+{
+    EXPECT_THROW(CMat(2, 2, std::vector<cf32>(3)), std::invalid_argument);
+}
+
+TEST(CMat, MulShapeMismatchThrows)
+{
+    const CMat a(2, 3), b(2, 3);
+    EXPECT_THROW(a.mul(b), std::invalid_argument);
+}
+
+TEST(CMat, KnownProduct)
+{
+    // [1 i; 0 2] * [1; 1] = [1+i; 2]
+    CMat a(2, 2, {cf32(1, 0), cf32(0, 1), cf32(0, 0), cf32(2, 0)});
+    const auto v = a.mul_vec({cf32(1, 0), cf32(1, 0)});
+    EXPECT_NEAR(std::abs(v[0] - cf32(1, 1)), 0.0f, 1e-6f);
+    EXPECT_NEAR(std::abs(v[1] - cf32(2, 0)), 0.0f, 1e-6f);
+}
+
+TEST(CMat, HermitianConjugatesAndTransposes)
+{
+    CMat a(1, 2, {cf32(1, 2), cf32(3, -4)});
+    const CMat h = a.hermitian();
+    EXPECT_EQ(h.rows(), 2u);
+    EXPECT_EQ(h.cols(), 1u);
+    EXPECT_EQ(h.at(0, 0), cf32(1, -2));
+    EXPECT_EQ(h.at(1, 0), cf32(3, 4));
+}
+
+TEST(CMat, HermitianOfProductRule)
+{
+    const CMat a = random_matrix(3, 4, 2);
+    const CMat b = random_matrix(4, 2, 3);
+    // (AB)^H == B^H A^H
+    const CMat lhs = a.mul(b).hermitian();
+    const CMat rhs = b.hermitian().mul(a.hermitian());
+    EXPECT_LT(lhs.max_abs_diff(rhs), 1e-4f);
+}
+
+class InverseSizeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(InverseSizeTest, InverseTimesSelfIsIdentity)
+{
+    const std::size_t n = GetParam();
+    // Diagonal loading guarantees the random matrix is invertible.
+    const CMat a =
+        random_matrix(n, n, 40 + n).add_scaled_identity(4.0f);
+    const CMat inv = a.inverse();
+    const CMat prod = a.mul(inv);
+    EXPECT_LT(prod.max_abs_diff(CMat::identity(n)), 1e-3f) << "n=" << n;
+}
+
+TEST_P(InverseSizeTest, MmsePatternIsInvertible)
+{
+    const std::size_t n = GetParam();
+    // H^H H + sigma^2 I with tall H, the exact combiner-weight shape.
+    const CMat h = random_matrix(n + 1, n, 70 + n);
+    const CMat gram =
+        h.hermitian().mul(h).add_scaled_identity(0.1f);
+    const CMat inv = gram.inverse();
+    EXPECT_LT(gram.mul(inv).max_abs_diff(CMat::identity(n)), 5e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InverseSizeTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 6, 8),
+                         [](const auto &info) {
+                             return "n" + std::to_string(info.param);
+                         });
+
+TEST(CMat, SingularMatrixThrows)
+{
+    CMat a(2, 2, {cf32(1, 0), cf32(2, 0), cf32(2, 0), cf32(4, 0)});
+    EXPECT_THROW(a.inverse(), std::invalid_argument);
+}
+
+TEST(CMat, InverseRequiresSquare)
+{
+    const CMat a(2, 3);
+    EXPECT_THROW(a.inverse(), std::invalid_argument);
+}
+
+TEST(CMat, SolveRecoversKnownVector)
+{
+    const CMat a = random_matrix(4, 4, 5).add_scaled_identity(3.0f);
+    Rng rng(6);
+    std::vector<cf32> x(4);
+    for (auto &v : x) {
+        v = cf32(static_cast<float>(rng.next_gaussian()),
+                 static_cast<float>(rng.next_gaussian()));
+    }
+    const auto b = a.mul_vec(x);
+    const auto solved = a.solve(b);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(std::abs(solved[i] - x[i]), 0.0f, 1e-3f);
+}
+
+TEST(CMat, PivotingHandlesZeroLeadingDiagonal)
+{
+    // Leading diagonal entry zero: inversion must survive via pivoting.
+    CMat a(2, 2, {cf32(0, 0), cf32(1, 0), cf32(1, 0), cf32(0, 0)});
+    const CMat inv = a.inverse();
+    EXPECT_LT(a.mul(inv).max_abs_diff(CMat::identity(2)), 1e-6f);
+}
+
+TEST(CMat, FrobeniusNorm)
+{
+    CMat a(1, 2, {cf32(3, 0), cf32(0, 4)});
+    EXPECT_NEAR(a.frobenius_norm(), 5.0f, 1e-6f);
+}
+
+TEST(CMat, AddScaledIdentityRequiresSquare)
+{
+    const CMat a(2, 3);
+    EXPECT_THROW(a.add_scaled_identity(1.0f), std::invalid_argument);
+}
+
+TEST(CMat, InverseOpCountScalesCubically)
+{
+    EXPECT_EQ(CMat::inverse_op_count(2) * 8, CMat::inverse_op_count(4));
+    EXPECT_GT(CMat::inverse_op_count(1), 0u);
+}
+
+} // namespace
+} // namespace lte::matrix

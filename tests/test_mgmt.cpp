@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Power-management logic tests: calibration fitting (Eq. 3), subframe
+ * estimation (Eq. 4), core allocation (Eq. 5), domain discretisation
+ * (Eq. 6), and the gating provisioning window (Eq. 7).
+ */
+#include <gtest/gtest.h>
+
+#include "mgmt/core_allocator.hpp"
+#include "mgmt/estimator.hpp"
+#include "mgmt/strategy.hpp"
+
+namespace lte::mgmt {
+namespace {
+
+CalibrationTable
+synthetic_table()
+{
+    // Slopes loosely shaped like the paper's Fig. 11: more layers and
+    // denser modulation cost more per PRB.
+    CalibrationTable table;
+    for (std::uint32_t l = 1; l <= 4; ++l) {
+        table.set(l, Modulation::kQpsk, 0.0008 * l);
+        table.set(l, Modulation::k16Qam, 0.0010 * l);
+        table.set(l, Modulation::k64Qam, 0.0012 * l);
+    }
+    return table;
+}
+
+TEST(CalibrationTable, FitRecoversExactSlope)
+{
+    CalibrationTable table;
+    std::vector<CalibrationSample> samples;
+    for (std::uint32_t prb = 2; prb <= 200; prb += 2)
+        samples.push_back({prb, 0.002 * prb});
+    table.fit(2, Modulation::k16Qam, samples);
+    EXPECT_NEAR(table.get(2, Modulation::k16Qam), 0.002, 1e-12);
+}
+
+TEST(CalibrationTable, FitAveragesNoise)
+{
+    CalibrationTable table;
+    std::vector<CalibrationSample> samples;
+    // Alternate +/- 10% noise around slope 0.001.
+    for (std::uint32_t prb = 10; prb <= 200; prb += 10) {
+        const double noise = (prb / 10) % 2 == 0 ? 1.1 : 0.9;
+        samples.push_back({prb, 0.001 * prb * noise});
+    }
+    table.fit(1, Modulation::kQpsk, samples);
+    EXPECT_NEAR(table.get(1, Modulation::kQpsk), 0.001, 1e-4);
+}
+
+TEST(CalibrationTable, CompleteOnlyWhenAllSlotsSet)
+{
+    CalibrationTable table;
+    EXPECT_FALSE(table.complete());
+    for (std::uint32_t l = 1; l <= 4; ++l) {
+        for (Modulation mod : kAllModulations)
+            table.set(l, mod, 0.001);
+    }
+    EXPECT_TRUE(table.complete());
+}
+
+TEST(CalibrationTable, RejectsBadInput)
+{
+    CalibrationTable table;
+    EXPECT_THROW(table.set(0, Modulation::kQpsk, 0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(table.set(5, Modulation::kQpsk, 0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(table.set(1, Modulation::kQpsk, -0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(table.fit(1, Modulation::kQpsk, {}),
+                 std::invalid_argument);
+}
+
+TEST(WorkloadEstimator, UserEstimateIsLinearInPrbs)
+{
+    WorkloadEstimator est(synthetic_table());
+    phy::UserParams user;
+    user.layers = 2;
+    user.mod = Modulation::k16Qam;
+    user.prb = 50;
+    const double e50 = est.estimate_user(user);
+    user.prb = 100;
+    EXPECT_NEAR(est.estimate_user(user), 2.0 * e50, 1e-12);
+}
+
+TEST(WorkloadEstimator, SubframeSumsUsersAndClamps)
+{
+    WorkloadEstimator est(synthetic_table());
+    phy::SubframeParams sf;
+    for (int i = 0; i < 3; ++i) {
+        phy::UserParams u;
+        u.prb = 60;
+        u.layers = 1;
+        u.mod = Modulation::kQpsk;
+        sf.users.push_back(u);
+    }
+    EXPECT_NEAR(est.estimate_subframe(sf), 3 * 60 * 0.0008, 1e-9);
+
+    // Saturation: ten maxed users exceed 1.0 and must clamp.
+    sf.users.clear();
+    for (int i = 0; i < 10; ++i) {
+        phy::UserParams u;
+        u.prb = 200;
+        u.layers = 4;
+        u.mod = Modulation::k64Qam;
+        sf.users.push_back(u);
+    }
+    EXPECT_DOUBLE_EQ(est.estimate_subframe(sf), 1.0);
+}
+
+TEST(WorkloadEstimator, ActiveCoresEquation5)
+{
+    WorkloadEstimator est(synthetic_table());
+    // activity * 62 + 2, ceiling, clamped.
+    EXPECT_EQ(est.active_cores(0.0, 62), 2u);
+    EXPECT_EQ(est.active_cores(0.5, 62), 33u);
+    EXPECT_EQ(est.active_cores(1.0, 62), 62u);
+    EXPECT_EQ(est.active_cores(0.985, 62), 62u); // clamped at max
+    EXPECT_EQ(est.active_cores(0.1, 62, 0), 7u); // no margin
+}
+
+TEST(Discretise, Equation6)
+{
+    EXPECT_EQ(discretise_to_domains(0, 8, 64), 0u);
+    EXPECT_EQ(discretise_to_domains(1, 8, 64), 8u);
+    EXPECT_EQ(discretise_to_domains(8, 8, 64), 8u);
+    EXPECT_EQ(discretise_to_domains(9, 8, 64), 16u);
+    EXPECT_EQ(discretise_to_domains(62, 8, 64), 64u);
+    EXPECT_EQ(discretise_to_domains(100, 8, 64), 64u);
+}
+
+TEST(GatingPlanner, WindowMaximumEquation7)
+{
+    GatingPlanner planner(8, 64);
+    std::vector<std::uint32_t> decisions;
+    // Demands (already in cores, pre-discretisation): a single spike.
+    const std::uint32_t demands[] = {4, 4, 4, 20, 4, 4, 4, 4};
+    for (std::uint32_t d : demands) {
+        for (std::uint32_t p : planner.push(d))
+            decisions.push_back(p);
+    }
+    for (std::uint32_t p : planner.finish())
+        decisions.push_back(p);
+
+    ASSERT_EQ(decisions.size(), 8u);
+    // The spike (24 cores discretised) must cover i-2..i+2 around it.
+    // Demands discretise to 8 except index 3 -> 24.
+    const std::vector<std::uint32_t> expected = {8, 24, 24, 24, 24, 24,
+                                                 8, 8};
+    EXPECT_EQ(decisions, expected);
+}
+
+TEST(GatingPlanner, ConstantDemandIsConstant)
+{
+    GatingPlanner planner(8, 64);
+    std::vector<std::uint32_t> decisions;
+    for (int i = 0; i < 20; ++i) {
+        for (std::uint32_t p : planner.push(30))
+            decisions.push_back(p);
+    }
+    for (std::uint32_t p : planner.finish())
+        decisions.push_back(p);
+    ASSERT_EQ(decisions.size(), 20u);
+    for (std::uint32_t p : decisions)
+        EXPECT_EQ(p, 32u);
+}
+
+TEST(GatingPlanner, EmitsExactlyOneDecisionPerSubframe)
+{
+    GatingPlanner planner(8, 64);
+    std::size_t total = 0;
+    for (int i = 0; i < 100; ++i)
+        total += planner.push(static_cast<std::uint32_t>(i % 40)).size();
+    total += planner.finish().size();
+    EXPECT_EQ(total, 100u);
+}
+
+TEST(Strategy, NamesMatchPaper)
+{
+    EXPECT_STREQ(strategy_name(Strategy::kNoNap), "NONAP");
+    EXPECT_STREQ(strategy_name(Strategy::kIdle), "IDLE");
+    EXPECT_STREQ(strategy_name(Strategy::kNap), "NAP");
+    EXPECT_STREQ(strategy_name(Strategy::kNapIdle), "NAP+IDLE");
+    EXPECT_STREQ(strategy_name(Strategy::kPowerGating), "PowerGating");
+}
+
+} // namespace
+} // namespace lte::mgmt

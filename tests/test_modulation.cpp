@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Modulation mapper / soft demapper tests: constellation energy and
+ * Gray properties, round-trips through mapping and hard decision,
+ * LLR sign structure, and noise behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "phy/modulation.hpp"
+
+namespace lte::phy {
+namespace {
+
+class ModulationTest : public ::testing::TestWithParam<Modulation>
+{
+};
+
+TEST_P(ModulationTest, ConstellationHasUnitAveragePower)
+{
+    const CVec &points = constellation(GetParam());
+    double power = 0.0;
+    for (const auto &p : points)
+        power += std::norm(p);
+    power /= static_cast<double>(points.size());
+    EXPECT_NEAR(power, 1.0, 1e-5);
+}
+
+TEST_P(ModulationTest, ConstellationPointsDistinct)
+{
+    const CVec &points = constellation(GetParam());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t j = i + 1; j < points.size(); ++j)
+            EXPECT_GT(std::abs(points[i] - points[j]), 1e-3f);
+    }
+}
+
+TEST_P(ModulationTest, MapDemapRoundTripNoiseless)
+{
+    const Modulation mod = GetParam();
+    const std::size_t bps = bits_per_symbol(mod);
+    Rng rng(77);
+    std::vector<std::uint8_t> bits(bps * 256);
+    for (auto &b : bits)
+        b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+
+    const CVec symbols = modulate(bits, mod);
+    const auto llrs = demodulate_soft(symbols, mod, 0.01f);
+    const auto decided = hard_decision(llrs);
+    EXPECT_EQ(decided, bits);
+}
+
+TEST_P(ModulationTest, RoundTripSurvivesModerateNoise)
+{
+    const Modulation mod = GetParam();
+    const std::size_t bps = bits_per_symbol(mod);
+    Rng rng(88);
+    std::vector<std::uint8_t> bits(bps * 512);
+    for (auto &b : bits)
+        b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+
+    CVec symbols = modulate(bits, mod);
+    // 30 dB SNR: far above threshold for all three modulations.
+    const float noise_std = std::sqrt(0.001f / 2.0f);
+    for (auto &s : symbols) {
+        s += cf32(static_cast<float>(rng.next_gaussian()) * noise_std,
+                  static_cast<float>(rng.next_gaussian()) * noise_std);
+    }
+    const auto decided =
+        hard_decision(demodulate_soft(symbols, mod, 0.001f));
+    EXPECT_EQ(decided, bits);
+}
+
+TEST_P(ModulationTest, LlrMagnitudeScalesWithNoiseVariance)
+{
+    const Modulation mod = GetParam();
+    const std::size_t bps = bits_per_symbol(mod);
+    std::vector<std::uint8_t> bits(bps, 0);
+    const CVec symbols = modulate(bits, mod);
+
+    const auto llr_low = demodulate_soft(symbols, mod, 0.01f);
+    const auto llr_high = demodulate_soft(symbols, mod, 1.0f);
+    for (std::size_t i = 0; i < llr_low.size(); ++i)
+        EXPECT_NEAR(llr_low[i], llr_high[i] * 100.0f,
+                    std::abs(llr_low[i]) * 1e-3f);
+}
+
+TEST_P(ModulationTest, EachBitPatternMapsToItsConstellationPoint)
+{
+    const Modulation mod = GetParam();
+    const std::size_t bps = bits_per_symbol(mod);
+    const CVec &points = constellation(mod);
+    for (std::size_t v = 0; v < points.size(); ++v) {
+        std::vector<std::uint8_t> bits(bps);
+        for (std::size_t i = 0; i < bps; ++i)
+            bits[i] =
+                static_cast<std::uint8_t>((v >> (bps - 1 - i)) & 1);
+        const CVec s = modulate(bits, mod);
+        ASSERT_EQ(s.size(), 1u);
+        EXPECT_LT(std::abs(s[0] - points[v]), 1e-6f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMods, ModulationTest,
+                         ::testing::Values(Modulation::kQpsk,
+                                           Modulation::k16Qam,
+                                           Modulation::k64Qam),
+                         [](const auto &info) {
+                             return modulation_name(info.param);
+                         });
+
+TEST(Modulation, QpskMapsToExpectedQuadrants)
+{
+    const float a = 1.0f / std::sqrt(2.0f);
+    const CVec s = modulate({0, 0, 0, 1, 1, 0, 1, 1}, Modulation::kQpsk);
+    EXPECT_LT(std::abs(s[0] - cf32(a, a)), 1e-6f);
+    EXPECT_LT(std::abs(s[1] - cf32(a, -a)), 1e-6f);
+    EXPECT_LT(std::abs(s[2] - cf32(-a, a)), 1e-6f);
+    EXPECT_LT(std::abs(s[3] - cf32(-a, -a)), 1e-6f);
+}
+
+TEST(Modulation, SixteenQamGrayNeighbours)
+{
+    // Gray mapping: adjacent constellation points along an axis differ
+    // in exactly one bit of the axis-controlling pair.
+    const CVec &points = constellation(Modulation::k16Qam);
+    // Point indices for bit patterns b0 b1 b2 b3. Walk I-axis levels
+    // via (b0, b2): 11 -> -3, 10 -> -1, 00 -> +1, 01 -> +3.
+    const float a = 1.0f / std::sqrt(10.0f);
+    const std::size_t idx_m3 = 0b1010, idx_m1 = 0b1000,
+                      idx_p1 = 0b0000, idx_p3 = 0b0010;
+    EXPECT_NEAR(points[idx_m3].real(), -3 * a, 1e-6f);
+    EXPECT_NEAR(points[idx_m1].real(), -1 * a, 1e-6f);
+    EXPECT_NEAR(points[idx_p1].real(), +1 * a, 1e-6f);
+    EXPECT_NEAR(points[idx_p3].real(), +3 * a, 1e-6f);
+}
+
+TEST(Modulation, RejectsRaggedBitCount)
+{
+    EXPECT_THROW(modulate({0, 1, 0}, Modulation::kQpsk),
+                 std::invalid_argument);
+    EXPECT_THROW(modulate({0, 1, 0, 1, 1}, Modulation::k16Qam),
+                 std::invalid_argument);
+}
+
+TEST(Modulation, RejectsNonPositiveNoise)
+{
+    const CVec s = {cf32(1.0f, 0.0f)};
+    EXPECT_THROW(demodulate_soft(s, Modulation::kQpsk, 0.0f),
+                 std::invalid_argument);
+}
+
+TEST(Modulation, HardDecisionSignConvention)
+{
+    EXPECT_EQ(hard_decision({1.5f, -0.5f, 0.0f}),
+              (std::vector<std::uint8_t>{0, 1, 0}));
+}
+
+} // namespace
+} // namespace lte::phy

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Receiver-chain tests: channel estimator accuracy against ground
+ * truth, combiner behaviour, and — the key integration property — the
+ * full transmit -> channel -> receive round trip decoding the payload
+ * with a green CRC across allocations, layers, and modulations.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/mimo_channel.hpp"
+#include "channel/signal_source.hpp"
+#include "common/rng.hpp"
+#include "phy/channel_estimator.hpp"
+#include "phy/combiner.hpp"
+#include "phy/user_processor.hpp"
+#include "phy/zadoff_chu.hpp"
+#include "tx/transmitter.hpp"
+
+namespace lte {
+namespace {
+
+using phy::UserParams;
+using phy::ReceiverConfig;
+
+// ------------------------------------------------- channel estimator
+
+TEST(ChannelEstimator, RecoversFlatChannelNoiselessly)
+{
+    const std::size_t m = 120;
+    const CVec ref = phy::user_dmrs(1, 0, m, 0);
+    const cf32 h(0.8f, -0.6f);
+    CVec rx(m);
+    for (std::size_t k = 0; k < m; ++k)
+        rx[k] = h * ref[k];
+    const auto est = phy::estimate_channel(rx, ref);
+    for (std::size_t k = 0; k < m; ++k)
+        EXPECT_LT(std::abs(est.freq_response[k] - h), 1e-3f);
+    EXPECT_LT(est.noise_var, 1e-5f);
+}
+
+TEST(ChannelEstimator, RecoversMultipathChannel)
+{
+    const std::size_t m = 600;
+    Rng rng(42);
+    channel::ChannelConfig ccfg;
+    ccfg.n_antennas = 1;
+    channel::MimoChannel chan(ccfg, 1, rng);
+    const CVec h = chan.frequency_response(0, 0, m);
+
+    const CVec ref = phy::user_dmrs(3, 0, m, 0);
+    CVec rx(m);
+    for (std::size_t k = 0; k < m; ++k)
+        rx[k] = h[k] * ref[k];
+    const auto est = phy::estimate_channel(rx, ref);
+    double err = 0.0, power = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+        err += std::norm(est.freq_response[k] - h[k]);
+        power += std::norm(h[k]);
+    }
+    EXPECT_LT(err / power, 1e-4);
+}
+
+TEST(ChannelEstimator, WindowSuppressesNoise)
+{
+    // With noise added, the windowed estimate must be closer to the
+    // true channel than the raw matched-filter output.
+    const std::size_t m = 300;
+    Rng rng(77);
+    const cf32 h(1.0f, 0.5f);
+    const CVec ref = phy::user_dmrs(2, 1, m, 0);
+    const float noise_std = 0.1f;
+    CVec rx(m);
+    for (std::size_t k = 0; k < m; ++k) {
+        rx[k] = h * ref[k] +
+                cf32(static_cast<float>(rng.next_gaussian()) * noise_std,
+                     static_cast<float>(rng.next_gaussian()) * noise_std);
+    }
+    const auto est = phy::estimate_channel(rx, ref);
+    double err_windowed = 0.0, err_raw = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+        err_windowed += std::norm(est.freq_response[k] - h);
+        err_raw += std::norm(rx[k] * std::conj(ref[k]) - h);
+    }
+    EXPECT_LT(err_windowed, err_raw / 4.0);
+}
+
+TEST(ChannelEstimator, NoiseVarianceEstimateIsCalibrated)
+{
+    const std::size_t m = 1200;
+    Rng rng(99);
+    const CVec ref = phy::user_dmrs(5, 0, m, 0);
+    const float noise_var = 0.04f;
+    const float noise_std = std::sqrt(noise_var / 2.0f);
+    CVec rx(m);
+    for (std::size_t k = 0; k < m; ++k) {
+        rx[k] = ref[k] +
+                cf32(static_cast<float>(rng.next_gaussian()) * noise_std,
+                     static_cast<float>(rng.next_gaussian()) * noise_std);
+    }
+    const auto est = phy::estimate_channel(rx, ref);
+    EXPECT_NEAR(est.noise_var, noise_var, noise_var * 0.5f);
+}
+
+TEST(ChannelEstimator, SeparatesCyclicShiftedLayers)
+{
+    // Two layers transmit simultaneously; estimating with layer 0's
+    // reference must recover layer 0's channel, not layer 2's.
+    const std::size_t m = 480;
+    const cf32 h0(1.0f, 0.0f), h2(0.0f, 1.0f);
+    const CVec r0 = phy::user_dmrs(4, 0, m, 0);
+    const CVec r2 = phy::user_dmrs(4, 0, m, 2);
+    CVec rx(m);
+    for (std::size_t k = 0; k < m; ++k)
+        rx[k] = h0 * r0[k] + h2 * r2[k];
+    const auto est = phy::estimate_channel(rx, r0);
+    double err = 0.0;
+    for (std::size_t k = 0; k < m; ++k)
+        err += std::norm(est.freq_response[k] - h0);
+    EXPECT_LT(err / static_cast<double>(m), 1e-3);
+}
+
+TEST(ChannelEstimator, RejectsMismatchedLengths)
+{
+    EXPECT_THROW(phy::estimate_channel(CVec(10), CVec(12)),
+                 std::invalid_argument);
+    EXPECT_THROW(phy::estimate_channel(CVec(), CVec()),
+                 std::invalid_argument);
+}
+
+TEST(ChannelEstimator, WindowExtentRespectsBounds)
+{
+    for (std::size_t n : {12u, 120u, 1200u}) {
+        const auto [front, back] = phy::window_extent(n, 0.125);
+        EXPECT_GE(front + back, 1u);
+        EXPECT_LE(front + back, n);
+        EXPECT_LT(front, n / 4 + 1); // stays inside the layer bin
+    }
+}
+
+// ----------------------------------------------------------- combiner
+
+TEST(Combiner, SingleAntennaSingleLayerIsChannelInversion)
+{
+    const std::size_t m = 24;
+    const cf32 h(2.0f, 1.0f);
+    std::vector<std::vector<CVec>> channel(1, std::vector<CVec>(1));
+    channel[0][0].assign(m, h);
+    const auto w = phy::compute_combiner_weights(channel, 1e-4f);
+    // w ~= h* / (|h|^2 + sigma^2): combining y = h*x returns ~x.
+    std::vector<CVec> rx(1, CVec(m, h * cf32(3.0f, -1.0f)));
+    const CVec z = phy::combine_layer(rx, w, 0);
+    for (const auto &v : z)
+        EXPECT_LT(std::abs(v - cf32(3.0f, -1.0f)), 1e-2f);
+}
+
+TEST(Combiner, RecoversTwoLayersThroughKnownMatrix)
+{
+    // y = H x with a well-conditioned 2x2 H; MMSE with tiny noise
+    // must separate the layers.
+    const std::size_t m = 36;
+    const cf32 h00(1.0f, 0.2f), h01(0.3f, -0.4f);
+    const cf32 h10(-0.2f, 0.5f), h11(0.9f, -0.1f);
+    std::vector<std::vector<CVec>> channel(2, std::vector<CVec>(2));
+    channel[0][0].assign(m, h00);
+    channel[0][1].assign(m, h01);
+    channel[1][0].assign(m, h10);
+    channel[1][1].assign(m, h11);
+    const auto w = phy::compute_combiner_weights(channel, 1e-5f);
+
+    const cf32 x0(1.0f, 1.0f), x1(-0.5f, 2.0f);
+    std::vector<CVec> rx(2, CVec(m));
+    for (std::size_t k = 0; k < m; ++k) {
+        rx[0][k] = h00 * x0 + h01 * x1;
+        rx[1][k] = h10 * x0 + h11 * x1;
+    }
+    const CVec z0 = phy::combine_layer(rx, w, 0);
+    const CVec z1 = phy::combine_layer(rx, w, 1);
+    for (std::size_t k = 0; k < m; ++k) {
+        EXPECT_LT(std::abs(z0[k] - x0), 5e-2f);
+        EXPECT_LT(std::abs(z1[k] - x1), 5e-2f);
+    }
+}
+
+TEST(Combiner, MoreAntennasImproveNoiseRejection)
+{
+    // MRC property: with A antennas the post-combining SNR grows ~A.
+    Rng rng(11);
+    const std::size_t m = 2400;
+    const float noise_var = 0.1f;
+    double err1 = 0.0, err4 = 0.0;
+    for (std::size_t antennas : {1u, 4u}) {
+        std::vector<std::vector<CVec>> channel(
+            antennas, std::vector<CVec>(1, CVec(m, cf32(1.0f, 0.0f))));
+        const auto w = phy::compute_combiner_weights(channel, noise_var);
+        std::vector<CVec> rx(antennas, CVec(m));
+        const float noise_std = std::sqrt(noise_var / 2.0f);
+        for (std::size_t a = 0; a < antennas; ++a) {
+            for (std::size_t k = 0; k < m; ++k) {
+                rx[a][k] =
+                    cf32(1.0f, 0.0f) +
+                    cf32(static_cast<float>(rng.next_gaussian()) *
+                             noise_std,
+                         static_cast<float>(rng.next_gaussian()) *
+                             noise_std);
+            }
+        }
+        const CVec z = phy::combine_layer(rx, w, 0);
+        double err = 0.0;
+        // MMSE output is biased; compare against the biased target.
+        const float bias = static_cast<float>(antennas) /
+                           (static_cast<float>(antennas) + noise_var);
+        for (const auto &v : z)
+            err += std::norm(v - cf32(bias, 0.0f));
+        if (antennas == 1)
+            err1 = err;
+        else
+            err4 = err;
+    }
+    EXPECT_LT(err4, err1 / 2.0);
+}
+
+TEST(Combiner, RejectsInconsistentShapes)
+{
+    std::vector<std::vector<CVec>> ragged(2);
+    ragged[0].assign(1, CVec(8));
+    ragged[1].assign(2, CVec(8));
+    EXPECT_THROW(phy::compute_combiner_weights(ragged, 0.1f),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------- end-to-end round trip
+
+struct E2eCase
+{
+    std::uint32_t prb;
+    std::uint32_t layers;
+    Modulation mod;
+    /** Rank-4 MMSE suffers noise enhancement on ill-conditioned
+     *  subcarriers, so fully loaded cases need more SNR. */
+    double snr_db;
+};
+
+class EndToEndTest : public ::testing::TestWithParam<E2eCase>
+{
+};
+
+TEST_P(EndToEndTest, DecodesPayloadWithGreenCrc)
+{
+    const E2eCase c = GetParam();
+    UserParams params;
+    params.id = 7;
+    params.prb = c.prb;
+    params.layers = c.layers;
+    params.mod = c.mod;
+
+    Rng rng(1234 + c.prb + c.layers * 1000);
+    const auto realistic =
+        channel::realistic_user_signal(params, 4, c.snr_db, rng);
+
+    ReceiverConfig rcfg;
+    phy::UserProcessor proc(params, rcfg, &realistic.signal);
+    const auto result = proc.process_all();
+
+    EXPECT_TRUE(result.crc_ok)
+        << "prb=" << c.prb << " layers=" << c.layers
+        << " mod=" << modulation_name(c.mod)
+        << " evm=" << result.evm_rms;
+    EXPECT_EQ(result.bits, realistic.expected_bits);
+    EXPECT_LT(result.evm_rms, 0.3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EndToEndTest,
+    ::testing::Values(
+        E2eCase{2, 1, Modulation::kQpsk, 30.0},
+        E2eCase{3, 1, Modulation::kQpsk, 30.0},     // odd PRB split
+        E2eCase{10, 1, Modulation::k16Qam, 30.0},
+        E2eCase{20, 2, Modulation::kQpsk, 30.0},
+        E2eCase{24, 2, Modulation::k64Qam, 30.0},
+        E2eCase{50, 4, Modulation::k16Qam, 40.0},
+        E2eCase{100, 4, Modulation::k64Qam, 45.0},
+        E2eCase{199, 2, Modulation::k16Qam, 30.0},  // Bluestein sizes
+        E2eCase{200, 4, Modulation::k64Qam, 45.0}), // max allocation
+    [](const auto &info) {
+        return "prb" + std::to_string(info.param.prb) + "_l" +
+               std::to_string(info.param.layers) + "_" +
+               modulation_name(info.param.mod);
+    });
+
+TEST(EndToEnd, FailsCrcOnRandomNoiseInput)
+{
+    // The paper's random-IQ mode: the chain must run and the CRC must
+    // (overwhelmingly) fail.
+    UserParams params;
+    params.id = 1;
+    params.prb = 12;
+    params.layers = 2;
+    params.mod = Modulation::k16Qam;
+    Rng rng(5);
+    const auto signal = channel::random_user_signal(params, 4, rng);
+    phy::UserProcessor proc(params, ReceiverConfig{}, &signal);
+    const auto result = proc.process_all();
+    EXPECT_FALSE(result.crc_ok);
+    EXPECT_FALSE(result.bits.empty());
+}
+
+TEST(EndToEnd, RealTurboModeRoundTrips)
+{
+    UserParams params;
+    params.id = 3;
+    params.prb = 8;
+    params.layers = 1;
+    params.mod = Modulation::kQpsk;
+    Rng rng(321);
+    const auto realistic =
+        channel::realistic_user_signal(params, 4, 10.0, rng,
+                                       /*real_turbo=*/true);
+    ReceiverConfig rcfg;
+    rcfg.use_real_turbo = true;
+    phy::UserProcessor proc(params, rcfg, &realistic.signal);
+    const auto result = proc.process_all();
+    EXPECT_TRUE(result.crc_ok);
+    EXPECT_EQ(result.bits, realistic.expected_bits);
+}
+
+TEST(EndToEnd, TaskwiseExecutionMatchesProcessAll)
+{
+    // Running the stages task-by-task (as the parallel runtime does)
+    // must give bit-identical results to process_all().
+    UserParams params;
+    params.id = 9;
+    params.prb = 30;
+    params.layers = 3;
+    params.mod = Modulation::k16Qam;
+    Rng rng(777);
+    const auto realistic =
+        channel::realistic_user_signal(params, 4, 25.0, rng);
+
+    ReceiverConfig rcfg;
+    phy::UserProcessor serial(params, rcfg, &realistic.signal);
+    const auto ref = serial.process_all();
+
+    phy::UserProcessor taskwise(params, rcfg, &realistic.signal);
+    // Deliberately scrambled task order.
+    for (std::size_t t = taskwise.n_chanest_tasks(); t-- > 0;)
+        taskwise.run_chanest_task(t);
+    taskwise.compute_weights();
+    for (std::size_t t = taskwise.n_demod_tasks(); t-- > 0;)
+        taskwise.run_demod_task(t);
+    const auto result = taskwise.finish();
+
+    EXPECT_EQ(result.bits, ref.bits);
+    EXPECT_EQ(result.checksum, ref.checksum);
+    EXPECT_EQ(result.crc_ok, ref.crc_ok);
+}
+
+TEST(EndToEnd, ChecksumDetectsBitDifferences)
+{
+    EXPECT_NE(phy::bit_checksum({0, 1, 0}), phy::bit_checksum({0, 1, 1}));
+    EXPECT_EQ(phy::bit_checksum({1, 0, 1}), phy::bit_checksum({1, 0, 1}));
+}
+
+} // namespace
+} // namespace lte

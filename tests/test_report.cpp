@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reporting helper tests: table rendering, format helpers, series
+ * CSV emission with stride, and summaries.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/series.hpp"
+#include "report/table.hpp"
+
+namespace lte::report {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table({"Technique", "Power (W)"});
+    table.add_row({"NONAP", "25"});
+    table.add_row({"PowerGating", "18.5"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Technique"), std::string::npos);
+    EXPECT_NE(out.find("PowerGating"), std::string::npos);
+    EXPECT_NE(out.find("+"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RejectsRaggedRows)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, FixedAndPercent)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(25.0, 0), "25");
+    EXPECT_EQ(fmt_percent(-0.26), "-26%");
+    EXPECT_EQ(fmt_percent(0.21), "+21%");
+    EXPECT_EQ(fmt_percent(0.0), "0%");
+}
+
+TEST(SeriesSet, CsvWithStride)
+{
+    SeriesSet set("subframe", {0, 1, 2, 3, 4, 5});
+    set.add("users", {1, 2, 3, 4, 5, 6});
+    std::ostringstream os;
+    set.write_csv(os, 2);
+    EXPECT_EQ(os.str(), "subframe,users\n0,1\n2,3\n4,5\n");
+}
+
+TEST(SeriesSet, RejectsMismatchedLength)
+{
+    SeriesSet set("x", {0, 1});
+    EXPECT_THROW(set.add("bad", {1.0}), std::invalid_argument);
+}
+
+TEST(SeriesSet, SummaryContainsStats)
+{
+    SeriesSet set("t", {0, 1, 2});
+    set.add("p", {10.0, 20.0, 30.0});
+    std::ostringstream os;
+    set.print_summary(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("min=10"), std::string::npos);
+    EXPECT_NE(out.find("mean=20"), std::string::npos);
+    EXPECT_NE(out.find("max=30"), std::string::npos);
+}
+
+} // namespace
+} // namespace lte::report

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Work-stealing runtime tests: deque discipline, serial-vs-parallel
+ * bit equivalence (the paper's Sec. IV-D validation), determinism
+ * across worker counts and strategies, gating safety, and activity
+ * accounting sanity.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/benchmark.hpp"
+#include "runtime/run_record.hpp"
+#include "runtime/serial_engine.hpp"
+#include "runtime/ws_deque.hpp"
+#include "workload/paper_model.hpp"
+#include "workload/steady_model.hpp"
+
+namespace lte::runtime {
+namespace {
+
+// ------------------------------------------------------------ deque
+
+TEST(WsDeque, LifoForOwnerFifoForThief)
+{
+    WsDeque<int> dq;
+    dq.push_bottom(1);
+    dq.push_bottom(2);
+    dq.push_bottom(3);
+    EXPECT_EQ(dq.steal_top().value(), 1);  // oldest
+    EXPECT_EQ(dq.pop_bottom().value(), 3); // newest
+    EXPECT_EQ(dq.pop_bottom().value(), 2);
+    EXPECT_FALSE(dq.pop_bottom().has_value());
+    EXPECT_FALSE(dq.steal_top().has_value());
+}
+
+TEST(WsDeque, ConcurrentStealsLoseNothing)
+{
+    WsDeque<int> dq;
+    constexpr int kTasks = 10000;
+    for (int i = 0; i < kTasks; ++i)
+        dq.push_bottom(i);
+
+    std::atomic<int> taken{0};
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < 4; ++t) {
+        thieves.emplace_back([&] {
+            while (dq.steal_top().has_value())
+                taken.fetch_add(1);
+        });
+    }
+    int owner_taken = 0;
+    while (dq.pop_bottom().has_value())
+        ++owner_taken;
+    for (auto &th : thieves)
+        th.join();
+    // The owner may finish before thieves drain the rest.
+    while (dq.steal_top().has_value())
+        taken.fetch_add(1);
+    EXPECT_EQ(taken.load() + owner_taken, kTasks);
+}
+
+// --------------------------------------------- serial vs parallel
+
+UplinkBenchmarkConfig
+small_config(std::size_t workers, mgmt::Strategy strategy)
+{
+    UplinkBenchmarkConfig cfg;
+    cfg.pool.n_workers = workers;
+    cfg.pool.strategy = strategy;
+    cfg.input.seed = 99;
+    cfg.input.pool_size = 4;
+    return cfg;
+}
+
+workload::PaperModelConfig
+compressed_model_config()
+{
+    workload::PaperModelConfig cfg;
+    cfg.ramp_subframes = 100;
+    cfg.prob_update_interval = 10;
+    return cfg;
+}
+
+TEST(Validation, ParallelMatchesSerialReference)
+{
+    // The paper's validation method: process the same predetermined
+    // subframe sequence serially and in parallel; per-subframe results
+    // must match exactly.
+    const std::size_t n = 40;
+
+    workload::PaperModel serial_model(compressed_model_config());
+    SerialEngine serial(phy::ReceiverConfig{},
+                        InputGeneratorConfig{.pool_size = 4, .seed = 99});
+    const RunRecord ref = serial.run(serial_model, n);
+
+    workload::PaperModel parallel_model(compressed_model_config());
+    UplinkBenchmark bench(small_config(4, mgmt::Strategy::kNoNap));
+    const RunRecord parallel = bench.run(parallel_model, n);
+
+    std::string why;
+    EXPECT_TRUE(RunRecord::equivalent(ref, parallel, &why)) << why;
+    EXPECT_EQ(ref.digest(), parallel.digest());
+    EXPECT_EQ(ref.user_count(), parallel.user_count());
+}
+
+TEST(Validation, ResultsIndependentOfWorkerCount)
+{
+    const std::size_t n = 25;
+    std::uint64_t first_digest = 0;
+    for (std::size_t workers : {1u, 2u, 3u, 6u}) {
+        workload::PaperModel model(compressed_model_config());
+        UplinkBenchmark bench(
+            small_config(workers, mgmt::Strategy::kNoNap));
+        const RunRecord record = bench.run(model, n);
+        if (workers == 1)
+            first_digest = record.digest();
+        else
+            EXPECT_EQ(record.digest(), first_digest)
+                << "workers=" << workers;
+    }
+    EXPECT_NE(first_digest, 0u);
+}
+
+TEST(Validation, ResultsIndependentOfStrategy)
+{
+    const std::size_t n = 25;
+    std::uint64_t reference = 0;
+    bool first = true;
+    for (mgmt::Strategy strategy :
+         {mgmt::Strategy::kNoNap, mgmt::Strategy::kIdle,
+          mgmt::Strategy::kNapIdle}) {
+        workload::PaperModel model(compressed_model_config());
+        UplinkBenchmark bench(small_config(3, strategy));
+        const RunRecord record = bench.run(model, n);
+        if (first) {
+            reference = record.digest();
+            first = false;
+        } else {
+            EXPECT_EQ(record.digest(), reference);
+        }
+    }
+}
+
+TEST(Validation, RepeatedRunsAreDeterministic)
+{
+    auto run_once = [] {
+        workload::PaperModel model(compressed_model_config());
+        UplinkBenchmark bench(small_config(4, mgmt::Strategy::kNoNap));
+        return bench.run(model, 20).digest();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+// ------------------------------------------------------- behaviour
+
+TEST(WorkerPool, StealsHappenWithUnevenUsers)
+{
+    // One giant user and several workers: chanest/demod tasks must be
+    // stolen off the user thread's deque.
+    phy::UserParams user;
+    user.prb = 200;
+    user.layers = 4;
+    user.mod = Modulation::k64Qam;
+    workload::SteadyModel model(user);
+    UplinkBenchmark bench(small_config(4, mgmt::Strategy::kNoNap));
+    const RunRecord record = bench.run(model, 6);
+    EXPECT_GT(record.steals, 0u);
+}
+
+TEST(WorkerPool, NapDeactivationStillCompletesWork)
+{
+    // With only 1 of 4 workers active, everything must still finish.
+    workload::PaperModel model(compressed_model_config());
+    UplinkBenchmark bench(small_config(4, mgmt::Strategy::kNapIdle));
+    bench.pool().set_active_workers(1);
+    const RunRecord record = bench.run(model, 15);
+    EXPECT_EQ(record.subframes.size(), 15u);
+
+    workload::PaperModel reference_model(compressed_model_config());
+    SerialEngine serial(phy::ReceiverConfig{},
+                        InputGeneratorConfig{.pool_size = 4, .seed = 99});
+    const RunRecord ref = serial.run(reference_model, 15);
+    EXPECT_EQ(record.digest(), ref.digest());
+}
+
+TEST(WorkerPool, ActiveWorkersClampedToValidRange)
+{
+    WorkerPoolConfig cfg;
+    cfg.n_workers = 4;
+    WorkerPool pool(cfg);
+    pool.set_active_workers(0);
+    EXPECT_EQ(pool.active_workers(), 1u);
+    pool.set_active_workers(100);
+    EXPECT_EQ(pool.active_workers(), 4u);
+}
+
+TEST(WorkerPool, ActivityAccountingIsSane)
+{
+    workload::PaperModel model(compressed_model_config());
+    UplinkBenchmark bench(small_config(2, mgmt::Strategy::kNoNap));
+    const RunRecord record = bench.run(model, 20);
+    EXPECT_GT(record.total_ops, 0u);
+    EXPECT_GT(record.wall_seconds, 0.0);
+    EXPECT_GE(record.activity, 0.0);
+    EXPECT_LE(record.activity, 1.0 + 1e-9);
+}
+
+TEST(WorkerPool, EstimatorDrivenNapAdjustsActiveCores)
+{
+    // A NAP-strategy benchmark with an estimator must reduce active
+    // workers on a tiny workload.
+    mgmt::CalibrationTable table;
+    for (std::uint32_t l = 1; l <= 4; ++l) {
+        for (Modulation mod : kAllModulations)
+            table.set(l, mod, 0.001 * l);
+    }
+    phy::UserParams tiny;
+    tiny.prb = 2;
+    tiny.layers = 1;
+    tiny.mod = Modulation::kQpsk;
+    workload::SteadyModel model(tiny);
+
+    auto cfg = small_config(6, mgmt::Strategy::kNap);
+    UplinkBenchmark bench(cfg);
+    bench.set_estimator(mgmt::WorkloadEstimator(table));
+    bench.run(model, 5);
+    // estimate = 2 * 0.001 = 0.002 -> 0.002*6 + 2 -> ceil -> 3.
+    EXPECT_EQ(bench.pool().active_workers(), 3u);
+}
+
+TEST(RunRecord, EquivalenceDetectsDifferences)
+{
+    RunRecord a, b;
+    a.subframes.push_back({0, {{1, 111, true, 0.0f}}});
+    b.subframes.push_back({0, {{1, 222, true, 0.0f}}});
+    std::string why;
+    EXPECT_FALSE(RunRecord::equivalent(a, b, &why));
+    EXPECT_NE(why.find("checksum"), std::string::npos);
+
+    b = a;
+    EXPECT_TRUE(RunRecord::equivalent(a, b, &why));
+    b.subframes[0].users.clear();
+    EXPECT_FALSE(RunRecord::equivalent(a, b, &why));
+}
+
+TEST(RunRecord, CrcPassRate)
+{
+    RunRecord r;
+    r.subframes.push_back({0, {{0, 1, true, 0.0f}, {1, 2, false, 0.0f}}});
+    EXPECT_DOUBLE_EQ(r.crc_pass_rate(), 0.5);
+    EXPECT_EQ(r.user_count(), 2u);
+}
+
+} // namespace
+} // namespace lte::runtime

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Turbo codec tests: QPP interleaver validity, encoder structure,
+ * noiseless and noisy decode, coding gain over uncoded transmission,
+ * and the pass-through mode the paper's pipeline uses by default.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "phy/turbo.hpp"
+
+namespace lte::phy {
+namespace {
+
+std::vector<std::uint8_t>
+random_bits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> bits(n);
+    for (auto &b : bits)
+        b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+    return bits;
+}
+
+/** BPSK map coded bits to LLRs at the given noise level. */
+std::vector<Llr>
+to_llrs(const std::vector<std::uint8_t> &coded, double noise_std,
+        Rng &rng)
+{
+    std::vector<Llr> llrs(coded.size());
+    const double scale = 2.0 / (noise_std * noise_std);
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+        const double tx = coded[i] ? -1.0 : 1.0;
+        const double rx = tx + noise_std * rng.next_gaussian();
+        llrs[i] = static_cast<Llr>(scale * rx);
+    }
+    return llrs;
+}
+
+TEST(Qpp, AnchorParametersMatchSpec)
+{
+    const QppInterleaver k40(40);
+    EXPECT_EQ(k40.f1(), 3u);
+    EXPECT_EQ(k40.f2(), 10u);
+    const QppInterleaver k6144(6144);
+    EXPECT_EQ(k6144.f1(), 263u);
+    EXPECT_EQ(k6144.f2(), 480u);
+}
+
+TEST(Qpp, PermutationIsBijective)
+{
+    for (std::size_t k : {40u, 64u, 128u, 136u, 512u, 1000u}) {
+        const QppInterleaver pi(k);
+        std::vector<bool> seen(k, false);
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t p = pi.map(i);
+            ASSERT_LT(p, k);
+            EXPECT_FALSE(seen[p]) << "k=" << k;
+            seen[p] = true;
+        }
+    }
+}
+
+TEST(Qpp, ApplyInvertRoundTrip)
+{
+    const QppInterleaver pi(128);
+    const auto in = random_bits(128, 3);
+    EXPECT_EQ(pi.invert(pi.apply(in)), in);
+    EXPECT_EQ(pi.apply(pi.invert(in)), in);
+}
+
+TEST(Qpp, RejectsOddOrTinySizes)
+{
+    EXPECT_THROW(QppInterleaver pi(7), std::invalid_argument);
+    EXPECT_THROW(QppInterleaver pi(41), std::invalid_argument);
+    EXPECT_THROW(QppInterleaver pi(42), std::invalid_argument);
+}
+
+TEST(TurboEncode, OutputLength)
+{
+    for (std::size_t k : {40u, 104u, 512u})
+        EXPECT_EQ(turbo_encode(random_bits(k, k)).size(), 3 * k + 12);
+}
+
+TEST(TurboEncode, SystematicPartIsInput)
+{
+    const auto info = random_bits(64, 5);
+    const auto coded = turbo_encode(info);
+    for (std::size_t i = 0; i < info.size(); ++i)
+        EXPECT_EQ(coded[i], info[i]);
+}
+
+TEST(TurboEncode, AllZeroInputGivesAllZeroCodeword)
+{
+    const std::vector<std::uint8_t> zeros(40, 0);
+    const auto coded = turbo_encode(zeros);
+    for (std::uint8_t b : coded)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(TurboEncode, RejectsInvalidInput)
+{
+    EXPECT_THROW(turbo_encode(std::vector<std::uint8_t>(7, 0)),
+                 std::invalid_argument);
+    EXPECT_THROW(turbo_encode({0, 1, 2, 0, 1, 0, 1, 0}),
+                 std::invalid_argument);
+}
+
+class TurboDecodeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TurboDecodeTest, NoiselessDecodeIsExact)
+{
+    const std::size_t k = GetParam();
+    const auto info = random_bits(k, 100 + k);
+    const auto coded = turbo_encode(info);
+    std::vector<Llr> llrs(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i)
+        llrs[i] = coded[i] ? -10.0f : 10.0f;
+    EXPECT_EQ(turbo_decode(llrs, k), info);
+}
+
+TEST_P(TurboDecodeTest, DecodesAtModerateSnr)
+{
+    const std::size_t k = GetParam();
+    const auto info = random_bits(k, 200 + k);
+    const auto coded = turbo_encode(info);
+    Rng rng(300 + k);
+    // Es/N0 ~ 0.9 dB on the rate-1/3 code: comfortably decodable.
+    const auto llrs = to_llrs(coded, 0.9, rng);
+    EXPECT_EQ(turbo_decode(llrs, k), info);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, TurboDecodeTest,
+                         ::testing::Values<std::size_t>(40, 64, 128, 256),
+                         [](const auto &info) {
+                             return "k" + std::to_string(info.param);
+                         });
+
+TEST(TurboDecode, OutperformsUncodedAtLowSnr)
+{
+    // At a noise level where uncoded BPSK has a few percent bit error
+    // rate, the turbo code should be (near-)error-free.
+    const std::size_t k = 256;
+    const double noise_std = 1.0; // ~16% raw BER on BPSK
+    std::size_t turbo_errors = 0, uncoded_errors = 0, total = 0;
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto info = random_bits(k, 400 + trial);
+        const auto coded = turbo_encode(info);
+        Rng rng(500 + trial);
+        const auto llrs = to_llrs(coded, noise_std, rng);
+        const auto decoded = turbo_decode(llrs, k);
+        for (std::size_t i = 0; i < k; ++i) {
+            // Uncoded decision: sign of the systematic LLR.
+            const std::uint8_t raw = llrs[i] >= 0.0f ? 0 : 1;
+            turbo_errors += decoded[i] != info[i];
+            uncoded_errors += raw != info[i];
+            ++total;
+        }
+    }
+    EXPECT_GT(uncoded_errors, total / 50);
+    EXPECT_LT(turbo_errors, uncoded_errors / 10);
+}
+
+TEST(TurboDecode, MoreIterationsNeverHurtMuch)
+{
+    const std::size_t k = 128;
+    const auto info = random_bits(k, 900);
+    const auto coded = turbo_encode(info);
+    Rng rng(901);
+    const auto llrs = to_llrs(coded, 0.95, rng);
+
+    TurboDecoderConfig one;
+    one.iterations = 1;
+    TurboDecoderConfig eight;
+    eight.iterations = 8;
+    std::size_t err1 = 0, err8 = 0;
+    const auto d1 = turbo_decode(llrs, k, one);
+    const auto d8 = turbo_decode(llrs, k, eight);
+    for (std::size_t i = 0; i < k; ++i) {
+        err1 += d1[i] != info[i];
+        err8 += d8[i] != info[i];
+    }
+    EXPECT_LE(err8, err1);
+}
+
+TEST(TurboDecode, RejectsMismatchedLength)
+{
+    EXPECT_THROW(turbo_decode(std::vector<Llr>(100), 40),
+                 std::invalid_argument);
+}
+
+TEST(TurboPassthrough, HardDecidesLlrs)
+{
+    const std::vector<Llr> llrs = {2.0f, -1.0f, 0.5f, -0.1f};
+    EXPECT_EQ(turbo_passthrough(llrs),
+              (std::vector<std::uint8_t>{0, 1, 0, 1}));
+}
+
+} // namespace
+} // namespace lte::phy

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Input-parameter-model tests: the paper model's structural
+ * invariants (Figs. 6-10), its ramp shape, determinism; the steady
+ * and diurnal models.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "workload/diurnal_model.hpp"
+#include "workload/paper_model.hpp"
+#include "workload/steady_model.hpp"
+
+namespace lte::workload {
+namespace {
+
+TEST(PaperModel, RespectsHardLimits)
+{
+    PaperModel model;
+    for (int i = 0; i < 5000; ++i) {
+        const auto sf = model.next_subframe();
+        EXPECT_NO_THROW(sf.validate());
+        EXPECT_LE(sf.users.size(), kMaxUsersPerSubframe);
+        EXPECT_GE(sf.users.size(), 1u);
+        EXPECT_LE(sf.total_prb(), 200u);
+        for (const auto &u : sf.users) {
+            EXPECT_GE(u.prb, 2u);
+            EXPECT_LE(u.prb, 200u);
+            EXPECT_GE(u.layers, 1u);
+            EXPECT_LE(u.layers, 4u);
+        }
+    }
+}
+
+TEST(PaperModel, DeterministicForSameSeed)
+{
+    PaperModel a, b;
+    for (int i = 0; i < 200; ++i) {
+        const auto sa = a.next_subframe();
+        const auto sb = b.next_subframe();
+        ASSERT_EQ(sa.users.size(), sb.users.size());
+        for (std::size_t u = 0; u < sa.users.size(); ++u)
+            EXPECT_EQ(sa.users[u], sb.users[u]);
+    }
+}
+
+TEST(PaperModel, ResetRestartsSequence)
+{
+    PaperModel model;
+    const auto first = model.next_subframe();
+    for (int i = 0; i < 50; ++i)
+        model.next_subframe();
+    model.reset();
+    const auto again = model.next_subframe();
+    ASSERT_EQ(first.users.size(), again.users.size());
+    for (std::size_t u = 0; u < first.users.size(); ++u)
+        EXPECT_EQ(first.users[u], again.users[u]);
+}
+
+TEST(PaperModel, ProbabilityRampShape)
+{
+    PaperModel model;
+    // Start of the run: minimum probability.
+    EXPECT_NEAR(model.current_probability(0), 0.006, 1e-9);
+    // Peak after ramp_subframes.
+    EXPECT_NEAR(model.current_probability(34000), 1.0, 1e-9);
+    // Back to minimum after the full period.
+    EXPECT_NEAR(model.current_probability(68000), 0.006, 1e-9);
+    // Mid-ramp about half way.
+    EXPECT_NEAR(model.current_probability(17000), 0.5, 0.01);
+    // Staircase: constant within an update interval.
+    EXPECT_DOUBLE_EQ(model.current_probability(1000),
+                     model.current_probability(1199));
+    EXPECT_LT(model.current_probability(1000),
+              model.current_probability(1200));
+}
+
+TEST(PaperModel, RampDrivesLayersAndModulation)
+{
+    // Early subframes: almost always 1 layer / QPSK.  Near the peak:
+    // almost always 4 layers / 64-QAM (paper Fig. 9).
+    PaperModelConfig cfg;
+    cfg.ramp_subframes = 3400; // compressed run, same shape
+    PaperModel model(cfg);
+
+    RunningStats early_layers, peak_layers;
+    std::size_t early_64qam = 0, early_n = 0;
+    std::size_t peak_64qam = 0, peak_n = 0;
+    for (std::uint64_t i = 0; i < 2 * cfg.ramp_subframes; ++i) {
+        const auto sf = model.next_subframe();
+        const bool early = i < 200;
+        const bool peak = i >= cfg.ramp_subframes - 100 &&
+                          i < cfg.ramp_subframes + 100;
+        for (const auto &u : sf.users) {
+            if (early) {
+                early_layers.add(u.layers);
+                early_64qam += u.mod == Modulation::k64Qam;
+                ++early_n;
+            } else if (peak) {
+                peak_layers.add(u.layers);
+                peak_64qam += u.mod == Modulation::k64Qam;
+                ++peak_n;
+            }
+        }
+    }
+    EXPECT_LT(early_layers.mean(), 1.1);
+    EXPECT_GT(peak_layers.mean(), 3.8);
+    EXPECT_LT(static_cast<double>(early_64qam) /
+                  static_cast<double>(early_n), 0.05);
+    EXPECT_GT(static_cast<double>(peak_64qam) /
+                  static_cast<double>(peak_n), 0.9);
+}
+
+TEST(PaperModel, UserAndPrbDistributionsAreWide)
+{
+    // Fig. 7/8: user counts span the range and PRB totals vary a lot.
+    PaperModel model;
+    RunningStats users, totals;
+    for (int i = 0; i < 20000; ++i) {
+        const auto sf = model.next_subframe();
+        users.add(static_cast<double>(sf.users.size()));
+        totals.add(static_cast<double>(sf.total_prb()));
+    }
+    EXPECT_LE(users.min(), 2.0);
+    EXPECT_GE(users.max(), 9.0);
+    EXPECT_GT(users.stddev(), 1.0);
+    // The budget is exhausted most subframes (Fig. 8's Total hugs the
+    // 200 ceiling), with occasional shortfalls when ten users arrive
+    // before the budget runs out.
+    EXPECT_GE(totals.max(), 199.0);
+    EXPECT_GT(totals.mean(), 150.0);
+    EXPECT_GT(totals.stddev(), 5.0);
+}
+
+TEST(PaperModel, RejectsBadConfig)
+{
+    PaperModelConfig cfg;
+    cfg.max_prb = 1;
+    EXPECT_THROW(PaperModel model(cfg), std::invalid_argument);
+    cfg = {};
+    cfg.prob_min = 0.5;
+    cfg.prob_max = 0.4;
+    EXPECT_THROW(PaperModel model(cfg), std::invalid_argument);
+}
+
+TEST(SteadyModel, AlwaysSameSingleUser)
+{
+    phy::UserParams user;
+    user.prb = 40;
+    user.layers = 3;
+    user.mod = Modulation::k16Qam;
+    SteadyModel model(user);
+    for (int i = 0; i < 100; ++i) {
+        const auto sf = model.next_subframe();
+        ASSERT_EQ(sf.users.size(), 1u);
+        EXPECT_EQ(sf.users[0], user);
+        EXPECT_EQ(sf.subframe_index, static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST(SteadyModel, ValidatesUser)
+{
+    phy::UserParams user;
+    user.prb = 1;
+    EXPECT_THROW(SteadyModel model(user), std::invalid_argument);
+}
+
+TEST(DiurnalModel, LoadAveragesNearTarget)
+{
+    DiurnalModelConfig cfg;
+    cfg.period_subframes = 10000;
+    DiurnalModel model(cfg);
+    RunningStats load;
+    for (std::uint64_t i = 0; i < cfg.period_subframes; ++i)
+        load.add(model.load_at(i));
+    EXPECT_NEAR(load.mean(), cfg.average_load, 0.02);
+    // Swing: night troughs well below the average.
+    EXPECT_LT(load.min(), cfg.average_load * 0.35);
+    EXPECT_GT(load.max(), cfg.average_load * 1.6);
+}
+
+TEST(DiurnalModel, OfferedPrbsTrackLoad)
+{
+    DiurnalModelConfig cfg;
+    cfg.period_subframes = 8000;
+    DiurnalModel model(cfg);
+    // Average PRB total in a low-load window vs a high-load window.
+    RunningStats low, high;
+    for (std::uint64_t i = 0; i < cfg.period_subframes; ++i) {
+        const auto sf = model.next_subframe();
+        const double load = model.load_at(i);
+        if (load < cfg.average_load * 0.5)
+            low.add(sf.total_prb());
+        else if (load > cfg.average_load * 1.5)
+            high.add(sf.total_prb());
+    }
+    ASSERT_GT(low.count(), 0u);
+    ASSERT_GT(high.count(), 0u);
+    EXPECT_LT(low.mean() * 2.0, high.mean());
+}
+
+TEST(DiurnalModel, SubframesAlwaysValid)
+{
+    DiurnalModel model;
+    for (int i = 0; i < 3000; ++i)
+        EXPECT_NO_THROW(model.next_subframe().validate());
+}
+
+} // namespace
+} // namespace lte::workload
