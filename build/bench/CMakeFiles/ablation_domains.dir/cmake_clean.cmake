@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_domains.dir/ablation_domains.cpp.o"
+  "CMakeFiles/ablation_domains.dir/ablation_domains.cpp.o.d"
+  "ablation_domains"
+  "ablation_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

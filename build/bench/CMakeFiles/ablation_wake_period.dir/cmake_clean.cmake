@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wake_period.dir/ablation_wake_period.cpp.o"
+  "CMakeFiles/ablation_wake_period.dir/ablation_wake_period.cpp.o.d"
+  "ablation_wake_period"
+  "ablation_wake_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wake_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

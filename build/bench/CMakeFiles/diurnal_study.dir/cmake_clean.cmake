@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_study.dir/diurnal_study.cpp.o"
+  "CMakeFiles/diurnal_study.dir/diurnal_study.cpp.o.d"
+  "diurnal_study"
+  "diurnal_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

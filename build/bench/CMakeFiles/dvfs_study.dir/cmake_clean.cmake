@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_study.dir/dvfs_study.cpp.o"
+  "CMakeFiles/dvfs_study.dir/dvfs_study.cpp.o.d"
+  "dvfs_study"
+  "dvfs_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

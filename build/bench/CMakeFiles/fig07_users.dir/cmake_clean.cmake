@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_users.dir/fig07_users.cpp.o"
+  "CMakeFiles/fig07_users.dir/fig07_users.cpp.o.d"
+  "fig07_users"
+  "fig07_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_prbs.dir/fig08_prbs.cpp.o"
+  "CMakeFiles/fig08_prbs.dir/fig08_prbs.cpp.o.d"
+  "fig08_prbs"
+  "fig08_prbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_prbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_layers.dir/fig09_layers.cpp.o"
+  "CMakeFiles/fig09_layers.dir/fig09_layers.cpp.o.d"
+  "fig09_layers"
+  "fig09_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_calibration.dir/fig11_calibration.cpp.o"
+  "CMakeFiles/fig11_calibration.dir/fig11_calibration.cpp.o.d"
+  "fig11_calibration"
+  "fig11_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

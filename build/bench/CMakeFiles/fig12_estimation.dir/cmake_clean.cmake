@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_estimation.dir/fig12_estimation.cpp.o"
+  "CMakeFiles/fig12_estimation.dir/fig12_estimation.cpp.o.d"
+  "fig12_estimation"
+  "fig12_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

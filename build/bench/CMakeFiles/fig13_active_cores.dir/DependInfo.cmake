@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_active_cores.cpp" "bench/CMakeFiles/fig13_active_cores.dir/fig13_active_cores.cpp.o" "gcc" "bench/CMakeFiles/fig13_active_cores.dir/fig13_active_cores.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lte_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lte_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/lte_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lte_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lte_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lte_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/lte_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/lte_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/lte_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lte_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/lte_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/lte_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/lte_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

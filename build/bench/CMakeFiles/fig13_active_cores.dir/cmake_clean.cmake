@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_active_cores.dir/fig13_active_cores.cpp.o"
+  "CMakeFiles/fig13_active_cores.dir/fig13_active_cores.cpp.o.d"
+  "fig13_active_cores"
+  "fig13_active_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_active_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nap_power.dir/fig14_nap_power.cpp.o"
+  "CMakeFiles/fig14_nap_power.dir/fig14_nap_power.cpp.o.d"
+  "fig14_nap_power"
+  "fig14_nap_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nap_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_techniques.dir/fig15_techniques.cpp.o"
+  "CMakeFiles/fig15_techniques.dir/fig15_techniques.cpp.o.d"
+  "fig15_techniques"
+  "fig15_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_power_gating.dir/fig16_power_gating.cpp.o"
+  "CMakeFiles/fig16_power_gating.dir/fig16_power_gating.cpp.o.d"
+  "fig16_power_gating"
+  "fig16_power_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_power_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmodel_validation.dir/opmodel_validation.cpp.o"
+  "CMakeFiles/opmodel_validation.dir/opmodel_validation.cpp.o.d"
+  "opmodel_validation"
+  "opmodel_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmodel_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

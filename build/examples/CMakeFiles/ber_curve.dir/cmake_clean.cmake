@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ber_curve.dir/ber_curve.cpp.o"
+  "CMakeFiles/ber_curve.dir/ber_curve.cpp.o.d"
+  "ber_curve"
+  "ber_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ber_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_day.dir/diurnal_day.cpp.o"
+  "CMakeFiles/diurnal_day.dir/diurnal_day.cpp.o.d"
+  "diurnal_day"
+  "diurnal_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_airlink.dir/full_airlink.cpp.o"
+  "CMakeFiles/full_airlink.dir/full_airlink.cpp.o.d"
+  "full_airlink"
+  "full_airlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_airlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

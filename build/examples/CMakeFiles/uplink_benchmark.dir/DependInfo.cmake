@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/uplink_benchmark.cpp" "examples/CMakeFiles/uplink_benchmark.dir/uplink_benchmark.cpp.o" "gcc" "examples/CMakeFiles/uplink_benchmark.dir/uplink_benchmark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/lte_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lte_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/lte_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/lte_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/lte_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lte_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/lte_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/lte_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uplink_benchmark.dir/uplink_benchmark.cpp.o"
+  "CMakeFiles/uplink_benchmark.dir/uplink_benchmark.cpp.o.d"
+  "uplink_benchmark"
+  "uplink_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uplink_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

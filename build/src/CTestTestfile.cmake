@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("fft")
+subdirs("matrix")
+subdirs("phy")
+subdirs("tx")
+subdirs("channel")
+subdirs("workload")
+subdirs("mgmt")
+subdirs("runtime")
+subdirs("sim")
+subdirs("power")
+subdirs("report")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_channel.dir/mimo_channel.cpp.o"
+  "CMakeFiles/lte_channel.dir/mimo_channel.cpp.o.d"
+  "CMakeFiles/lte_channel.dir/signal_source.cpp.o"
+  "CMakeFiles/lte_channel.dir/signal_source.cpp.o.d"
+  "liblte_channel.a"
+  "liblte_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

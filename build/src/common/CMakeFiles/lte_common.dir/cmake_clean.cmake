@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_common.dir/rng.cpp.o"
+  "CMakeFiles/lte_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lte_common.dir/stats.cpp.o"
+  "CMakeFiles/lte_common.dir/stats.cpp.o.d"
+  "liblte_common.a"
+  "liblte_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

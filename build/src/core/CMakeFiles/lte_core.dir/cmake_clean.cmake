@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_core.dir/uplink_study.cpp.o"
+  "CMakeFiles/lte_core.dir/uplink_study.cpp.o.d"
+  "liblte_core.a"
+  "liblte_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_fft.dir/dft_ref.cpp.o"
+  "CMakeFiles/lte_fft.dir/dft_ref.cpp.o.d"
+  "CMakeFiles/lte_fft.dir/fft.cpp.o"
+  "CMakeFiles/lte_fft.dir/fft.cpp.o.d"
+  "liblte_fft.a"
+  "liblte_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_matrix.dir/cmat.cpp.o"
+  "CMakeFiles/lte_matrix.dir/cmat.cpp.o.d"
+  "liblte_matrix.a"
+  "liblte_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

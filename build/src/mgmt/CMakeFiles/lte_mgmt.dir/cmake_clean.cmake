@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_mgmt.dir/core_allocator.cpp.o"
+  "CMakeFiles/lte_mgmt.dir/core_allocator.cpp.o.d"
+  "CMakeFiles/lte_mgmt.dir/estimator.cpp.o"
+  "CMakeFiles/lte_mgmt.dir/estimator.cpp.o.d"
+  "liblte_mgmt.a"
+  "liblte_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

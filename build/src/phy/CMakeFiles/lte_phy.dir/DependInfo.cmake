@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel_estimator.cpp" "src/phy/CMakeFiles/lte_phy.dir/channel_estimator.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/channel_estimator.cpp.o.d"
+  "/root/repo/src/phy/combiner.cpp" "src/phy/CMakeFiles/lte_phy.dir/combiner.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/combiner.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/phy/CMakeFiles/lte_phy.dir/crc.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/crc.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/lte_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/lte_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/op_model.cpp" "src/phy/CMakeFiles/lte_phy.dir/op_model.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/op_model.cpp.o.d"
+  "/root/repo/src/phy/params.cpp" "src/phy/CMakeFiles/lte_phy.dir/params.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/params.cpp.o.d"
+  "/root/repo/src/phy/rate_matching.cpp" "src/phy/CMakeFiles/lte_phy.dir/rate_matching.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/rate_matching.cpp.o.d"
+  "/root/repo/src/phy/scfdma.cpp" "src/phy/CMakeFiles/lte_phy.dir/scfdma.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/scfdma.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/lte_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/turbo.cpp" "src/phy/CMakeFiles/lte_phy.dir/turbo.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/turbo.cpp.o.d"
+  "/root/repo/src/phy/user_processor.cpp" "src/phy/CMakeFiles/lte_phy.dir/user_processor.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/user_processor.cpp.o.d"
+  "/root/repo/src/phy/zadoff_chu.cpp" "src/phy/CMakeFiles/lte_phy.dir/zadoff_chu.cpp.o" "gcc" "src/phy/CMakeFiles/lte_phy.dir/zadoff_chu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/lte_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/lte_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_phy.dir/channel_estimator.cpp.o"
+  "CMakeFiles/lte_phy.dir/channel_estimator.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/combiner.cpp.o"
+  "CMakeFiles/lte_phy.dir/combiner.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/crc.cpp.o"
+  "CMakeFiles/lte_phy.dir/crc.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/lte_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/modulation.cpp.o"
+  "CMakeFiles/lte_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/op_model.cpp.o"
+  "CMakeFiles/lte_phy.dir/op_model.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/params.cpp.o"
+  "CMakeFiles/lte_phy.dir/params.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/rate_matching.cpp.o"
+  "CMakeFiles/lte_phy.dir/rate_matching.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/scfdma.cpp.o"
+  "CMakeFiles/lte_phy.dir/scfdma.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/lte_phy.dir/scrambler.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/turbo.cpp.o"
+  "CMakeFiles/lte_phy.dir/turbo.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/user_processor.cpp.o"
+  "CMakeFiles/lte_phy.dir/user_processor.cpp.o.d"
+  "CMakeFiles/lte_phy.dir/zadoff_chu.cpp.o"
+  "CMakeFiles/lte_phy.dir/zadoff_chu.cpp.o.d"
+  "liblte_phy.a"
+  "liblte_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_power.dir/power_model.cpp.o"
+  "CMakeFiles/lte_power.dir/power_model.cpp.o.d"
+  "liblte_power.a"
+  "liblte_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_report.dir/series.cpp.o"
+  "CMakeFiles/lte_report.dir/series.cpp.o.d"
+  "CMakeFiles/lte_report.dir/table.cpp.o"
+  "CMakeFiles/lte_report.dir/table.cpp.o.d"
+  "liblte_report.a"
+  "liblte_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_runtime.dir/benchmark.cpp.o"
+  "CMakeFiles/lte_runtime.dir/benchmark.cpp.o.d"
+  "CMakeFiles/lte_runtime.dir/input_generator.cpp.o"
+  "CMakeFiles/lte_runtime.dir/input_generator.cpp.o.d"
+  "CMakeFiles/lte_runtime.dir/run_record.cpp.o"
+  "CMakeFiles/lte_runtime.dir/run_record.cpp.o.d"
+  "CMakeFiles/lte_runtime.dir/serial_engine.cpp.o"
+  "CMakeFiles/lte_runtime.dir/serial_engine.cpp.o.d"
+  "CMakeFiles/lte_runtime.dir/worker_pool.cpp.o"
+  "CMakeFiles/lte_runtime.dir/worker_pool.cpp.o.d"
+  "liblte_runtime.a"
+  "liblte_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

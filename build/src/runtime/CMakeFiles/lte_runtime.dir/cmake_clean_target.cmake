@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblte_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_sim.dir/calibrate.cpp.o"
+  "CMakeFiles/lte_sim.dir/calibrate.cpp.o.d"
+  "CMakeFiles/lte_sim.dir/machine.cpp.o"
+  "CMakeFiles/lte_sim.dir/machine.cpp.o.d"
+  "liblte_sim.a"
+  "liblte_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tx/transmitter.cpp" "src/tx/CMakeFiles/lte_tx.dir/transmitter.cpp.o" "gcc" "src/tx/CMakeFiles/lte_tx.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/lte_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/lte_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/lte_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_tx.dir/transmitter.cpp.o"
+  "CMakeFiles/lte_tx.dir/transmitter.cpp.o.d"
+  "liblte_tx.a"
+  "liblte_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_workload.dir/diurnal_model.cpp.o"
+  "CMakeFiles/lte_workload.dir/diurnal_model.cpp.o.d"
+  "CMakeFiles/lte_workload.dir/paper_model.cpp.o"
+  "CMakeFiles/lte_workload.dir/paper_model.cpp.o.d"
+  "CMakeFiles/lte_workload.dir/steady_model.cpp.o"
+  "CMakeFiles/lte_workload.dir/steady_model.cpp.o.d"
+  "liblte_workload.a"
+  "liblte_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

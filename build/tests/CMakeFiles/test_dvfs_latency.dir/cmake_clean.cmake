@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvfs_latency.dir/test_dvfs_latency.cpp.o"
+  "CMakeFiles/test_dvfs_latency.dir/test_dvfs_latency.cpp.o.d"
+  "test_dvfs_latency"
+  "test_dvfs_latency.pdb"
+  "test_dvfs_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvfs_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_kernels.dir/test_phy_kernels.cpp.o"
+  "CMakeFiles/test_phy_kernels.dir/test_phy_kernels.cpp.o.d"
+  "test_phy_kernels"
+  "test_phy_kernels.pdb"
+  "test_phy_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_matching.dir/test_rate_matching.cpp.o"
+  "CMakeFiles/test_rate_matching.dir/test_rate_matching.cpp.o.d"
+  "test_rate_matching"
+  "test_rate_matching.pdb"
+  "test_rate_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
