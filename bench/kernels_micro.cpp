@@ -195,8 +195,11 @@ BM_FullUserSubframe(benchmark::State &state)
     Rng rng(11);
     const auto signal = channel::random_user_signal(params, 4, rng);
     const phy::ReceiverConfig cfg;
+    // Long-lived processor, re-bound per subframe: the steady-state
+    // pattern of the engines (allocation-free past the first bind).
+    phy::UserProcessor proc(cfg);
     for (auto _ : state) {
-        phy::UserProcessor proc(params, cfg, &signal);
+        proc.bind(params, &signal);
         benchmark::DoNotOptimize(proc.process_all());
     }
 }

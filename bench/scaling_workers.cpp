@@ -11,7 +11,7 @@
 
 #include "bench_util.hpp"
 #include "phy/op_model.hpp"
-#include "runtime/benchmark.hpp"
+#include "runtime/engine.hpp"
 #include "workload/paper_model.hpp"
 
 int
@@ -42,21 +42,32 @@ main(int argc, char **argv)
     std::cout << "host concurrency: "
               << std::thread::hardware_concurrency() << "\n\n";
 
-    report::TextTable table({"workers", "subframes/s", "activity",
-                             "steals", "digest"});
-    for (std::size_t workers : {1u, 2u, 4u, 8u}) {
-        runtime::UplinkBenchmarkConfig cfg;
-        cfg.pool.n_workers = workers;
+    report::TextTable table({"engine", "workers", "subframes/s",
+                             "activity", "steals", "digest"});
+    struct Row
+    {
+        runtime::EngineKind kind;
+        std::size_t workers;
+    };
+    const Row rows[] = {{runtime::EngineKind::kSerial, 1},
+                        {runtime::EngineKind::kWorkStealing, 1},
+                        {runtime::EngineKind::kWorkStealing, 2},
+                        {runtime::EngineKind::kWorkStealing, 4},
+                        {runtime::EngineKind::kWorkStealing, 8}};
+    for (const Row &row : rows) {
+        runtime::EngineConfig cfg;
+        cfg.kind = row.kind;
+        cfg.pool.n_workers = row.workers;
         cfg.input.pool_size = 4;
         cfg.input.seed = args.seed;
-        runtime::UplinkBenchmark bench(cfg);
+        auto engine = runtime::make_engine(cfg);
         workload::PaperModel model(model_cfg);
-        const auto record = bench.run(model, n_subframes);
+        const auto record = engine->run(model, n_subframes);
         char digest[24];
         std::snprintf(digest, sizeof(digest), "%016llx",
                       static_cast<unsigned long long>(record.digest()));
         table.add_row(
-            {std::to_string(workers),
+            {engine->name(), std::to_string(row.workers),
              report::fmt(static_cast<double>(record.subframes.size()) /
                              record.wall_seconds,
                          1),

@@ -1,17 +1,16 @@
 /**
  * @file
  * The LTE Uplink Receiver PHY benchmark itself, as a runnable
- * application: the paper-model workload processed by the native
- * work-stealing runtime, validated against the serial reference
- * engine (paper Sec. IV-D).
+ * application: the paper-model workload processed by a configured
+ * engine, validated against the serial reference engine
+ * (paper Sec. IV-D).
  *
  * usage: uplink_benchmark [workers] [subframes]
  */
 #include <cstdlib>
 #include <iostream>
 
-#include "runtime/benchmark.hpp"
-#include "runtime/serial_engine.hpp"
+#include "runtime/engine.hpp"
 #include "workload/paper_model.hpp"
 
 int
@@ -33,16 +32,21 @@ main(int argc, char **argv)
     model_cfg.prob_update_interval =
         std::max<std::uint64_t>(subframes / 100, 1);
 
-    // Parallel run on the work-stealing pool.
-    runtime::UplinkBenchmarkConfig cfg;
+    // Both engines share one configuration; only `kind` differs.
+    runtime::EngineConfig cfg;
+    cfg.kind = runtime::EngineKind::kWorkStealing;
     cfg.pool.n_workers = workers;
     cfg.input.pool_size = 10; // the paper's default input-data pool
-    runtime::UplinkBenchmark bench(cfg);
-    workload::PaperModel model(model_cfg);
-    const runtime::RunRecord parallel = bench.run(model, subframes);
 
-    std::cout << "parallel run:  " << parallel.subframes.size()
-              << " subframes, " << parallel.user_count() << " users, "
+    // Parallel run on the work-stealing pool.
+    auto parallel_engine = runtime::make_engine(cfg);
+    workload::PaperModel model(model_cfg);
+    const runtime::RunRecord parallel =
+        parallel_engine->run(model, subframes);
+
+    std::cout << parallel_engine->name() << " run:  "
+              << parallel.subframes.size() << " subframes, "
+              << parallel.user_count() << " users, "
               << parallel.steals << " steals, "
               << parallel.wall_seconds << " s ("
               << static_cast<double>(parallel.subframes.size()) /
@@ -51,11 +55,14 @@ main(int argc, char **argv)
               << "\n";
 
     // Serial reference over the same predetermined sequence.
+    cfg.kind = runtime::EngineKind::kSerial;
+    auto serial_engine = runtime::make_engine(cfg);
     workload::PaperModel reference_model(model_cfg);
-    runtime::SerialEngine serial(phy::ReceiverConfig{}, cfg.input);
-    const runtime::RunRecord ref = serial.run(reference_model, subframes);
-    std::cout << "serial run:    " << ref.subframes.size()
-              << " subframes, " << ref.wall_seconds << " s\n";
+    const runtime::RunRecord ref =
+        serial_engine->run(reference_model, subframes);
+    std::cout << serial_engine->name() << " run:    "
+              << ref.subframes.size() << " subframes, "
+              << ref.wall_seconds << " s\n";
 
     std::string why;
     const bool ok = runtime::RunRecord::equivalent(ref, parallel, &why);

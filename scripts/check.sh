@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local gate: Release build + tests, then the AddressSanitizer
+# build + tests.  Mirrors what CI would run; use before every push.
+#
+#   scripts/check.sh          # release + asan
+#   scripts/check.sh --ubsan  # additionally run the UBSan suite
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+    local preset="$1"
+    echo "==> configure/build/test preset '${preset}'"
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "$(nproc)"
+    ctest --preset "${preset}"
+}
+
+run_preset release
+run_preset asan
+
+if [[ "${1:-}" == "--ubsan" ]]; then
+    run_preset ubsan
+fi
+
+echo "==> all checks passed"

@@ -8,6 +8,7 @@
 #include <complex>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace lte {
@@ -23,6 +24,24 @@ using CVec = std::vector<cf32>;
 
 /** Soft bit (log-likelihood ratio). Positive means the bit is more likely 0. */
 using Llr = float;
+
+/** Mutable view of complex samples (kernel output / scratch). */
+using CfSpan = std::span<cf32>;
+
+/** Read-only view of complex samples (kernel input). */
+using CfView = std::span<const cf32>;
+
+/** Mutable view of soft bits. */
+using LlrSpan = std::span<Llr>;
+
+/** Read-only view of soft bits. */
+using LlrView = std::span<const Llr>;
+
+/** Mutable view of hard bits (one bit per byte, values 0/1). */
+using BitSpan = std::span<std::uint8_t>;
+
+/** Read-only view of hard bits. */
+using BitView = std::span<const std::uint8_t>;
 
 /** Number of subcarriers in one physical resource block (3GPP TS 36.211). */
 inline constexpr std::size_t kScPerPrb = 12;

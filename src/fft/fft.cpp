@@ -1,6 +1,7 @@
 #include "fft/fft.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
 
 #include "common/check.hpp"
@@ -73,17 +74,33 @@ struct Fft::Impl
 {
     explicit Impl(std::size_t n);
 
-    void transform(const cf32 *in, cf32 *out, bool inverse) const;
+    void transform(const cf32 *in, cf32 *out, bool inverse,
+                   CfSpan scratch) const;
+
+    std::size_t scratch_size() const { return use_bluestein ? 2 * conv_n : n; }
 
     // --- mixed radix ---
+    template <bool Inverse>
     void
     recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
-            std::size_t n, std::size_t root_stride, bool inverse) const;
+            std::size_t n, std::size_t root_stride) const;
 
-    cf32 root(std::size_t index, bool inverse) const;
+    /** roots[index], conjugated for the inverse direction.  The caller
+     *  guarantees index < n (strides are chosen so no reduction is
+     *  needed — avoiding a modulo on every twiddle access). */
+    template <bool Inverse>
+    cf32
+    root(std::size_t index) const
+    {
+        const cf32 w = roots[index];
+        if constexpr (Inverse)
+            return std::conj(w);
+        return w;
+    }
 
     // --- Bluestein ---
-    void bluestein(const cf32 *in, cf32 *out, bool inverse) const;
+    void bluestein(const cf32 *in, cf32 *out, bool inverse,
+                   CfSpan scratch) const;
 
     std::size_t n;
     bool use_bluestein;
@@ -140,17 +157,10 @@ Fft::Impl::Impl(std::size_t size)
     }
 }
 
-cf32
-Fft::Impl::root(std::size_t index, bool inverse) const
-{
-    const cf32 w = roots[index % n];
-    return inverse ? std::conj(w) : w;
-}
-
+template <bool Inverse>
 void
 Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
-                   std::size_t len, std::size_t root_stride,
-                   bool inverse) const
+                   std::size_t len, std::size_t root_stride) const
 {
     if (len == 1) {
         out[0] = in[0];
@@ -167,7 +177,7 @@ Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
             cf32 acc(0.0f, 0.0f);
             for (std::size_t j = 0; j < len; ++j) {
                 const std::size_t idx = ((j * k) % len) * root_stride;
-                acc += in[j * in_stride] * root(idx, inverse);
+                acc += in[j * in_stride] * root<Inverse>(idx);
             }
             out[k] = acc;
         }
@@ -176,21 +186,49 @@ Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
 
     // Transform the p decimated subsequences.
     for (std::size_t q = 0; q < p; ++q) {
-        recurse(in + q * in_stride, in_stride * p, out + q * m, m,
-                root_stride * p, inverse);
+        recurse<Inverse>(in + q * in_stride, in_stride * p, out + q * m,
+                         m, root_stride * p);
+    }
+
+    if (p == 2) {
+        // Radix-2 fast path: the combine below collapses to one
+        // butterfly per output pair.  Same arithmetic as the generic
+        // code (including the multiply by the half-turn root, which is
+        // not exactly -1 in float), just without per-element index
+        // reductions.
+        const cf32 w_half = root<Inverse>(m * root_stride);
+        std::size_t tw = 0; // k * root_stride
+        for (std::size_t k = 0; k < m; ++k, tw += root_stride) {
+            const cf32 t0 = out[k];
+            const cf32 t1 = out[m + k] * root<Inverse>(tw);
+            out[k] = t0 + t1;
+            out[m + k] = t0 + t1 * w_half;
+        }
+        return;
     }
 
     // Combine: X[k + r*m] = sum_q W_len^(q*k) * W_p^(q*r) * Y_q[k].
+    // All root indices stay below n by construction: q*k*root_stride
+    // <= (p-1)*(m-1)*root_stride < len*root_stride = n, and the W_p
+    // exponent is reduced mod p incrementally.
     cf32 t[kMaxDirectPrime];
-    for (std::size_t k = 0; k < m; ++k) {
-        for (std::size_t q = 0; q < p; ++q)
-            t[q] = out[q * m + k] * root(q * k * root_stride, inverse);
-        for (std::size_t r = 0; r < p; ++r) {
-            cf32 acc(0.0f, 0.0f);
-            for (std::size_t q = 0; q < p; ++q) {
-                const std::size_t idx =
-                    ((q * r) % p) * m * root_stride;
-                acc += t[q] * root(idx, inverse);
+    std::size_t base = 0; // k * root_stride
+    for (std::size_t k = 0; k < m; ++k, base += root_stride) {
+        t[0] = out[k];
+        for (std::size_t q = 1; q < p; ++q)
+            t[q] = out[q * m + k] * root<Inverse>(q * base);
+        cf32 acc0 = t[0];
+        for (std::size_t q = 1; q < p; ++q)
+            acc0 += t[q];
+        out[k] = acc0;
+        for (std::size_t r = 1; r < p; ++r) {
+            cf32 acc = t[0];
+            std::size_t exp = 0; // (q * r) mod p
+            for (std::size_t q = 1; q < p; ++q) {
+                exp += r;
+                if (exp >= p)
+                    exp -= p;
+                acc += t[q] * root<Inverse>(exp * m * root_stride);
             }
             out[k + r * m] = acc;
         }
@@ -198,20 +236,34 @@ Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
 }
 
 void
-Fft::Impl::bluestein(const cf32 *in, cf32 *out, bool inverse) const
+Fft::Impl::bluestein(const cf32 *in, cf32 *out, bool inverse,
+                     CfSpan scratch) const
 {
     // Chirp-z identity: with chirp_k = exp(-i*pi*k^2/n),
     //   X_k = chirp_k * (a (*) b)_k,  a_j = x_j * chirp_j,
     //   b_m = conj(chirp_m)  (wrapped for circular convolution).
     // The inverse transform conjugates both chirp and kernel.
-    std::vector<cf32> a(conv_n, cf32(0.0f, 0.0f));
+    //
+    // Scratch layout: [0, conv_n) holds the padded chirped input "a"
+    // (later reused for the convolution result — conv_fft is a
+    // power-of-two plan, so its out-of-place transform never reads
+    // back its input), [conv_n, 2*conv_n) holds its spectrum "fa".
+    LTE_ASSERT(scratch.size() >= 2 * conv_n,
+               "Bluestein scratch too small");
+    const CfSpan a = scratch.subspan(0, conv_n);
+    const CfSpan fa = scratch.subspan(conv_n, conv_n);
+
     for (std::size_t k = 0; k < n; ++k) {
         const cf32 c = inverse ? std::conj(chirp[k]) : chirp[k];
         a[k] = in[k] * c;
     }
+    for (std::size_t k = n; k < conv_n; ++k)
+        a[k] = cf32(0.0f, 0.0f);
 
-    std::vector<cf32> fa(conv_n);
-    conv_fft->forward(a.data(), fa.data());
+    // conv_fft is mixed-radix and runs out-of-place here, so it needs
+    // no scratch of its own — pass an empty span to keep this call
+    // off the per-thread fallback buffer.
+    conv_fft->forward(a.data(), fa.data(), CfSpan{});
     if (inverse) {
         // The convolution kernel is conj(chirp); for the inverse
         // transform the kernel is chirp itself, whose FFT is the
@@ -226,25 +278,34 @@ Fft::Impl::bluestein(const cf32 *in, cf32 *out, bool inverse) const
             fa[k] *= chirp_fft[k];
     }
 
-    std::vector<cf32> conv(conv_n);
-    conv_fft->inverse(fa.data(), conv.data());
+    conv_fft->inverse(fa.data(), a.data(), CfSpan{});
 
     for (std::size_t k = 0; k < n; ++k) {
         const cf32 c = inverse ? std::conj(chirp[k]) : chirp[k];
-        out[k] = conv[k] * c;
+        out[k] = a[k] * c;
     }
 }
 
 void
-Fft::Impl::transform(const cf32 *in, cf32 *out, bool inverse) const
+Fft::Impl::transform(const cf32 *in, cf32 *out, bool inverse,
+                     CfSpan scratch) const
 {
     if (use_bluestein) {
-        bluestein(in, out, inverse);
+        bluestein(in, out, inverse, scratch);
     } else if (in == out) {
-        std::vector<cf32> tmp(in, in + n);
-        recurse(tmp.data(), 1, out, n, 1, inverse);
+        LTE_ASSERT(scratch.size() >= n, "in-place FFT scratch too small");
+        cf32 *tmp = scratch.data();
+        for (std::size_t k = 0; k < n; ++k)
+            tmp[k] = in[k];
+        if (inverse)
+            recurse<true>(tmp, 1, out, n, 1);
+        else
+            recurse<false>(tmp, 1, out, n, 1);
     } else {
-        recurse(in, 1, out, n, 1, inverse);
+        if (inverse)
+            recurse<true>(in, 1, out, n, 1);
+        else
+            recurse<false>(in, 1, out, n, 1);
     }
 
     if (inverse) {
@@ -253,6 +314,22 @@ Fft::Impl::transform(const cf32 *in, cf32 *out, bool inverse) const
             out[k] *= scale;
     }
 }
+
+namespace {
+
+/** Grow-only per-thread scratch backing the span-less transform
+ *  overloads; steady-state allocation-free once a thread has seen its
+ *  largest transform. */
+CfSpan
+thread_scratch(std::size_t min_samples)
+{
+    thread_local std::vector<cf32> scratch;
+    if (scratch.size() < min_samples)
+        scratch.resize(min_samples);
+    return {scratch.data(), scratch.size()};
+}
+
+} // namespace
 
 Fft::Fft(std::size_t n)
     : impl_(std::make_unique<Impl>(n))
@@ -267,16 +344,51 @@ Fft::size() const
     return impl_->n;
 }
 
+std::size_t
+Fft::scratch_size() const
+{
+    return impl_->scratch_size();
+}
+
+namespace {
+
+/** Scratch actually consumed by one transform call (the aliasing copy
+ *  is only needed when in == out). */
+std::size_t
+scratch_needed(const Fft &fft, const cf32 *in, const cf32 *out)
+{
+    const std::size_t full = fft.scratch_size();
+    if (full == fft.size() && in != out)
+        return 0; // mixed-radix, out-of-place: no scratch at all
+    return full;
+}
+
+} // namespace
+
 void
 Fft::forward(const cf32 *in, cf32 *out) const
 {
-    impl_->transform(in, out, false);
+    impl_->transform(in, out, false,
+                     thread_scratch(scratch_needed(*this, in, out)));
 }
 
 void
 Fft::inverse(const cf32 *in, cf32 *out) const
 {
-    impl_->transform(in, out, true);
+    impl_->transform(in, out, true,
+                     thread_scratch(scratch_needed(*this, in, out)));
+}
+
+void
+Fft::forward(const cf32 *in, cf32 *out, CfSpan scratch) const
+{
+    impl_->transform(in, out, false, scratch);
+}
+
+void
+Fft::inverse(const cf32 *in, cf32 *out, CfSpan scratch) const
+{
+    impl_->transform(in, out, true, scratch);
 }
 
 std::uint64_t
@@ -317,22 +429,69 @@ FftCache::instance()
     return cache;
 }
 
+const Fft &
+FftCache::plan(std::size_t n)
+{
+    // Per-thread direct-mapped table: fixed storage (no heap even on a
+    // brand-new worker thread), collision policy is simple overwrite.
+    // A subframe touches only a handful of distinct sizes, so hits are
+    // the overwhelmingly common case.
+    struct Slot
+    {
+        std::size_t n;
+        const Fft *plan;
+    };
+    constexpr std::size_t kSlots = 128; // power of two for cheap masking
+    thread_local Slot slots[kSlots] = {};
+
+    Slot &slot = slots[(n * 0x9E3779B97F4A7C15ull >> 32) & (kSlots - 1)];
+    if (slot.plan != nullptr && slot.n == n)
+        return *slot.plan;
+
+    const Fft *plan = lookup_shared(n);
+    slot = {n, plan};
+    return *plan;
+}
+
+const Fft *
+FftCache::lookup_shared(std::size_t n)
+{
+    {
+        // Raw plan pointers are stable: the cache never evicts, so the
+        // shared_ptr in the map keeps every plan alive for the process
+        // lifetime and per-thread tables may cache the raw pointer.
+        std::shared_lock lock(mutex_);
+        auto it = plans_.find(n);
+        if (it != plans_.end())
+            return it->second.get();
+    }
+    std::unique_lock lock(mutex_);
+    auto it = plans_.find(n);
+    if (it == plans_.end())
+        it = plans_.emplace(n, std::make_shared<const Fft>(n)).first;
+    return it->second.get();
+}
+
 std::shared_ptr<const Fft>
 FftCache::get(std::size_t n)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    {
+        std::shared_lock lock(mutex_);
+        auto it = plans_.find(n);
+        if (it != plans_.end())
+            return it->second;
+    }
+    std::unique_lock lock(mutex_);
     auto it = plans_.find(n);
-    if (it != plans_.end())
-        return it->second;
-    auto plan = std::make_shared<const Fft>(n);
-    plans_.emplace(n, plan);
-    return plan;
+    if (it == plans_.end())
+        it = plans_.emplace(n, std::make_shared<const Fft>(n)).first;
+    return it->second;
 }
 
 std::size_t
 FftCache::plan_count() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock lock(mutex_);
     return plans_.size();
 }
 

@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +29,13 @@ namespace lte::fft {
  *
  * Plans are immutable after construction, and both transform methods
  * are const and safe to call concurrently from multiple threads.
+ *
+ * Transforms come in two flavours: the span overloads take a caller
+ * provided scratch buffer of at least scratch_size() samples and never
+ * touch the heap, which the subframe hot path relies on; the two-arg
+ * overloads fall back to a per-thread scratch vector that grows to the
+ * largest size seen (allocation-free once warm, but not guaranteed so
+ * on a cold thread).
  */
 class Fft
 {
@@ -43,12 +50,27 @@ class Fft
     /** Transform size. */
     std::size_t size() const;
 
+    /**
+     * Scratch samples the span overloads need: n for mixed-radix sizes
+     * (used only when in == out), 2x the convolution length for
+     * Bluestein sizes.  Constant per plan, so workspaces can size
+     * scratch once up front.
+     */
+    std::size_t scratch_size() const;
+
     /** Unnormalised forward DFT. @p in and @p out must hold size() samples
      *  and may alias. */
     void forward(const cf32 *in, cf32 *out) const;
 
     /** Inverse DFT including the 1/N normalisation. May alias. */
     void inverse(const cf32 *in, cf32 *out) const;
+
+    /** Heap-free forward DFT; @p scratch needs >= scratch_size()
+     *  samples and must not overlap in/out. */
+    void forward(const cf32 *in, cf32 *out, CfSpan scratch) const;
+
+    /** Heap-free inverse DFT (with 1/N scale); same scratch contract. */
+    void inverse(const cf32 *in, cf32 *out, CfSpan scratch) const;
 
     /**
      * Analytical floating-point operation count of one transform of
@@ -82,12 +104,34 @@ class Fft
  * Subframe processing repeatedly needs the same handful of sizes; the
  * cache makes plan lookup cheap and thread-safe (worker threads share
  * plans, which are themselves const-thread-safe).
+ *
+ * Lookup is layered: plan() first probes a per-thread direct-mapped
+ * table (no locking, no atomics, no heap), and only on a miss falls
+ * back to the shared map.  The shared map is guarded by a
+ * std::shared_mutex so that concurrent misses from different threads
+ * still proceed in parallel when the plan exists.
+ *
+ * Regression note: this cache used to hold a plain std::mutex around
+ * every lookup, which serialised all workers on the hot path — each
+ * IFFT/FFT in channel estimation and SC-FDMA despreading took the
+ * global lock, and profiles showed the lock dominating at high worker
+ * counts.  Do not reintroduce a exclusive-locked lookup here; the
+ * per-thread table plus reader-shared fallback exists precisely to
+ * keep plan lookup off the contention path.
  */
 class FftCache
 {
   public:
     /** The singleton cache instance. */
     static FftCache &instance();
+
+    /**
+     * @return a reference to the plan for size @p n, creating it if
+     * needed.  Plans live for the lifetime of the process (the cache
+     * never evicts), so the reference is permanently valid.  Hot-path
+     * lookups hit a per-thread table and are lock- and heap-free.
+     */
+    const Fft &plan(std::size_t n);
 
     /** @return a shared plan for size @p n, creating it if needed. */
     std::shared_ptr<const Fft> get(std::size_t n);
@@ -98,7 +142,10 @@ class FftCache
   private:
     FftCache() = default;
 
-    mutable std::mutex mutex_;
+    /** Shared-map lookup backing the per-thread table. */
+    const Fft *lookup_shared(std::size_t n);
+
+    mutable std::shared_mutex mutex_;
     std::unordered_map<std::size_t, std::shared_ptr<const Fft>> plans_;
 };
 

@@ -20,40 +20,44 @@ window_extent(std::size_t n, double window_fraction)
     return {front, back};
 }
 
-ChannelEstimate
-estimate_channel(const CVec &received_ref, const CVec &layer_ref,
-                 const ChannelEstimatorConfig &cfg)
+std::size_t
+estimate_channel_scratch(std::size_t n)
+{
+    return n + fft::FftCache::instance().plan(n).scratch_size();
+}
+
+float
+estimate_channel_into(CfView received_ref, CfView layer_ref,
+                      const ChannelEstimatorConfig &cfg,
+                      CfSpan freq_response, CfSpan scratch)
 {
     LTE_CHECK(!received_ref.empty(), "empty reference symbol");
     LTE_CHECK(received_ref.size() == layer_ref.size(),
               "reference length mismatch");
+    LTE_CHECK(freq_response.size() == received_ref.size(),
+              "output length mismatch");
     LTE_CHECK(cfg.window_fraction > 0.0 && cfg.window_fraction <= 1.0,
               "window fraction out of range");
 
     const std::size_t n = received_ref.size();
+    const fft::Fft &plan = fft::FftCache::instance().plan(n);
+    LTE_ASSERT(scratch.size() >= n + plan.scratch_size(),
+               "channel estimator scratch too small");
+    const CfSpan delay = scratch.subspan(0, n);
+    const CfSpan fft_scratch = scratch.subspan(n);
 
     // 1. Matched filter: DMRS samples have unit magnitude, so
     //    multiplying by the conjugate divides out the known sequence.
-    CVec raw(n);
     for (std::size_t k = 0; k < n; ++k)
-        raw[k] = received_ref[k] * std::conj(layer_ref[k]);
+        freq_response[k] = received_ref[k] * std::conj(layer_ref[k]);
 
     // 2. To the delay domain.
-    auto plan = fft::FftCache::instance().get(n);
-    CVec delay(n);
-    plan->inverse(raw.data(), delay.data());
-
-    // 3. Window: keep [0, front) and [n-back, n).
-    const auto [front, back] = window_extent(n, cfg.window_fraction);
-    CVec kept(n, cf32(0.0f, 0.0f));
-    for (std::size_t i = 0; i < n; ++i) {
-        if (i < front || i >= n - back)
-            kept[i] = delay[i];
-    }
+    plan.inverse(freq_response.data(), delay.data(), fft_scratch);
 
     // Noise bins: the guard region between this layer's window and the
     // next cyclic-shift bin at n/4, which holds neither this layer's
     // taps nor any other layer's.
+    const auto [front, back] = window_extent(n, cfg.window_fraction);
     double noise_energy = 0.0;
     std::size_t noise_bins = 0;
     const std::size_t guard = n / 32;
@@ -64,10 +68,12 @@ estimate_channel(const CVec &received_ref, const CVec &layer_ref,
         ++noise_bins;
     }
 
+    // 3. Window in place: keep [0, front) and [n-back, n).
+    for (std::size_t i = front; i < n - back; ++i)
+        delay[i] = cf32(0.0f, 0.0f);
+
     // 4. Back to the frequency domain.
-    ChannelEstimate est;
-    est.freq_response.resize(n);
-    plan->forward(kept.data(), est.freq_response.data());
+    plan.forward(delay.data(), freq_response.data(), fft_scratch);
 
     // Noise estimate: the IFFT of unit-variance frequency-domain noise
     // has per-bin variance 1/n, so scale back up by n to express the
@@ -75,10 +81,25 @@ estimate_channel(const CVec &received_ref, const CVec &layer_ref,
     // is too small to have guard bins; the caller falls back to its
     // configured default.
     if (noise_bins > 0) {
-        est.noise_var = static_cast<float>(
-            noise_energy / static_cast<double>(noise_bins) *
-            static_cast<double>(n));
+        return static_cast<float>(noise_energy /
+                                  static_cast<double>(noise_bins) *
+                                  static_cast<double>(n));
     }
+    return 0.0f;
+}
+
+ChannelEstimate
+estimate_channel(const CVec &received_ref, const CVec &layer_ref,
+                 const ChannelEstimatorConfig &cfg)
+{
+    const std::size_t n = received_ref.size();
+    LTE_CHECK(n >= 1, "empty reference symbol");
+    ChannelEstimate est;
+    est.freq_response.resize(n);
+    CVec scratch(estimate_channel_scratch(n));
+    est.noise_var = estimate_channel_into(
+        received_ref, layer_ref, cfg, est.freq_response,
+        CfSpan(scratch.data(), scratch.size()));
     return est;
 }
 

@@ -61,6 +61,22 @@ ChannelEstimate estimate_channel(const CVec &received_ref,
                                  const ChannelEstimatorConfig &cfg = {});
 
 /**
+ * Heap-free variant: writes the frequency response into
+ * @p freq_response (same length as the references) and returns the
+ * noise-variance estimate (0 when the allocation has no guard bins).
+ *
+ * @param scratch at least estimate_channel_scratch(n) samples; must
+ *                not overlap the other buffers
+ */
+float estimate_channel_into(CfView received_ref, CfView layer_ref,
+                            const ChannelEstimatorConfig &cfg,
+                            CfSpan freq_response, CfSpan scratch);
+
+/** Scratch samples estimate_channel_into() needs for an @p n-point
+ *  reference: the delay-domain buffer plus FFT-plan scratch. */
+std::size_t estimate_channel_scratch(std::size_t n);
+
+/**
  * The number of leading/trailing delay bins kept by the window for a
  * transform of size @p n under @p window_fraction (exposed for tests).
  * first = causal taps kept at the start, second = taps kept at the end.

@@ -1,15 +1,24 @@
 #include "phy/combiner.hpp"
 
 #include "common/check.hpp"
-#include "matrix/cmat.hpp"
+#include "matrix/fixed_cmat.hpp"
 
 namespace lte::phy {
 
 CombinerWeights::CombinerWeights(std::size_t n_sc, std::size_t layers,
                                  std::size_t antennas)
-    : n_sc_(n_sc), layers_(layers), antennas_(antennas),
-      w_(n_sc * layers * antennas, cf32(0.0f, 0.0f))
 {
+    resize(n_sc, layers, antennas);
+}
+
+void
+CombinerWeights::resize(std::size_t n_sc, std::size_t layers,
+                        std::size_t antennas)
+{
+    n_sc_ = n_sc;
+    layers_ = layers;
+    antennas_ = antennas;
+    w_.assign(n_sc * layers * antennas, cf32(0.0f, 0.0f));
 }
 
 cf32 &
@@ -26,6 +35,36 @@ CombinerWeights::at(std::size_t sc, std::size_t layer,
 {
     return const_cast<CombinerWeights *>(this)->at(sc, layer, antenna);
 }
+
+namespace {
+
+/**
+ * The per-subcarrier MMSE solve, shared by both entry points.  @p chan
+ * is any callable (antenna, layer, sc) -> cf32.  Runs entirely on
+ * fixed-capacity stack matrices: no heap traffic per subcarrier.
+ */
+template <typename ChanAt>
+void
+weights_impl(std::size_t antennas, std::size_t layers, std::size_t n_sc,
+             ChanAt chan, float noise_var, CombinerWeights &out)
+{
+    matrix::FixedCMat h(antennas, layers);
+    for (std::size_t sc = 0; sc < n_sc; ++sc) {
+        for (std::size_t a = 0; a < antennas; ++a) {
+            for (std::size_t l = 0; l < layers; ++l)
+                h.at(a, l) = chan(a, l, sc);
+        }
+        const matrix::FixedCMat hh = h.hermitian();
+        const matrix::FixedCMat w =
+            hh.mul(h).add_scaled_identity(noise_var).inverse().mul(hh);
+        for (std::size_t l = 0; l < layers; ++l) {
+            for (std::size_t a = 0; a < antennas; ++a)
+                out(sc, l, a) = w.at(l, a);
+        }
+    }
+}
+
+} // namespace
 
 CombinerWeights
 compute_combiner_weights(const std::vector<std::vector<CVec>> &channel,
@@ -44,21 +83,30 @@ compute_combiner_weights(const std::vector<std::vector<CVec>> &channel,
     }
 
     CombinerWeights out(n_sc, layers, antennas);
-    matrix::CMat h(antennas, layers);
-    for (std::size_t sc = 0; sc < n_sc; ++sc) {
-        for (std::size_t a = 0; a < antennas; ++a) {
-            for (std::size_t l = 0; l < layers; ++l)
-                h.at(a, l) = channel[a][l][sc];
-        }
-        const matrix::CMat hh = h.hermitian();
-        const matrix::CMat w =
-            hh.mul(h).add_scaled_identity(noise_var).inverse().mul(hh);
-        for (std::size_t l = 0; l < layers; ++l) {
-            for (std::size_t a = 0; a < antennas; ++a)
-                out.at(sc, l, a) = w.at(l, a);
-        }
-    }
+    weights_impl(
+        antennas, layers, n_sc,
+        [&](std::size_t a, std::size_t l, std::size_t sc) {
+            return channel[a][l][sc];
+        },
+        noise_var, out);
     return out;
+}
+
+void
+compute_combiner_weights_into(const ChannelView &channel, float noise_var,
+                              CombinerWeights &out)
+{
+    LTE_CHECK(channel.data != nullptr && channel.antennas >= 1 &&
+                  channel.layers >= 1,
+              "need at least one antenna and layer");
+    LTE_CHECK(noise_var > 0.0f, "noise variance must be positive");
+    out.resize(channel.n_sc, channel.layers, channel.antennas);
+    weights_impl(
+        channel.antennas, channel.layers, channel.n_sc,
+        [&](std::size_t a, std::size_t l, std::size_t sc) {
+            return channel.at(a, l, sc);
+        },
+        noise_var, out);
 }
 
 CVec
@@ -76,9 +124,31 @@ combine_layer(const std::vector<CVec> &rx_symbol,
     for (std::size_t a = 0; a < rx_symbol.size(); ++a) {
         const CVec &y = rx_symbol[a];
         for (std::size_t sc = 0; sc < n_sc; ++sc)
-            out[sc] += weights.at(sc, layer, a) * y[sc];
+            out[sc] += weights(sc, layer, a) * y[sc];
     }
     return out;
+}
+
+void
+combine_layer_into(std::span<const CfView> rx_symbol,
+                   const CombinerWeights &weights, std::size_t layer,
+                   CfSpan out)
+{
+    LTE_CHECK(rx_symbol.size() == weights.antennas(),
+              "antenna count mismatch");
+    LTE_CHECK(layer < weights.layers(), "layer out of range");
+    const std::size_t n_sc = weights.n_subcarriers();
+    LTE_CHECK(out.size() == n_sc, "output length mismatch");
+    for (const auto &ant : rx_symbol)
+        LTE_CHECK(ant.size() == n_sc, "subcarrier count mismatch");
+
+    for (std::size_t sc = 0; sc < n_sc; ++sc)
+        out[sc] = cf32(0.0f, 0.0f);
+    for (std::size_t a = 0; a < rx_symbol.size(); ++a) {
+        const cf32 *y = rx_symbol[a].data();
+        for (std::size_t sc = 0; sc < n_sc; ++sc)
+            out[sc] += weights(sc, layer, a) * y[sc];
+    }
 }
 
 } // namespace lte::phy

@@ -13,6 +13,7 @@
 #define LTE_PHY_COMBINER_HPP
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -32,6 +33,13 @@ class CombinerWeights
     CombinerWeights(std::size_t n_sc, std::size_t layers,
                     std::size_t antennas);
 
+    /**
+     * Re-shape for a new slot, reusing the existing storage; only
+     * grows the backing vector past its previous high-water mark.
+     */
+    void resize(std::size_t n_sc, std::size_t layers,
+                std::size_t antennas);
+
     std::size_t n_subcarriers() const { return n_sc_; }
     std::size_t layers() const { return layers_; }
     std::size_t antennas() const { return antennas_; }
@@ -40,11 +48,43 @@ class CombinerWeights
     const cf32 &at(std::size_t sc, std::size_t layer,
                    std::size_t antenna) const;
 
+    /** Unchecked access for hot loops (same layout as at()). */
+    cf32 &
+    operator()(std::size_t sc, std::size_t layer, std::size_t antenna)
+    {
+        return w_[(sc * layers_ + layer) * antennas_ + antenna];
+    }
+
+    const cf32 &
+    operator()(std::size_t sc, std::size_t layer,
+               std::size_t antenna) const
+    {
+        return w_[(sc * layers_ + layer) * antennas_ + antenna];
+    }
+
   private:
     std::size_t n_sc_ = 0;
     std::size_t layers_ = 0;
     std::size_t antennas_ = 0;
     std::vector<cf32> w_;
+};
+
+/**
+ * Read-only view of per-(antenna, layer) channel estimates stored as
+ * one flat antenna-major buffer: data[(a * layers + l) * n_sc + sc].
+ */
+struct ChannelView
+{
+    const cf32 *data = nullptr;
+    std::size_t antennas = 0;
+    std::size_t layers = 0;
+    std::size_t n_sc = 0;
+
+    const cf32 &
+    at(std::size_t antenna, std::size_t layer, std::size_t sc) const
+    {
+        return data[(antenna * layers + layer) * n_sc + sc];
+    }
 };
 
 /**
@@ -60,6 +100,15 @@ compute_combiner_weights(const std::vector<std::vector<CVec>> &channel,
                          float noise_var);
 
 /**
+ * Heap-free variant over a flat channel view; @p out is re-shaped to
+ * match (allocation-free once at capacity).  The per-subcarrier
+ * matrix algebra runs on fixed-capacity stack matrices.
+ */
+void compute_combiner_weights_into(const ChannelView &channel,
+                                   float noise_var,
+                                   CombinerWeights &out);
+
+/**
  * Combine one received SC-FDMA symbol across antennas into one layer's
  * frequency-domain samples: z(f) = sum_a W(f, layer, a) * y_a(f).
  *
@@ -68,6 +117,12 @@ compute_combiner_weights(const std::vector<std::vector<CVec>> &channel,
  */
 CVec combine_layer(const std::vector<CVec> &rx_symbol,
                    const CombinerWeights &weights, std::size_t layer);
+
+/** Heap-free variant: @p rx_symbol is one view per antenna and the
+ *  combined samples are written to @p out (n_subcarriers long). */
+void combine_layer_into(std::span<const CfView> rx_symbol,
+                        const CombinerWeights &weights, std::size_t layer,
+                        CfSpan out);
 
 } // namespace lte::phy
 

@@ -5,7 +5,7 @@
 namespace lte::phy {
 
 std::uint32_t
-crc24(const std::vector<std::uint8_t> &bits, std::uint32_t poly)
+crc24(BitView bits, std::uint32_t poly)
 {
     std::uint32_t reg = 0;
     for (std::uint8_t bit : bits) {
@@ -28,7 +28,7 @@ crc24_attach(std::vector<std::uint8_t> bits, std::uint32_t poly)
 }
 
 bool
-crc24_check(const std::vector<std::uint8_t> &bits, std::uint32_t poly)
+crc24_check(BitView bits, std::uint32_t poly)
 {
     if (bits.size() < 24)
         return false;

@@ -9,7 +9,10 @@
 #define LTE_PHY_CRC_HPP
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
+
+#include "common/types.hpp"
 
 namespace lte::phy {
 
@@ -23,9 +26,9 @@ inline constexpr std::uint32_t kCrc24BPoly = 0x800063;
 /**
  * Compute a 24-bit CRC over a bit sequence (one bit per byte, values
  * 0/1), MSB-first, zero initial state, as specified by TS 36.212.
+ * Takes a view, so vectors and workspace spans both work heap-free.
  */
-std::uint32_t crc24(const std::vector<std::uint8_t> &bits,
-                    std::uint32_t poly = kCrc24APoly);
+std::uint32_t crc24(BitView bits, std::uint32_t poly = kCrc24APoly);
 
 /** Append the 24 CRC bits (MSB first) to a copy of @p bits. */
 std::vector<std::uint8_t> crc24_attach(std::vector<std::uint8_t> bits,
@@ -35,8 +38,22 @@ std::vector<std::uint8_t> crc24_attach(std::vector<std::uint8_t> bits,
  * @return true if @p bits (payload + 24 CRC bits) passes the check,
  * i.e. the CRC of the whole sequence is zero.
  */
-bool crc24_check(const std::vector<std::uint8_t> &bits,
-                 std::uint32_t poly = kCrc24APoly);
+bool crc24_check(BitView bits, std::uint32_t poly = kCrc24APoly);
+
+/** Braced-list conveniences (initializer lists don't bind to spans). */
+inline std::uint32_t
+crc24(std::initializer_list<std::uint8_t> bits,
+      std::uint32_t poly = kCrc24APoly)
+{
+    return crc24(BitView(bits.begin(), bits.size()), poly);
+}
+
+inline bool
+crc24_check(std::initializer_list<std::uint8_t> bits,
+            std::uint32_t poly = kCrc24APoly)
+{
+    return crc24_check(BitView(bits.begin(), bits.size()), poly);
+}
 
 } // namespace lte::phy
 

@@ -5,23 +5,40 @@
 
 namespace lte::phy {
 
-std::vector<std::size_t>
-interleave_permutation(std::size_t n, std::size_t columns)
+void
+interleave_permutation_into(std::size_t n, std::size_t columns,
+                            std::span<std::size_t> out)
 {
     LTE_CHECK(columns >= 1, "need at least one column");
+    LTE_CHECK(out.size() == n, "permutation buffer length mismatch");
     const std::size_t rows = ceil_div(n, columns);
-    std::vector<std::size_t> perm;
-    perm.reserve(n);
     // Read column-wise from a row-wise-written rows x columns matrix,
     // skipping the padding cells of a ragged final row.
+    std::size_t i = 0;
     for (std::size_t c = 0; c < columns; ++c) {
         for (std::size_t r = 0; r < rows; ++r) {
             const std::size_t src = r * columns + c;
             if (src < n)
-                perm.push_back(src);
+                out[i++] = src;
         }
     }
+}
+
+std::vector<std::size_t>
+interleave_permutation(std::size_t n, std::size_t columns)
+{
+    std::vector<std::size_t> perm(n);
+    interleave_permutation_into(n, columns, perm);
     return perm;
+}
+
+void
+deinterleave_into(CfView in, std::span<const std::size_t> perm, CfSpan out)
+{
+    LTE_CHECK(in.size() == perm.size() && out.size() == perm.size(),
+              "deinterleave length mismatch");
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[perm[i]] = in[i];
 }
 
 CVec

@@ -11,6 +11,7 @@
 #define LTE_PHY_INTERLEAVER_HPP
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -33,6 +34,17 @@ CVec deinterleave(const CVec &in, std::size_t columns = kInterleaverColumns);
 /** The permutation used by interleave(); out[i] = in[perm[i]]. */
 std::vector<std::size_t> interleave_permutation(std::size_t n,
                                                 std::size_t columns);
+
+/** Heap-free variant: writes the n-element permutation into @p out
+ *  (which must hold exactly n entries). */
+void interleave_permutation_into(std::size_t n, std::size_t columns,
+                                 std::span<std::size_t> out);
+
+/** Heap-free deinterleave using a precomputed permutation:
+ *  out[perm[i]] = in[i].  All three arguments must be the same
+ *  length, and @p in and @p out must not alias. */
+void deinterleave_into(CfView in, std::span<const std::size_t> perm,
+                       CfSpan out);
 
 } // namespace lte::phy
 

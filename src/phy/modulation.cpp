@@ -148,17 +148,20 @@ modulate(const std::vector<std::uint8_t> &bits, Modulation mod)
     return out;
 }
 
-std::vector<Llr>
-demodulate_soft(const CVec &symbols, Modulation mod, float noise_var)
+void
+demodulate_soft_into(CfView symbols, Modulation mod, float noise_var,
+                     LlrSpan llrs)
 {
     LTE_CHECK(noise_var > 0.0f, "noise variance must be positive");
     const std::size_t bps = bits_per_symbol(mod);
+    LTE_CHECK(llrs.size() == symbols.size() * bps,
+              "LLR buffer length mismatch");
     const AxisTable &table = axis_table(mod);
     const std::size_t patterns = table.levels.size();
     const float inv_nv = 1.0f / noise_var;
 
-    std::vector<Llr> llrs(symbols.size() * bps);
-    std::vector<float> dist(patterns);
+    // Axis patterns are at most 8 (64-QAM: 3 bits per axis).
+    float dist[8];
 
     for (std::size_t s = 0; s < symbols.size(); ++s) {
         const cf32 y = symbols[s];
@@ -185,6 +188,13 @@ demodulate_soft(const CVec &symbols, Modulation mod, float noise_var)
             }
         }
     }
+}
+
+std::vector<Llr>
+demodulate_soft(const CVec &symbols, Modulation mod, float noise_var)
+{
+    std::vector<Llr> llrs(symbols.size() * bits_per_symbol(mod));
+    demodulate_soft_into(symbols, mod, noise_var, llrs);
     return llrs;
 }
 
@@ -203,12 +213,19 @@ nearest_point_distance2(cf32 y, Modulation mod)
     return best_i + best_q;
 }
 
+void
+hard_decision_into(LlrView llrs, BitSpan out)
+{
+    LTE_CHECK(out.size() == llrs.size(), "bit buffer length mismatch");
+    for (std::size_t i = 0; i < llrs.size(); ++i)
+        out[i] = llrs[i] >= 0.0f ? 0 : 1;
+}
+
 std::vector<std::uint8_t>
 hard_decision(const std::vector<Llr> &llrs)
 {
     std::vector<std::uint8_t> bits(llrs.size());
-    for (std::size_t i = 0; i < llrs.size(); ++i)
-        bits[i] = llrs[i] >= 0.0f ? 0 : 1;
+    hard_decision_into(llrs, bits);
     return bits;
 }
 

@@ -44,6 +44,11 @@ CVec modulate(const std::vector<std::uint8_t> &bits, Modulation mod);
 std::vector<Llr> demodulate_soft(const CVec &symbols, Modulation mod,
                                  float noise_var);
 
+/** Heap-free variant: writes the LLRs into @p out, which must hold
+ *  exactly symbols.size() * bits_per_symbol(mod) entries. */
+void demodulate_soft_into(CfView symbols, Modulation mod, float noise_var,
+                          LlrSpan out);
+
 /**
  * Squared Euclidean distance from @p y to the nearest constellation
  * point of @p mod (separable per axis; used for EVM).
@@ -52,6 +57,9 @@ float nearest_point_distance2(cf32 y, Modulation mod);
 
 /** Hard decisions from LLRs (LLR >= 0 -> bit 0). */
 std::vector<std::uint8_t> hard_decision(const std::vector<Llr> &llrs);
+
+/** Heap-free hard decisions; @p out must match @p llrs in length. */
+void hard_decision_into(LlrView llrs, BitSpan out);
 
 /** The full constellation of @p mod (2^bits points, Gray mapped). */
 const CVec &constellation(Modulation mod);

@@ -109,8 +109,8 @@ RateMatcher::rv_offset(unsigned rv) const
 }
 
 std::vector<std::uint8_t>
-RateMatcher::select(const std::vector<std::uint8_t> &turbo_coded,
-                    std::size_t e_bits, unsigned rv) const
+RateMatcher::select(BitView turbo_coded, std::size_t e_bits,
+                    unsigned rv) const
 {
     LTE_CHECK(turbo_coded.size() == coded_size(),
               "coded length must match the block size");
@@ -135,8 +135,8 @@ RateMatcher::empty_soft_buffer() const
 }
 
 void
-RateMatcher::accumulate(std::vector<Llr> &soft_buffer,
-                        const std::vector<Llr> &e_llrs, unsigned rv) const
+RateMatcher::accumulate(LlrSpan soft_buffer, LlrView e_llrs,
+                        unsigned rv) const
 {
     LTE_CHECK(soft_buffer.size() == coded_size(),
               "soft buffer must be in decoder layout");

@@ -47,8 +47,7 @@ class RateMatcher
      * or be smaller (puncturing).
      */
     std::vector<std::uint8_t>
-    select(const std::vector<std::uint8_t> &turbo_coded,
-           std::size_t e_bits, unsigned rv) const;
+    select(BitView turbo_coded, std::size_t e_bits, unsigned rv) const;
 
     /** A zeroed soft buffer in turbo_decode() layout. */
     std::vector<Llr> empty_soft_buffer() const;
@@ -57,9 +56,10 @@ class RateMatcher
      * Soft inverse of select(): add the received LLRs into
      * @p soft_buffer (turbo_decode layout).  Calling repeatedly with
      * different redundancy versions implements HARQ combining.
+     * View parameters, so vectors and workspace spans both work.
      */
-    void accumulate(std::vector<Llr> &soft_buffer,
-                    const std::vector<Llr> &e_llrs, unsigned rv) const;
+    void accumulate(LlrSpan soft_buffer, LlrView e_llrs,
+                    unsigned rv) const;
 
     /** Start offset of a redundancy version in the circular buffer. */
     std::size_t rv_offset(unsigned rv) const;

@@ -52,17 +52,40 @@ used_to_bin(std::size_t u, const ScFdmaConfig &cfg)
 
 } // namespace
 
+void
+map_to_carrier_into(CfView alloc, std::size_t start_sc,
+                    const ScFdmaConfig &cfg, CfSpan carrier)
+{
+    cfg.validate();
+    LTE_CHECK(carrier.size() == cfg.n_fft, "carrier size mismatch");
+    LTE_CHECK(start_sc + alloc.size() <= cfg.n_used,
+              "allocation exceeds the used band");
+    for (auto &v : carrier)
+        v = cf32(0.0f, 0.0f);
+    for (std::size_t k = 0; k < alloc.size(); ++k)
+        carrier[used_to_bin(start_sc + k, cfg)] = alloc[k];
+}
+
 CVec
 map_to_carrier(const CVec &alloc, std::size_t start_sc,
                const ScFdmaConfig &cfg)
 {
     cfg.validate();
+    CVec carrier(cfg.n_fft);
+    map_to_carrier_into(alloc, start_sc, cfg, carrier);
+    return carrier;
+}
+
+void
+extract_from_carrier_into(CfView carrier, std::size_t start_sc,
+                          const ScFdmaConfig &cfg, CfSpan alloc)
+{
+    cfg.validate();
+    LTE_CHECK(carrier.size() == cfg.n_fft, "carrier size mismatch");
     LTE_CHECK(start_sc + alloc.size() <= cfg.n_used,
               "allocation exceeds the used band");
-    CVec carrier(cfg.n_fft, cf32(0.0f, 0.0f));
     for (std::size_t k = 0; k < alloc.size(); ++k)
-        carrier[used_to_bin(start_sc + k, cfg)] = alloc[k];
-    return carrier;
+        alloc[k] = carrier[used_to_bin(start_sc + k, cfg)];
 }
 
 CVec
@@ -70,13 +93,33 @@ extract_from_carrier(const CVec &carrier, std::size_t start_sc,
                      std::size_t alloc_size, const ScFdmaConfig &cfg)
 {
     cfg.validate();
-    LTE_CHECK(carrier.size() == cfg.n_fft, "carrier size mismatch");
-    LTE_CHECK(start_sc + alloc_size <= cfg.n_used,
-              "allocation exceeds the used band");
     CVec alloc(alloc_size);
-    for (std::size_t k = 0; k < alloc_size; ++k)
-        alloc[k] = carrier[used_to_bin(start_sc + k, cfg)];
+    extract_from_carrier_into(carrier, start_sc, cfg, alloc);
     return alloc;
+}
+
+void
+scfdma_modulate_into(CfView carrier, std::size_t symbol_in_slot,
+                     const ScFdmaConfig &cfg, CfSpan out)
+{
+    cfg.validate();
+    LTE_CHECK(carrier.size() == cfg.n_fft, "carrier size mismatch");
+    const std::size_t cp = cfg.cp_length(symbol_in_slot);
+    LTE_CHECK(out.size() == cp + cfg.n_fft,
+              "output length mismatch");
+
+    // IFFT the body directly into place after the CP gap (the carrier
+    // FFT size is a power of two, so no plan scratch is needed
+    // out-of-place), then copy the tail forward as the cyclic prefix.
+    const CfSpan time = out.subspan(cp, cfg.n_fft);
+    fft::FftCache::instance().plan(cfg.n_fft).inverse(
+        carrier.data(), time.data(), CfSpan{});
+    // Unitary scaling so energy is preserved across the pair.
+    const float scale = std::sqrt(static_cast<float>(cfg.n_fft));
+    for (auto &v : time)
+        v *= scale;
+    for (std::size_t k = 0; k < cp; ++k)
+        out[k] = time[cfg.n_fft - cp + k];
 }
 
 CVec
@@ -84,23 +127,26 @@ scfdma_modulate(const CVec &carrier, std::size_t symbol_in_slot,
                 const ScFdmaConfig &cfg)
 {
     cfg.validate();
+    CVec out(cfg.cp_length(symbol_in_slot) + cfg.n_fft);
+    scfdma_modulate_into(carrier, symbol_in_slot, cfg, out);
+    return out;
+}
+
+void
+scfdma_demodulate_into(CfView time, std::size_t symbol_in_slot,
+                       const ScFdmaConfig &cfg, CfSpan carrier)
+{
+    cfg.validate();
+    const std::size_t cp = cfg.cp_length(symbol_in_slot);
+    LTE_CHECK(time.size() == cp + cfg.n_fft,
+              "time-domain symbol length mismatch");
     LTE_CHECK(carrier.size() == cfg.n_fft, "carrier size mismatch");
 
-    CVec time(cfg.n_fft);
-    fft::FftCache::instance().get(cfg.n_fft)->inverse(carrier.data(),
-                                                      time.data());
-    // Unitary scaling so energy is preserved across the pair.
-    const float scale = std::sqrt(static_cast<float>(cfg.n_fft));
-    for (auto &v : time)
+    fft::FftCache::instance().plan(cfg.n_fft).forward(
+        time.data() + cp, carrier.data(), CfSpan{});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(cfg.n_fft));
+    for (auto &v : carrier)
         v *= scale;
-
-    const std::size_t cp = cfg.cp_length(symbol_in_slot);
-    CVec out;
-    out.reserve(cp + cfg.n_fft);
-    out.insert(out.end(), time.end() - static_cast<std::ptrdiff_t>(cp),
-               time.end());
-    out.insert(out.end(), time.begin(), time.end());
-    return out;
 }
 
 CVec
@@ -108,18 +154,8 @@ scfdma_demodulate(const CVec &time, std::size_t symbol_in_slot,
                   const ScFdmaConfig &cfg)
 {
     cfg.validate();
-    const std::size_t cp = cfg.cp_length(symbol_in_slot);
-    LTE_CHECK(time.size() == cp + cfg.n_fft,
-              "time-domain symbol length mismatch");
-
-    CVec body(time.begin() + static_cast<std::ptrdiff_t>(cp),
-              time.end());
     CVec carrier(cfg.n_fft);
-    fft::FftCache::instance().get(cfg.n_fft)->forward(body.data(),
-                                                      carrier.data());
-    const float scale = 1.0f / std::sqrt(static_cast<float>(cfg.n_fft));
-    for (auto &v : carrier)
-        v *= scale;
+    scfdma_demodulate_into(time, symbol_in_slot, cfg, carrier);
     return carrier;
 }
 

@@ -71,6 +71,24 @@ CVec scfdma_modulate(const CVec &carrier, std::size_t symbol_in_slot,
 CVec scfdma_demodulate(const CVec &time, std::size_t symbol_in_slot,
                        const ScFdmaConfig &cfg);
 
+/** Heap-free map_to_carrier: @p carrier (n_fft samples) is zeroed and
+ *  filled with the allocation. */
+void map_to_carrier_into(CfView alloc, std::size_t start_sc,
+                         const ScFdmaConfig &cfg, CfSpan carrier);
+
+/** Heap-free extract_from_carrier: @p alloc sizes the extraction. */
+void extract_from_carrier_into(CfView carrier, std::size_t start_sc,
+                               const ScFdmaConfig &cfg, CfSpan alloc);
+
+/** Heap-free scfdma_modulate: writes CP + body into @p out, which
+ *  must hold cp_length(symbol_in_slot) + n_fft samples. */
+void scfdma_modulate_into(CfView carrier, std::size_t symbol_in_slot,
+                          const ScFdmaConfig &cfg, CfSpan out);
+
+/** Heap-free scfdma_demodulate: @p carrier must hold n_fft samples. */
+void scfdma_demodulate_into(CfView time, std::size_t symbol_in_slot,
+                            const ScFdmaConfig &cfg, CfSpan carrier);
+
 } // namespace lte::phy
 
 #endif // LTE_PHY_SCFDMA_HPP

@@ -7,25 +7,10 @@ namespace lte::phy {
 std::vector<std::uint8_t>
 gold_sequence(std::uint32_t c_init, std::size_t length)
 {
-    constexpr std::size_t kNc = 1600;
-    const std::size_t total = kNc + length + 31;
-
-    // x1(0) = 1; x2 initialised from c_init.
-    std::vector<std::uint8_t> x1(total, 0), x2(total, 0);
-    x1[0] = 1;
-    for (int i = 0; i < 31; ++i)
-        x2[static_cast<std::size_t>(i)] =
-            static_cast<std::uint8_t>((c_init >> i) & 1u);
-
-    for (std::size_t n = 0; n + 31 < total; ++n) {
-        x1[n + 31] = static_cast<std::uint8_t>((x1[n + 3] + x1[n]) & 1);
-        x2[n + 31] = static_cast<std::uint8_t>(
-            (x2[n + 3] + x2[n + 2] + x2[n + 1] + x2[n]) & 1);
-    }
-
+    GoldStream stream(c_init);
     std::vector<std::uint8_t> c(length);
     for (std::size_t n = 0; n < length; ++n)
-        c[n] = static_cast<std::uint8_t>((x1[n + kNc] + x2[n + kNc]) & 1);
+        c[n] = stream.next();
     return c;
 }
 
@@ -39,22 +24,30 @@ scrambling_init(std::uint32_t user_id, std::uint32_t cell_id)
 std::vector<std::uint8_t>
 scramble(const std::vector<std::uint8_t> &bits, std::uint32_t c_init)
 {
-    const auto c = gold_sequence(c_init, bits.size());
+    GoldStream stream(c_init);
     std::vector<std::uint8_t> out(bits.size());
     for (std::size_t i = 0; i < bits.size(); ++i) {
         LTE_CHECK(bits[i] <= 1, "bits must be 0 or 1");
-        out[i] = bits[i] ^ c[i];
+        out[i] = bits[i] ^ stream.next();
     }
     return out;
+}
+
+void
+descramble_soft_inplace(LlrSpan llrs, std::uint32_t c_init)
+{
+    GoldStream stream(c_init);
+    for (Llr &v : llrs) {
+        if (stream.next())
+            v = -v;
+    }
 }
 
 std::vector<Llr>
 descramble_soft(const std::vector<Llr> &llrs, std::uint32_t c_init)
 {
-    const auto c = gold_sequence(c_init, llrs.size());
-    std::vector<Llr> out(llrs.size());
-    for (std::size_t i = 0; i < llrs.size(); ++i)
-        out[i] = c[i] ? -llrs[i] : llrs[i];
+    std::vector<Llr> out = llrs;
+    descramble_soft_inplace(out, c_init);
     return out;
 }
 

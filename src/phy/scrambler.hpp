@@ -16,6 +16,52 @@
 namespace lte::phy {
 
 /**
+ * Streaming generator of the TS 36.211 Sec. 7.2 pseudo-random sequence
+ * c(n): two length-31 LFSRs advanced Nc = 1600 steps past
+ * initialisation.  O(1) state, no heap — the register bit i holds
+ * x(n + i), so stepping is a shift-right with a new feedback bit at
+ * position 30.
+ */
+class GoldStream
+{
+  public:
+    explicit GoldStream(std::uint32_t c_init)
+        : x1_(1u), x2_(c_init & 0x7FFFFFFFu)
+    {
+        for (int i = 0; i < kNc; ++i)
+            advance();
+    }
+
+    /** The next sequence bit c(n). */
+    std::uint8_t
+    next()
+    {
+        const auto bit =
+            static_cast<std::uint8_t>((x1_ ^ x2_) & 1u);
+        advance();
+        return bit;
+    }
+
+  private:
+    static constexpr int kNc = 1600;
+
+    void
+    advance()
+    {
+        // x1(n+31) = x1(n+3) + x1(n); x2(n+31) = x2(n+3) + x2(n+2)
+        //            + x2(n+1) + x2(n)   (mod 2)
+        const std::uint32_t n1 = ((x1_ >> 3) ^ x1_) & 1u;
+        const std::uint32_t n2 =
+            ((x2_ >> 3) ^ (x2_ >> 2) ^ (x2_ >> 1) ^ x2_) & 1u;
+        x1_ = (x1_ >> 1) | (n1 << 30);
+        x2_ = (x2_ >> 1) | (n2 << 30);
+    }
+
+    std::uint32_t x1_;
+    std::uint32_t x2_;
+};
+
+/**
  * Pseudo-random sequence c(n) per TS 36.211 Sec. 7.2: two length-31
  * LFSRs advanced Nc = 1600 steps past initialisation.
  *
@@ -39,6 +85,9 @@ std::vector<std::uint8_t> scramble(const std::vector<std::uint8_t> &bits,
  */
 std::vector<Llr> descramble_soft(const std::vector<Llr> &llrs,
                                  std::uint32_t c_init);
+
+/** Heap-free in-place soft descrambling. */
+void descramble_soft_inplace(LlrSpan llrs, std::uint32_t c_init);
 
 } // namespace lte::phy
 

@@ -371,4 +371,10 @@ turbo_passthrough(const std::vector<Llr> &llrs)
     return hard_decision(llrs);
 }
 
+void
+turbo_passthrough_into(LlrView llrs, BitSpan out)
+{
+    hard_decision_into(llrs, out);
+}
+
 } // namespace lte::phy

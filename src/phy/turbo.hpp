@@ -123,6 +123,9 @@ std::vector<std::uint8_t> turbo_decode(const std::vector<Llr> &llrs,
  */
 std::vector<std::uint8_t> turbo_passthrough(const std::vector<Llr> &llrs);
 
+/** Heap-free pass-through; @p out must match @p llrs in length. */
+void turbo_passthrough_into(LlrView llrs, BitSpan out);
+
 } // namespace lte::phy
 
 #endif // LTE_PHY_TURBO_HPP

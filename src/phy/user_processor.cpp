@@ -9,6 +9,7 @@
 #include "phy/channel_estimator.hpp"
 #include "phy/crc.hpp"
 #include "phy/interleaver.hpp"
+#include "phy/kernel_scratch.hpp"
 #include "phy/modulation.hpp"
 #include "phy/scrambler.hpp"
 #include "phy/turbo.hpp"
@@ -52,23 +53,88 @@ bit_checksum(const std::vector<std::uint8_t> &bits)
     return hash;
 }
 
+UserProcessor::UserProcessor(const ReceiverConfig &config)
+    : config_(config)
+{
+    config_.validate();
+}
+
 UserProcessor::UserProcessor(const UserParams &params,
                              const ReceiverConfig &config,
                              const UserSignal *signal)
-    : params_(params), config_(config), signal_(signal)
+    : UserProcessor(config)
 {
-    params_.validate();
-    config_.validate();
-    LTE_CHECK(signal_ != nullptr, "signal must not be null");
-    signal_->validate(params_, config_.n_antennas);
+    bind(params, signal);
+}
 
+void
+UserProcessor::bind(const UserParams &params, const UserSignal *signal)
+{
+    params.validate();
+    LTE_CHECK(signal != nullptr, "signal must not be null");
+    signal->validate(params, config_.n_antennas);
+    params_ = params;
+    signal_ = signal;
+
+    const std::size_t layers = params_.layers;
+    const std::size_t antennas = config_.n_antennas;
+    const std::size_t cap = capacity_bits(params_);
+    const std::size_t max_m =
+        std::max(params_.sc_in_slot(0), params_.sc_in_slot(1));
+
+    // Size the arena for this binding.  reserve() grows only past the
+    // high-water mark, so a steady workload stops allocating after the
+    // largest user shape has been seen once.
+    std::size_t bytes = 0;
     for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
-        channel_[slot].assign(config_.n_antennas,
-                              std::vector<CVec>(params_.layers));
-        equalised_[slot].assign(kDataSymbolsPerSlot,
-                                std::vector<CVec>(params_.layers));
+        const std::size_t m = params_.sc_in_slot(slot);
+        bytes += Workspace::required<cf32>(layers * m);              // dmrs
+        bytes += Workspace::required<cf32>(antennas * layers * m);   // chan
+        bytes +=
+            Workspace::required<cf32>(kDataSymbolsPerSlot * layers * m);
+        bytes += Workspace::required<std::size_t>(m);                // perm
     }
-    task_noise_.assign(n_chanest_tasks() * kSlotsPerSubframe, 0.0f);
+    bytes += Workspace::required<Llr>(cap);
+    bytes += Workspace::required<cf32>(max_m); // deinterleave scratch
+    arena_.reserve(bytes);
+
+    // Carve all views, then precompute the per-slot constants.
+    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+        const std::size_t m = params_.sc_in_slot(slot);
+        for (std::size_t l = 0; l < layers; ++l) {
+            dmrs_[slot][l] = arena_.alloc<cf32>(m);
+            user_dmrs_into(params_.id, slot, l, dmrs_[slot][l]);
+        }
+        channel_[slot] = arena_.alloc<cf32>(antennas * layers * m);
+        equalised_[slot] =
+            arena_.alloc<cf32>(kDataSymbolsPerSlot * layers * m);
+        perm_[slot] = arena_.alloc<std::size_t>(m);
+        interleave_permutation_into(m, kInterleaverColumns, perm_[slot]);
+    }
+    llrs_ = arena_.alloc<Llr>(cap);
+    deint_ = arena_.alloc<cf32>(max_m);
+
+    task_noise_.fill(0.0f);
+    noise_var_ = 0.0f;
+    bound_ = true;
+}
+
+CfSpan
+UserProcessor::channel_slice(std::size_t slot, std::size_t antenna,
+                             std::size_t layer)
+{
+    const std::size_t m = params_.sc_in_slot(slot);
+    return channel_[slot].subspan(
+        (antenna * params_.layers + layer) * m, m);
+}
+
+CfSpan
+UserProcessor::equalised_slice(std::size_t slot, std::size_t layer,
+                               std::size_t data_symbol)
+{
+    const std::size_t m = params_.sc_in_slot(slot);
+    return equalised_[slot].subspan(
+        (layer * kDataSymbolsPerSlot + data_symbol) * m, m);
 }
 
 std::size_t
@@ -86,6 +152,7 @@ UserProcessor::n_demod_tasks() const
 void
 UserProcessor::run_chanest_task(std::size_t task_index)
 {
+    LTE_CHECK(bound_, "processor is not bound to a subframe");
     LTE_CHECK(task_index < n_chanest_tasks(), "task index out of range");
     const std::size_t antenna = task_index / params_.layers;
     const std::size_t layer = task_index % params_.layers;
@@ -94,26 +161,28 @@ UserProcessor::run_chanest_task(std::size_t task_index)
     est_cfg.window_fraction = config_.window_fraction;
 
     for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
-        const std::size_t m_sc = params_.sc_in_slot(slot);
         const CVec &received =
             signal_->antennas[antenna].slots[slot][kRefSymbolIndex];
-        const CVec ref = user_dmrs(params_.id, slot, m_sc, layer);
-        ChannelEstimate est = estimate_channel(received, ref, est_cfg);
-        channel_[slot][antenna][layer] = std::move(est.freq_response);
-        task_noise_[task_index * kSlotsPerSubframe + slot] = est.noise_var;
+        task_noise_[task_index * kSlotsPerSubframe + slot] =
+            estimate_channel_into(received, dmrs_[slot][layer], est_cfg,
+                                  channel_slice(slot, antenna, layer),
+                                  kernel_scratch());
     }
 }
 
 void
 UserProcessor::compute_weights()
 {
+    LTE_CHECK(bound_, "processor is not bound to a subframe");
     // Pool the per-task noise estimates; fall back to the configured
     // default when the allocation was too small to provide guard bins.
+    const std::size_t n_noise =
+        n_chanest_tasks() * kSlotsPerSubframe;
     double sum = 0.0;
     std::size_t n = 0;
-    for (float v : task_noise_) {
-        if (v > 0.0f) {
-            sum += v;
+    for (std::size_t i = 0; i < n_noise; ++i) {
+        if (task_noise_[i] > 0.0f) {
+            sum += task_noise_[i];
             ++n;
         }
     }
@@ -122,14 +191,16 @@ UserProcessor::compute_weights()
     noise_var_ = std::max(noise_var_, 1e-6f);
 
     for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
-        weights_[slot] =
-            compute_combiner_weights(channel_[slot], noise_var_);
+        const ChannelView view{channel_[slot].data(), config_.n_antennas,
+                               params_.layers, params_.sc_in_slot(slot)};
+        compute_combiner_weights_into(view, noise_var_, weights_[slot]);
     }
 }
 
 void
 UserProcessor::run_demod_task(std::size_t task_index)
 {
+    LTE_CHECK(bound_, "processor is not bound to a subframe");
     LTE_CHECK(task_index < n_demod_tasks(), "task index out of range");
     const std::size_t data_symbol = task_index % kDataSymbolsPerSlot;
     const std::size_t layer = task_index / kDataSymbolsPerSlot;
@@ -144,19 +215,29 @@ UserProcessor::demod_one(std::size_t slot, std::size_t data_symbol,
     const std::size_t m_sc = params_.sc_in_slot(slot);
     const std::size_t position = data_symbol_position(data_symbol);
 
-    // Antenna combining.
-    std::vector<CVec> rx(config_.n_antennas);
-    for (std::size_t a = 0; a < config_.n_antennas; ++a)
-        rx[a] = signal_->antennas[a].slots[slot][position];
-    CVec combined = combine_layer(rx, weights_[slot], layer);
+    // Antenna combining straight from the received signal views (no
+    // copies); the combined symbol lives in this thread's scratch.
+    std::array<CfView, kMaxRxAntennas> rx;
+    for (std::size_t a = 0; a < config_.n_antennas; ++a) {
+        const CVec &sym = signal_->antennas[a].slots[slot][position];
+        rx[a] = CfView(sym.data(), sym.size());
+    }
+    const CfSpan scratch = kernel_scratch();
+    const CfSpan combined = scratch.subspan(0, m_sc);
+    const CfSpan fft_scratch = scratch.subspan(m_sc);
+    combine_layer_into(
+        std::span<const CfView>(rx.data(), config_.n_antennas),
+        weights_[slot], layer, combined);
 
     // MMSE bias correction: scale each subcarrier by the effective
     // gain sum_a W(l,a) H(a,l) so constellation points land on grid.
+    const CombinerWeights &w = weights_[slot];
     for (std::size_t sc = 0; sc < m_sc; ++sc) {
         cf32 bias(0.0f, 0.0f);
         for (std::size_t a = 0; a < config_.n_antennas; ++a) {
-            bias += weights_[slot].at(sc, layer, a) *
-                    channel_[slot][a][layer][sc];
+            bias += w(sc, layer, a) *
+                    channel_[slot][(a * params_.layers + layer) * m_sc +
+                                   sc];
         }
         if (std::norm(bias) > 1e-12f)
             combined[sc] /= bias;
@@ -164,36 +245,36 @@ UserProcessor::demod_one(std::size_t slot, std::size_t data_symbol,
 
     // SC-FDMA despreading: back to the time domain where the
     // constellation symbols live.
-    CVec time(m_sc);
-    fft::FftCache::instance().get(m_sc)->inverse(combined.data(),
-                                                 time.data());
+    const CfSpan time = equalised_slice(slot, layer, data_symbol);
+    fft::FftCache::instance().plan(m_sc).inverse(
+        combined.data(), time.data(), fft_scratch);
     // The transmit DFT spread scales by 1/sqrt(m); undo the pair.
     const float scale = std::sqrt(static_cast<float>(m_sc));
     for (auto &v : time)
         v *= scale;
-
-    equalised_[slot][data_symbol][layer] = std::move(time);
 }
 
-UserResult
+const UserResult &
 UserProcessor::finish()
 {
+    LTE_CHECK(bound_, "processor is not bound to a subframe");
     // Canonical framing order (mirrored by the transmitter):
     // slot -> layer -> data symbol -> sample.
-    std::vector<Llr> llrs;
-    llrs.reserve(capacity_bits(params_));
+    const std::size_t bps = bits_per_symbol(params_.mod);
+    std::size_t off = 0;
     double evm_acc = 0.0;
     std::size_t evm_n = 0;
 
     for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+        const std::size_t m = params_.sc_in_slot(slot);
+        const CfSpan deint = deint_.first(m);
         for (std::size_t layer = 0; layer < params_.layers; ++layer) {
             for (std::size_t ds = 0; ds < kDataSymbolsPerSlot; ++ds) {
-                const CVec deint =
-                    deinterleave(equalised_[slot][ds][layer]);
-                const auto sym_llrs =
-                    demodulate_soft(deint, params_.mod, noise_var_);
-                llrs.insert(llrs.end(), sym_llrs.begin(),
-                            sym_llrs.end());
+                deinterleave_into(equalised_slice(slot, layer, ds),
+                                  perm_[slot], deint);
+                demodulate_soft_into(deint, params_.mod, noise_var_,
+                                     llrs_.subspan(off, m * bps));
+                off += m * bps;
                 for (const cf32 &y : deint) {
                     evm_acc += nearest_point_distance2(y, params_.mod);
                     ++evm_n;
@@ -201,37 +282,38 @@ UserProcessor::finish()
             }
         }
     }
-    LTE_ASSERT(llrs.size() == capacity_bits(params_),
-               "LLR count mismatch");
+    LTE_ASSERT(off == llrs_.size(), "LLR count mismatch");
 
     // Soft descrambling with the user's Gold sequence (the inverse of
     // the transmitter's bit scrambling).
-    llrs = descramble_soft(llrs, scrambling_init(params_.id));
+    descramble_soft_inplace(llrs_, scrambling_init(params_.id));
 
-    UserResult result;
-    result.user_id = params_.id;
-    result.noise_var = noise_var_;
-    result.evm_rms = evm_n > 0
-        ? std::sqrt(static_cast<float>(evm_acc /
-                                       static_cast<double>(evm_n)))
-        : 0.0f;
+    result_.user_id = params_.id;
+    result_.noise_var = noise_var_;
+    result_.evm_rms =
+        evm_n > 0 ? std::sqrt(static_cast<float>(
+                        evm_acc / static_cast<double>(evm_n)))
+                  : 0.0f;
 
     if (config_.use_real_turbo) {
+        // Cold path (off by default): the decoder allocates internally.
         const std::size_t k = turbo_info_bits(capacity_bits(params_));
         const std::vector<Llr> coded(
-            llrs.begin(),
-            llrs.begin() +
+            llrs_.begin(),
+            llrs_.begin() +
                 static_cast<std::ptrdiff_t>(turbo_encoded_length(k)));
-        result.bits = turbo_decode(coded, k);
+        result_.bits = turbo_decode(coded, k);
     } else {
-        result.bits = turbo_passthrough(llrs);
+        // resize() reuses the vector's capacity across binds.
+        result_.bits.resize(llrs_.size());
+        turbo_passthrough_into(llrs_, result_.bits);
     }
-    result.crc_ok = crc24_check(result.bits);
-    result.checksum = bit_checksum(result.bits);
-    return result;
+    result_.crc_ok = crc24_check(result_.bits);
+    result_.checksum = bit_checksum(result_.bits);
+    return result_;
 }
 
-UserResult
+const UserResult &
 UserProcessor::process_all()
 {
     for (std::size_t t = 0; t < n_chanest_tasks(); ++t)

@@ -3,8 +3,8 @@
  * Per-user subframe processing — the paper's Fig. 3 chain with the
  * Fig. 5 task structure.
  *
- * A UserProcessor owns the receive-side state for one user in one
- * subframe and exposes the exact task granularity of Sec. IV-C:
+ * A UserProcessor owns the receive-side state for one user's subframe
+ * and exposes the exact task granularity of Sec. IV-C:
  *
  *   stage 1: n_antennas x n_layers channel-estimation tasks
  *   join:    combiner-weight computation (single task)
@@ -18,15 +18,24 @@
  * executed concurrently by different worker threads provided the
  * caller joins between stages (the work-stealing runtime does; the
  * serial engine simply calls process_all()).
+ *
+ * Memory model: a processor is a long-lived object that is re-bound
+ * to a new (params, signal) pair every subframe via bind().  All
+ * per-subframe buffers are spans carved from an internal bump arena
+ * that grows only past its high-water mark, so steady-state subframe
+ * processing performs zero heap allocations (DESIGN.md "Memory &
+ * engine architecture").
  */
 #ifndef LTE_PHY_USER_PROCESSOR_HPP
 #define LTE_PHY_USER_PROCESSOR_HPP
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/workspace.hpp"
 #include "phy/combiner.hpp"
 #include "phy/params.hpp"
 
@@ -75,12 +84,29 @@ class UserProcessor
 {
   public:
     /**
+     * Create an unbound processor holding only configuration; call
+     * bind() before processing.  The same processor can be re-bound
+     * every subframe, reusing its workspace.
+     */
+    explicit UserProcessor(const ReceiverConfig &config);
+
+    /**
+     * Legacy convenience: construct and bind in one step.
+     *
      * @param params  the user's scheduling parameters
      * @param config  receiver configuration
      * @param signal  received samples; must outlive the processor
      */
     UserProcessor(const UserParams &params, const ReceiverConfig &config,
                   const UserSignal *signal);
+
+    /**
+     * (Re)bind to a user's subframe: validates shapes, sizes the
+     * workspace (allocation-free once past the high-water mark), and
+     * precomputes the DMRS references and deinterleave permutations.
+     * @param signal must outlive the binding
+     */
+    void bind(const UserParams &params, const UserSignal *signal);
 
     /** Number of stage-1 tasks: antennas x layers. */
     std::size_t n_chanest_tasks() const;
@@ -105,32 +131,63 @@ class UserProcessor
      */
     void run_demod_task(std::size_t task_index);
 
-    /** Tail: deinterleave, demap, decode, CRC; requires all stage-2
-     *  tasks complete. */
-    UserResult finish();
+    /**
+     * Tail: deinterleave, demap, decode, CRC; requires all stage-2
+     * tasks complete.  The returned reference (into a reused member)
+     * stays valid until the next bind() or finish().
+     */
+    const UserResult &finish();
 
     /** Serial convenience: run every stage in order. */
-    UserResult process_all();
+    const UserResult &process_all();
 
     const UserParams &params() const { return params_; }
+
+    /** Workspace high-water mark in bytes (observability/tests). */
+    std::size_t workspace_bytes() const { return arena_.capacity(); }
 
   private:
     void demod_one(std::size_t slot, std::size_t data_symbol,
                    std::size_t layer);
 
+    /** Channel frequency response of (slot, antenna, layer). */
+    CfSpan channel_slice(std::size_t slot, std::size_t antenna,
+                         std::size_t layer);
+
+    /** Equalised time-domain samples of (slot, layer, data symbol). */
+    CfSpan equalised_slice(std::size_t slot, std::size_t layer,
+                           std::size_t data_symbol);
+
     UserParams params_;
     ReceiverConfig config_;
-    const UserSignal *signal_;
+    const UserSignal *signal_ = nullptr;
+    bool bound_ = false;
 
-    /** channel_[slot][antenna][layer] frequency response. */
-    std::array<std::vector<std::vector<CVec>>, kSlotsPerSubframe> channel_;
+    /** Bump arena backing every per-subframe span below. */
+    Workspace arena_;
+
+    /** dmrs_[slot][layer]: the layer's known reference sequence. */
+    std::array<std::array<CfSpan, kMaxLayers>, kSlotsPerSubframe> dmrs_;
+    /** channel_[slot]: flat [antenna][layer][sc] frequency response. */
+    std::array<CfSpan, kSlotsPerSubframe> channel_;
+    /** equalised_[slot]: flat [layer][data_symbol][sc] time samples. */
+    std::array<CfSpan, kSlotsPerSubframe> equalised_;
+    /** perm_[slot]: deinterleave permutation for the slot's width. */
+    std::array<std::span<std::size_t>, kSlotsPerSubframe> perm_;
+    /** Soft bits for the whole subframe (capacity_bits of them). */
+    LlrSpan llrs_;
+    /** Deinterleave output scratch, one symbol wide. */
+    CfSpan deint_;
+
     /** Noise-variance estimates from each chanest task. */
-    std::vector<float> task_noise_;
+    std::array<float,
+               kMaxRxAntennas * kMaxLayers * kSlotsPerSubframe>
+        task_noise_{};
     float noise_var_ = 0.0f;
     std::array<CombinerWeights, kSlotsPerSubframe> weights_;
-    /** equalised_[slot][data_symbol][layer]: time-domain samples. */
-    std::array<std::vector<std::vector<CVec>>, kSlotsPerSubframe>
-        equalised_;
+
+    /** Reused result storage; bits keeps its capacity across binds. */
+    UserResult result_;
 };
 
 } // namespace lte::phy

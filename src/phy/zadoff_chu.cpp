@@ -94,4 +94,47 @@ user_dmrs(std::uint32_t user_id, std::size_t slot, std::size_t m_sc,
     return dmrs_for_layer(dmrs_base_sequence(m_sc, root), layer);
 }
 
+void
+user_dmrs_into(std::uint32_t user_id, std::size_t slot, std::size_t layer,
+               CfSpan out)
+{
+    const std::size_t m_sc = out.size();
+    LTE_CHECK(m_sc >= kScPerPrb && m_sc % kScPerPrb == 0,
+              "allocation must be a positive multiple of 12 subcarriers");
+    LTE_CHECK(layer < kMaxLayers, "layer out of range");
+
+    const auto root =
+        static_cast<std::uint32_t>(user_id * 7 + slot * 3 + 1);
+    const std::size_t n_zc = largest_prime_below(m_sc);
+    const std::uint32_t q =
+        1 + root % static_cast<std::uint32_t>(n_zc - 1);
+
+    // ZC sequence into the front of the output buffer.
+    for (std::size_t m = 0; m < n_zc; ++m) {
+        const std::uint64_t num =
+            static_cast<std::uint64_t>(q) * m % (2 * n_zc) * (m + 1) %
+            (2 * n_zc);
+        const double angle = -std::numbers::pi *
+                             static_cast<double>(num) /
+                             static_cast<double>(n_zc);
+        out[m] = cf32(static_cast<float>(std::cos(angle)),
+                      static_cast<float>(std::sin(angle)));
+    }
+
+    // Cyclic extension in place (reads only already-written samples).
+    for (std::size_t k = n_zc; k < m_sc; ++k)
+        out[k] = out[k - n_zc];
+
+    // Layer cyclic shift as a frequency-domain phase ramp.
+    const double alpha = 2.0 * std::numbers::pi *
+                         static_cast<double>(layer) /
+                         static_cast<double>(kMaxLayers);
+    for (std::size_t k = 0; k < m_sc; ++k) {
+        const double angle = alpha * static_cast<double>(k);
+        const cf32 ramp(static_cast<float>(std::cos(angle)),
+                        static_cast<float>(std::sin(angle)));
+        out[k] *= ramp;
+    }
+}
+
 } // namespace lte::phy

@@ -58,6 +58,14 @@ CVec dmrs_for_layer(const CVec &base, std::size_t layer);
 CVec user_dmrs(std::uint32_t user_id, std::size_t slot, std::size_t m_sc,
                std::size_t layer);
 
+/**
+ * Heap-free variant of user_dmrs(): writes the @p out.size() sequence
+ * samples into @p out (which defines m_sc).  The ZC sequence, cyclic
+ * extension and layer phase ramp are all computed in place.
+ */
+void user_dmrs_into(std::uint32_t user_id, std::size_t slot,
+                    std::size_t layer, CfSpan out);
+
 } // namespace lte::phy
 
 #endif // LTE_PHY_ZADOFF_CHU_HPP

@@ -1,70 +1,18 @@
 /**
  * @file
- * The parallel LTE Uplink Receiver PHY benchmark driver: the
- * "maintenance thread" role of the paper's Sec. IV-B.  It asks the
- * parameter model for each subframe's users, fetches input data from
- * the pool, dispatches the users onto the worker pool's global queue
- * (optionally paced every DELTA milliseconds), applies estimation-
- * guided core deactivation when configured, and collects results.
+ * Backwards-compatible names for the parallel benchmark driver, which
+ * now lives in runtime/engine.hpp as WorkStealingEngine.  New code
+ * should include "runtime/engine.hpp" and use make_engine().
  */
 #ifndef LTE_RUNTIME_BENCHMARK_HPP
 #define LTE_RUNTIME_BENCHMARK_HPP
 
-#include <memory>
-#include <optional>
-
-#include "mgmt/estimator.hpp"
-#include "runtime/input_generator.hpp"
-#include "runtime/run_record.hpp"
-#include "runtime/worker_pool.hpp"
-#include "workload/parameter_model.hpp"
+#include "runtime/engine.hpp"
 
 namespace lte::runtime {
 
-struct UplinkBenchmarkConfig
-{
-    WorkerPoolConfig pool;
-    phy::ReceiverConfig receiver;
-    InputGeneratorConfig input;
-    /** Maximum subframes concurrently in flight (paper: two to
-     *  three). */
-    std::size_t max_in_flight = 3;
-    /** Dispatch period in milliseconds; 0 = free-running. */
-    double delta_ms = 0.0;
-    /** Over-provisioning margin for Eq. 5. */
-    std::uint32_t core_margin = 2;
-
-    void validate() const;
-};
-
-class UplinkBenchmark
-{
-  public:
-    explicit UplinkBenchmark(const UplinkBenchmarkConfig &config);
-
-    /**
-     * Provide the estimator used for proactive (NAP / NAP+IDLE) core
-     * deactivation; without one, all workers stay active.
-     */
-    void set_estimator(std::optional<mgmt::WorkloadEstimator> estimator);
-
-    /**
-     * Run @p n_subframes drawn from @p model and return the record.
-     * The model is consumed from its current state.
-     */
-    RunRecord run(workload::ParameterModel &model,
-                  std::size_t n_subframes);
-
-    const UplinkBenchmarkConfig &config() const { return config_; }
-    WorkerPool &pool() { return *pool_; }
-    InputGenerator &input() { return input_; }
-
-  private:
-    UplinkBenchmarkConfig config_;
-    InputGenerator input_;
-    std::unique_ptr<WorkerPool> pool_;
-    std::optional<mgmt::WorkloadEstimator> estimator_;
-};
+using UplinkBenchmarkConfig = EngineConfig;
+using UplinkBenchmark = WorkStealingEngine;
 
 } // namespace lte::runtime
 

@@ -1,0 +1,281 @@
+#include "runtime/engine.hpp"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "common/check.hpp"
+#include "phy/kernel_scratch.hpp"
+#include "phy/op_model.hpp"
+
+namespace lte::runtime {
+
+const char *
+engine_kind_name(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::kSerial:
+        return "serial";
+      case EngineKind::kWorkStealing:
+        return "work-stealing";
+    }
+    return "unknown";
+}
+
+void
+EngineConfig::validate() const
+{
+    LTE_CHECK(max_in_flight >= 1, "need at least one subframe in flight");
+    LTE_CHECK(delta_ms >= 0.0, "delta must be non-negative");
+    receiver.validate();
+    input.validate();
+}
+
+std::unique_ptr<Engine>
+make_engine(const EngineConfig &config)
+{
+    switch (config.kind) {
+      case EngineKind::kSerial:
+        return std::make_unique<SerialEngine>(config);
+      case EngineKind::kWorkStealing:
+        return std::make_unique<WorkStealingEngine>(config);
+    }
+    LTE_CHECK(false, "unknown engine kind");
+    return nullptr;
+}
+
+// ------------------------------------------------------------ serial
+
+SerialEngine::SerialEngine(const EngineConfig &config)
+    : config_(config), input_(config.input), proc_(config.receiver)
+{
+    config_.validate();
+    config_.kind = EngineKind::kSerial;
+    // The serial engine runs kernels on the caller's thread.
+    phy::warm_kernel_scratch();
+}
+
+SerialEngine::SerialEngine(const phy::ReceiverConfig &receiver,
+                           const InputGeneratorConfig &input)
+    : SerialEngine([&] {
+          EngineConfig cfg;
+          cfg.kind = EngineKind::kSerial;
+          cfg.receiver = receiver;
+          cfg.input = input;
+          return cfg;
+      }())
+{
+}
+
+const SubframeOutcome &
+SerialEngine::process_subframe(const phy::SubframeParams &params)
+{
+    params.validate();
+    input_.signals_for(params, signals_);
+
+    outcome_.subframe_index = params.subframe_index;
+    outcome_.users.resize(params.users.size());
+    for (std::size_t u = 0; u < params.users.size(); ++u) {
+        proc_.bind(params.users[u], signals_[u]);
+        const phy::UserResult &result = proc_.process_all();
+        UserOutcome &out = outcome_.users[u];
+        out.user_id = result.user_id;
+        out.checksum = result.checksum;
+        out.crc_ok = result.crc_ok;
+        out.evm_rms = result.evm_rms;
+    }
+    return outcome_;
+}
+
+RunRecord
+SerialEngine::run(workload::ParameterModel &model,
+                  std::size_t n_subframes)
+{
+    using clock = std::chrono::steady_clock;
+    RunRecord record;
+    record.subframes.reserve(n_subframes);
+    const auto start = clock::now();
+
+    for (std::size_t i = 0; i < n_subframes; ++i) {
+        const phy::SubframeParams params = model.next_subframe();
+        record.subframes.push_back(process_subframe(params));
+        for (const auto &user : params.users) {
+            record.total_ops +=
+                phy::user_task_costs(user, config_.receiver.n_antennas)
+                    .total();
+        }
+    }
+
+    record.wall_seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    record.activity = 1.0; // a serial run is busy by definition
+    return record;
+}
+
+// ----------------------------------------------------- work stealing
+
+WorkStealingEngine::WorkStealingEngine(const EngineConfig &config)
+    : config_(config), input_(config.input)
+{
+    config_.validate();
+    config_.kind = EngineKind::kWorkStealing;
+    pool_ = std::make_unique<WorkerPool>(config_.pool);
+}
+
+void
+WorkStealingEngine::set_estimator(
+    std::optional<mgmt::WorkloadEstimator> estimator)
+{
+    estimator_ = std::move(estimator);
+}
+
+SubframeJob *
+WorkStealingEngine::acquire_job()
+{
+    if (free_jobs_.empty()) {
+        jobs_.push_back(std::make_unique<SubframeJob>());
+        return jobs_.back().get();
+    }
+    SubframeJob *job = free_jobs_.back();
+    free_jobs_.pop_back();
+    return job;
+}
+
+void
+WorkStealingEngine::release_job(SubframeJob *job)
+{
+    free_jobs_.push_back(job);
+}
+
+void
+WorkStealingEngine::apply_estimator(const phy::SubframeParams &params)
+{
+    // Proactive core management (Eq. 5) from the *next* subframe's
+    // known input parameters.
+    const bool proactive =
+        estimator_.has_value() &&
+        (config_.pool.strategy == mgmt::Strategy::kNap ||
+         config_.pool.strategy == mgmt::Strategy::kNapIdle ||
+         config_.pool.strategy == mgmt::Strategy::kPowerGating);
+    if (!proactive)
+        return;
+    const double estimate = estimator_->estimate_subframe(params);
+    pool_->set_active_workers(estimator_->active_cores(
+        estimate, static_cast<std::uint32_t>(pool_->n_workers()),
+        config_.core_margin));
+}
+
+const SubframeOutcome &
+WorkStealingEngine::process_subframe(const phy::SubframeParams &params)
+{
+    params.validate();
+    input_.signals_for(params, signals_);
+    apply_estimator(params);
+
+    SubframeJob *job = acquire_job();
+    job->prepare(params, signals_, config_.receiver);
+    if (job->n_users > 0) {
+        pool_->submit(job);
+        pool_->wait_idle();
+    }
+
+    outcome_.subframe_index = params.subframe_index;
+    outcome_.users = job->results; // capacity reuse, scalar payload
+    release_job(job);
+    return outcome_;
+}
+
+namespace {
+
+/** Collect the outcome of a completed job. */
+SubframeOutcome
+collect(const SubframeJob &job)
+{
+    SubframeOutcome outcome;
+    outcome.subframe_index = job.params.subframe_index;
+    outcome.users.assign(job.results.begin(),
+                         job.results.begin() +
+                             static_cast<std::ptrdiff_t>(job.n_users));
+    return outcome;
+}
+
+bool
+job_done(const SubframeJob &job)
+{
+    return job.users_remaining.load(std::memory_order_acquire) <= 0;
+}
+
+} // namespace
+
+RunRecord
+WorkStealingEngine::run(workload::ParameterModel &model,
+                        std::size_t n_subframes)
+{
+    using clock = std::chrono::steady_clock;
+
+    RunRecord record;
+    record.subframes.reserve(n_subframes);
+
+    std::deque<SubframeJob *> in_flight;
+    pool_->reset_activity();
+    const auto run_start = clock::now();
+    auto next_dispatch = run_start;
+    const auto delta =
+        std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double, std::milli>(config_.delta_ms));
+
+    for (std::size_t i = 0; i < n_subframes; ++i) {
+        // Flow control: keep at most max_in_flight subframes open.
+        while (in_flight.size() >= config_.max_in_flight) {
+            if (job_done(*in_flight.front())) {
+                record.subframes.push_back(collect(*in_flight.front()));
+                release_job(in_flight.front());
+                in_flight.pop_front();
+            } else {
+                std::this_thread::yield();
+            }
+        }
+
+        const phy::SubframeParams params = model.next_subframe();
+        params.validate();
+        apply_estimator(params);
+
+        input_.signals_for(params, signals_);
+        SubframeJob *job = acquire_job();
+        job->prepare(params, signals_, config_.receiver);
+
+        // DELTA pacing (paper Sec. IV-B.3).
+        if (config_.delta_ms > 0.0) {
+            std::this_thread::sleep_until(next_dispatch);
+            next_dispatch += delta;
+        }
+
+        if (job->n_users == 0) {
+            record.subframes.push_back(collect(*job));
+            release_job(job);
+        } else {
+            pool_->submit(job);
+            in_flight.push_back(job);
+        }
+    }
+
+    // Drain the tail.
+    pool_->wait_idle();
+    while (!in_flight.empty()) {
+        LTE_ASSERT(job_done(*in_flight.front()),
+                   "pool idle but job incomplete");
+        record.subframes.push_back(collect(*in_flight.front()));
+        release_job(in_flight.front());
+        in_flight.pop_front();
+    }
+
+    const auto snap = pool_->activity();
+    record.wall_seconds =
+        std::chrono::duration<double>(clock::now() - run_start).count();
+    record.activity = snap.activity(pool_->n_workers());
+    record.total_ops = snap.ops;
+    record.steals = pool_->steals();
+    return record;
+}
+
+} // namespace lte::runtime

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The unified subframe-processing engine interface.
+ *
+ * The paper builds two versions of the benchmark — a serial reference
+ * (Sec. IV-A) and the parallel work-stealing runtime (Sec. IV-C) —
+ * and validates one against the other (Sec. IV-D).  Both are engines:
+ * something that accepts a subframe's parameters, fetches pooled input
+ * data, runs the Fig. 3 receive chain for every scheduled user, and
+ * reports per-user outcomes.  This header makes that contract
+ * explicit so tests, benches and tools select the engine by
+ * configuration instead of hard-coding a class.
+ *
+ * Two entry points:
+ *
+ *   process_subframe() — synchronous, one subframe in, outcome out.
+ *     This is the steady-state hot path: all per-subframe state lives
+ *     in pooled, re-bindable objects (workspace arenas, user-work
+ *     pools, preallocated queues), so after warm-up it performs zero
+ *     heap allocations on either engine (tests/test_alloc_free.cpp
+ *     enforces this).
+ *
+ *   run() — the paper's benchmark driver: n subframes drawn from a
+ *     parameter model, with DELTA pacing, in-flight pipelining and
+ *     estimation-guided core deactivation on the work-stealing
+ *     engine, producing a RunRecord for validation and statistics.
+ */
+#ifndef LTE_RUNTIME_ENGINE_HPP
+#define LTE_RUNTIME_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mgmt/estimator.hpp"
+#include "phy/params.hpp"
+#include "phy/user_processor.hpp"
+#include "runtime/input_generator.hpp"
+#include "runtime/run_record.hpp"
+#include "runtime/task.hpp"
+#include "runtime/worker_pool.hpp"
+#include "workload/parameter_model.hpp"
+
+namespace lte::runtime {
+
+/** Which engine implementation a config selects. */
+enum class EngineKind : std::uint8_t
+{
+    kSerial,       ///< one thread, users processed in order
+    kWorkStealing, ///< worker pool with task stealing (the default)
+};
+
+/** Human-readable engine name ("serial" / "work-stealing"). */
+const char *engine_kind_name(EngineKind kind);
+
+/** Unified engine configuration (superset of both engines' needs). */
+struct EngineConfig
+{
+    EngineKind kind = EngineKind::kWorkStealing;
+    /** Worker-pool shape; ignored by the serial engine. */
+    WorkerPoolConfig pool;
+    phy::ReceiverConfig receiver;
+    InputGeneratorConfig input;
+    /** Maximum subframes concurrently in flight (paper: two to
+     *  three); ignored by the serial engine. */
+    std::size_t max_in_flight = 3;
+    /** Dispatch period in milliseconds; 0 = free-running. */
+    double delta_ms = 0.0;
+    /** Over-provisioning margin for Eq. 5. */
+    std::uint32_t core_margin = 2;
+
+    void validate() const;
+};
+
+/** Abstract subframe-processing engine. */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Process one subframe synchronously and return its outcome.  The
+     * returned reference (into reused storage) stays valid until the
+     * next process_subframe() call.  Allocation-free in steady state.
+     */
+    virtual const SubframeOutcome &
+    process_subframe(const phy::SubframeParams &params) = 0;
+
+    /**
+     * Run @p n_subframes drawn from @p model and return the record.
+     * The model is consumed from its current state.
+     */
+    virtual RunRecord run(workload::ParameterModel &model,
+                          std::size_t n_subframes) = 0;
+
+    /**
+     * Provide the estimator used for proactive (NAP / NAP+IDLE) core
+     * deactivation; a no-op on engines without cores to manage.
+     */
+    virtual void
+    set_estimator(std::optional<mgmt::WorkloadEstimator> estimator) = 0;
+
+    /** The worker pool, or nullptr for engines that have none. */
+    virtual WorkerPool *worker_pool() = 0;
+
+    virtual InputGenerator &input() = 0;
+    virtual const EngineConfig &config() const = 0;
+};
+
+/** Build the engine selected by config.kind. */
+std::unique_ptr<Engine> make_engine(const EngineConfig &config);
+
+/**
+ * The serial reference engine (paper Sec. IV-A): one thread, one
+ * reused UserProcessor, users handled in schedule order.
+ */
+class SerialEngine : public Engine
+{
+  public:
+    explicit SerialEngine(const EngineConfig &config);
+
+    /** Legacy convenience: receiver + input config only. */
+    SerialEngine(const phy::ReceiverConfig &receiver,
+                 const InputGeneratorConfig &input);
+
+    const char *name() const override { return "serial"; }
+    const SubframeOutcome &
+    process_subframe(const phy::SubframeParams &params) override;
+    RunRecord run(workload::ParameterModel &model,
+                  std::size_t n_subframes) override;
+    void set_estimator(std::optional<mgmt::WorkloadEstimator>) override
+    {
+        // No cores to deactivate.
+    }
+    WorkerPool *worker_pool() override { return nullptr; }
+    InputGenerator &input() override { return input_; }
+    const EngineConfig &config() const override { return config_; }
+
+  private:
+    EngineConfig config_;
+    InputGenerator input_;
+    /** One processor, re-bound per user; arena reused across users. */
+    phy::UserProcessor proc_;
+    std::vector<const phy::UserSignal *> signals_;
+    SubframeOutcome outcome_;
+};
+
+/**
+ * The parallel engine: the "maintenance thread" role of the paper's
+ * Sec. IV-B dispatching users onto the work-stealing pool, with
+ * optional DELTA pacing and estimation-guided core deactivation.
+ */
+class WorkStealingEngine : public Engine
+{
+  public:
+    explicit WorkStealingEngine(const EngineConfig &config);
+
+    const char *name() const override { return "work-stealing"; }
+    const SubframeOutcome &
+    process_subframe(const phy::SubframeParams &params) override;
+    RunRecord run(workload::ParameterModel &model,
+                  std::size_t n_subframes) override;
+    void set_estimator(
+        std::optional<mgmt::WorkloadEstimator> estimator) override;
+    WorkerPool *worker_pool() override { return pool_.get(); }
+    InputGenerator &input() override { return input_; }
+    const EngineConfig &config() const override { return config_; }
+
+    /** Legacy convenience (UplinkBenchmark API). */
+    WorkerPool &pool() { return *pool_; }
+
+  private:
+    /** Fetch a warm job from the pool (grow-only free list). */
+    SubframeJob *acquire_job();
+    void release_job(SubframeJob *job);
+    void apply_estimator(const phy::SubframeParams &params);
+
+    EngineConfig config_;
+    InputGenerator input_;
+    std::unique_ptr<WorkerPool> pool_;
+    std::optional<mgmt::WorkloadEstimator> estimator_;
+
+    /** Pooled jobs; at most max_in_flight + 1 ever exist. */
+    std::vector<std::unique_ptr<SubframeJob>> jobs_;
+    std::vector<SubframeJob *> free_jobs_;
+    std::vector<const phy::UserSignal *> signals_;
+    SubframeOutcome outcome_;
+};
+
+} // namespace lte::runtime
+
+#endif // LTE_RUNTIME_ENGINE_HPP

@@ -69,12 +69,20 @@ std::vector<const phy::UserSignal *>
 InputGenerator::signals_for(const phy::SubframeParams &subframe)
 {
     std::vector<const phy::UserSignal *> signals;
-    signals.reserve(subframe.users.size());
-    for (const auto &user : subframe.users) {
-        signals.push_back(config_.realistic ? realistic_signal(user)
-                                            : random_signal(user));
-    }
+    signals_for(subframe, signals);
     return signals;
+}
+
+void
+InputGenerator::signals_for(const phy::SubframeParams &subframe,
+                            std::vector<const phy::UserSignal *> &out)
+{
+    out.clear();
+    out.reserve(subframe.users.size());
+    for (const auto &user : subframe.users) {
+        out.push_back(config_.realistic ? realistic_signal(user)
+                                        : random_signal(user));
+    }
 }
 
 const std::vector<std::uint8_t> &

@@ -55,6 +55,14 @@ class InputGenerator
     signals_for(const phy::SubframeParams &subframe);
 
     /**
+     * Same, writing into a reused vector: allocation-free once the
+     * pools exist and @p out has enough capacity (the engines' steady
+     * state).
+     */
+    void signals_for(const phy::SubframeParams &subframe,
+                     std::vector<const phy::UserSignal *> &out);
+
+    /**
      * Realistic mode only: the payload a correct receiver reproduces
      * for the given user configuration (empty in random mode).
      */

@@ -1,37 +1,12 @@
 /**
  * @file
- * The serial reference version of the benchmark (paper Sec. IV-A):
- * processes a predetermined sequence of subframes sequentially,
- * recording per-subframe results against which parallel runs are
- * validated (Sec. IV-D).
+ * Backwards-compatible include for the serial reference engine, which
+ * now lives in runtime/engine.hpp behind the unified Engine interface.
+ * New code should include "runtime/engine.hpp" and use make_engine().
  */
 #ifndef LTE_RUNTIME_SERIAL_ENGINE_HPP
 #define LTE_RUNTIME_SERIAL_ENGINE_HPP
 
-#include "phy/params.hpp"
-#include "runtime/input_generator.hpp"
-#include "runtime/run_record.hpp"
-#include "workload/parameter_model.hpp"
-
-namespace lte::runtime {
-
-class SerialEngine
-{
-  public:
-    SerialEngine(const phy::ReceiverConfig &receiver,
-                 const InputGeneratorConfig &input);
-
-    /** Process @p n_subframes from @p model, one user at a time. */
-    RunRecord run(workload::ParameterModel &model,
-                  std::size_t n_subframes);
-
-    InputGenerator &input() { return input_; }
-
-  private:
-    phy::ReceiverConfig receiver_;
-    InputGenerator input_;
-};
-
-} // namespace lte::runtime
+#include "runtime/engine.hpp"
 
 #endif // LTE_RUNTIME_SERIAL_ENGINE_HPP

@@ -3,6 +3,12 @@
  * Runtime task plumbing: per-user work state, the two stealable task
  * kinds (channel estimation, demodulation), and the per-subframe job
  * that owns everything (paper Sec. IV-C).
+ *
+ * Memory model: UserWork and SubframeJob are long-lived pooled objects
+ * that are re-bound every subframe via reset()/prepare().  The heavy
+ * state (the UserProcessor's workspace arena) grows to its high-water
+ * mark during warm-up and is reused from then on, so steady-state
+ * dispatch performs zero heap allocations.
  */
 #ifndef LTE_RUNTIME_TASK_HPP
 #define LTE_RUNTIME_TASK_HPP
@@ -15,6 +21,7 @@
 #include "phy/op_model.hpp"
 #include "phy/params.hpp"
 #include "phy/user_processor.hpp"
+#include "runtime/run_record.hpp"
 
 namespace lte::runtime {
 
@@ -27,27 +34,50 @@ struct SubframeJob;
  */
 struct UserWork
 {
+    /** Create an unbound, poolable work state; reset() before use. */
+    explicit UserWork(const phy::ReceiverConfig &config)
+        : proc(config), n_antennas(config.n_antennas)
+    {
+    }
+
+    /** Legacy convenience: construct and bind in one step. */
     UserWork(const phy::UserParams &params,
              const phy::ReceiverConfig &config,
              const phy::UserSignal *signal, SubframeJob *parent,
              std::size_t result_slot)
-        : proc(params, config, signal),
-          costs(phy::user_task_costs(params, config.n_antennas)),
-          parent(parent), result_slot(result_slot),
-          chanest_remaining(
-              static_cast<std::int32_t>(proc.n_chanest_tasks())),
-          demod_remaining(
-              static_cast<std::int32_t>(proc.n_demod_tasks()))
+        : UserWork(config)
     {
+        reset(params, signal, parent, result_slot);
+    }
+
+    /**
+     * (Re)bind to a user's subframe.  Allocation-free once the
+     * processor's workspace has grown past its high-water mark.
+     */
+    void
+    reset(const phy::UserParams &params, const phy::UserSignal *signal,
+          SubframeJob *parent_job, std::size_t slot)
+    {
+        proc.bind(params, signal);
+        costs = phy::user_task_costs(params, n_antennas);
+        parent = parent_job;
+        result_slot = slot;
+        chanest_remaining.store(
+            static_cast<std::int32_t>(proc.n_chanest_tasks()),
+            std::memory_order_relaxed);
+        demod_remaining.store(
+            static_cast<std::int32_t>(proc.n_demod_tasks()),
+            std::memory_order_relaxed);
     }
 
     phy::UserProcessor proc;
+    std::size_t n_antennas;
     /** Analytical flop counts, for deterministic activity accounting. */
-    phy::UserTaskCosts costs;
-    SubframeJob *parent;
-    std::size_t result_slot;
-    std::atomic<std::int32_t> chanest_remaining;
-    std::atomic<std::int32_t> demod_remaining;
+    phy::UserTaskCosts costs{};
+    SubframeJob *parent = nullptr;
+    std::size_t result_slot = 0;
+    std::atomic<std::int32_t> chanest_remaining{0};
+    std::atomic<std::int32_t> demod_remaining{0};
 };
 
 /** A stealable unit of work. */
@@ -64,13 +94,38 @@ struct Task
  * One dispatched subframe: owns the per-user work states and collects
  * their results.  Must outlive every task referencing it; the worker
  * pool signals completion through users_remaining.
+ *
+ * The user-work pool is grow-only: prepare() re-binds the first
+ * n_users entries and leaves the rest warm.  Results are scalar
+ * outcomes (no payload vectors), so collecting them never allocates.
  */
 struct SubframeJob
 {
     phy::SubframeParams params;
+    /** Pooled per-user work states; only the first n_users are live. */
     std::vector<std::unique_ptr<UserWork>> users;
-    std::vector<phy::UserResult> results;
+    std::size_t n_users = 0;
+    std::vector<UserOutcome> results;
     std::atomic<std::int32_t> users_remaining{0};
+
+    /**
+     * (Re)bind the job to a subframe: pools UserWork objects (growing
+     * the pool only when this job sees more users than ever before)
+     * and sizes the result array.  @p signals must outlive processing.
+     */
+    void
+    prepare(const phy::SubframeParams &subframe,
+            const std::vector<const phy::UserSignal *> &signals,
+            const phy::ReceiverConfig &receiver)
+    {
+        params = subframe;
+        n_users = subframe.users.size();
+        while (users.size() < n_users)
+            users.push_back(std::make_unique<UserWork>(receiver));
+        results.resize(n_users);
+        for (std::size_t u = 0; u < n_users; ++u)
+            users[u]->reset(subframe.users[u], signals[u], this, u);
+    }
 };
 
 } // namespace lte::runtime

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "phy/kernel_scratch.hpp"
 
 namespace lte::runtime {
 
@@ -45,17 +46,14 @@ void
 WorkerPool::submit(SubframeJob *job)
 {
     LTE_CHECK(job != nullptr, "job must not be null");
-    if (job->users.empty())
+    if (job->n_users == 0)
         return;
     job->users_remaining.store(
-        static_cast<std::int32_t>(job->users.size()),
+        static_cast<std::int32_t>(job->n_users),
         std::memory_order_relaxed);
     jobs_outstanding_.fetch_add(1, std::memory_order_acq_rel);
-    {
-        std::lock_guard<std::mutex> lock(global_mutex_);
-        for (auto &user : job->users)
-            global_queue_.push_back(user.get());
-    }
+    for (std::size_t u = 0; u < job->n_users; ++u)
+        global_queue_.push_bottom(job->users[u].get());
 }
 
 void
@@ -111,12 +109,9 @@ WorkerPool::steals() const
 UserWork *
 WorkerPool::try_pop_global()
 {
-    std::lock_guard<std::mutex> lock(global_mutex_);
-    if (global_queue_.empty())
-        return nullptr;
-    UserWork *work = global_queue_.front();
-    global_queue_.pop_front();
-    return work;
+    // steal_top() gives FIFO order: subframes are started oldest-first.
+    const auto work = global_queue_.steal_top();
+    return work ? *work : nullptr;
 }
 
 void
@@ -220,7 +215,14 @@ void
 WorkerPool::finish_user(std::size_t wid, UserWork *work)
 {
     const auto start = std::chrono::steady_clock::now();
-    work->parent->results[work->result_slot] = work->proc.finish();
+    // Only the scalar outcome leaves the worker; the decoded bits stay
+    // in the processor's reused storage (no payload copy, no alloc).
+    const phy::UserResult &result = work->proc.finish();
+    UserOutcome &out = work->parent->results[work->result_slot];
+    out.user_id = result.user_id;
+    out.checksum = result.checksum;
+    out.crc_ok = result.crc_ok;
+    out.evm_rms = result.evm_rms;
     account(wid, start, work->costs.tail);
 
     if (work->parent->users_remaining.fetch_sub(
@@ -235,6 +237,10 @@ WorkerPool::finish_user(std::size_t wid, UserWork *work)
 void
 WorkerPool::worker_main(std::size_t wid)
 {
+    // Create this thread's fixed kernel scratch up front so no task
+    // ever allocates it lazily on the subframe hot path.
+    phy::warm_kernel_scratch();
+
     while (!stop_.load(std::memory_order_acquire)) {
         // NAP emulation: a deactivated worker parks and periodically
         // wakes to re-check its status (there is no way to remotely

@@ -24,7 +24,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -72,9 +71,10 @@ class WorkerPool
     WorkerPool &operator=(const WorkerPool &) = delete;
 
     /**
-     * Enqueue every user of a prepared job on the global user queue.
-     * The job must outlive its processing; completion is observable
-     * via wait_idle() or job->users_remaining.
+     * Enqueue the first job->n_users user work states on the global
+     * user queue.  The job must outlive its processing; completion is
+     * observable via wait_idle() or job->users_remaining.  Steady-state
+     * submission is allocation-free (the queue is a preallocated ring).
      */
     void submit(SubframeJob *job);
 
@@ -121,8 +121,8 @@ class WorkerPool
     std::vector<std::unique_ptr<WorkerStats>> stats_;
     std::vector<std::thread> workers_;
 
-    std::mutex global_mutex_;
-    std::deque<UserWork *> global_queue_;
+    /** Global user queue (FIFO via steal_top); preallocated ring. */
+    WsDeque<UserWork *> global_queue_;
 
     std::mutex done_mutex_;
     std::condition_variable done_cv_;

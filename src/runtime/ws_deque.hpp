@@ -5,17 +5,21 @@
  * first) — the classic Blumofe/Leiserson discipline the paper's
  * runtime relies on (Sec. IV-C, [14][15]).
  *
- * The implementation is mutex-based: simple, correct under any
- * interleaving, and more than fast enough for the task granularity of
- * this workload (tasks are whole DSP kernels over hundreds of
- * subcarriers, microseconds at minimum).
+ * The implementation is a mutex-guarded ring buffer: simple, correct
+ * under any interleaving, and more than fast enough for the task
+ * granularity of this workload (tasks are whole DSP kernels over
+ * hundreds of subcarriers, microseconds at minimum).  The ring is
+ * preallocated (and only ever doubles past its high-water mark), so
+ * steady-state push/pop/steal never touch the heap — a std::deque
+ * here would allocate and free nodes on the subframe hot path.
  */
 #ifndef LTE_RUNTIME_WS_DEQUE_HPP
 #define LTE_RUNTIME_WS_DEQUE_HPP
 
-#include <deque>
+#include <cstddef>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace lte::runtime {
 
@@ -23,12 +27,17 @@ template <typename T>
 class WsDeque
 {
   public:
+    WsDeque() : buffer_(kInitialCapacity) {}
+
     /** Owner side: push a task at the bottom. */
     void
     push_bottom(const T &task)
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        items_.push_back(task);
+        if (count_ == buffer_.size())
+            grow();
+        buffer_[index(count_)] = task;
+        ++count_;
     }
 
     /** Owner side: pop the most recently pushed task. */
@@ -36,11 +45,10 @@ class WsDeque
     pop_bottom()
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (items_.empty())
+        if (count_ == 0)
             return std::nullopt;
-        T task = items_.back();
-        items_.pop_back();
-        return task;
+        --count_;
+        return buffer_[index(count_)];
     }
 
     /** Thief side: steal the oldest task. */
@@ -48,10 +56,11 @@ class WsDeque
     steal_top()
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (items_.empty())
+        if (count_ == 0)
             return std::nullopt;
-        T task = items_.front();
-        items_.pop_front();
+        T task = buffer_[head_];
+        head_ = (head_ + 1) & (buffer_.size() - 1);
+        --count_;
         return task;
     }
 
@@ -60,19 +69,41 @@ class WsDeque
     empty() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return items_.empty();
+        return count_ == 0;
     }
 
     std::size_t
     size() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return items_.size();
+        return count_;
     }
 
   private:
+    /** Far above the largest task burst one user creates
+     *  (6 x kMaxLayers demod tasks = 24); power of two for masking. */
+    static constexpr std::size_t kInitialCapacity = 256;
+
+    std::size_t
+    index(std::size_t i) const
+    {
+        return (head_ + i) & (buffer_.size() - 1);
+    }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(buffer_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            bigger[i] = buffer_[index(i)];
+        buffer_.swap(bigger);
+        head_ = 0;
+    }
+
     mutable std::mutex mutex_;
-    std::deque<T> items_;
+    std::vector<T> buffer_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
 };
 
 } // namespace lte::runtime

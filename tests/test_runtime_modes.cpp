@@ -2,11 +2,13 @@
  * @file
  * Runtime mode tests beyond the core validation suite: DELTA-paced
  * dispatch timing, realistic-signal mode (every CRC green through the
- * parallel pipeline), input-pool semantics, and flow control.
+ * parallel pipeline), input-pool semantics, flow control, and
+ * engine-parity checks through the unified Engine interface.
  */
 #include <gtest/gtest.h>
 
 #include "runtime/benchmark.hpp"
+#include "workload/paper_model.hpp"
 #include "workload/steady_model.hpp"
 
 namespace lte::runtime {
@@ -117,6 +119,98 @@ TEST(FlowControl, MaxInFlightRespected)
     EXPECT_EQ(record.subframes.size(), 10u);
     for (const auto &sf : record.subframes)
         EXPECT_EQ(sf.users.size(), 1u);
+}
+
+// ------------------------------------------------- engine parity
+
+EngineConfig
+parity_config(EngineKind kind)
+{
+    EngineConfig cfg;
+    cfg.kind = kind;
+    cfg.pool.n_workers = 4;
+    cfg.input.pool_size = 4;
+    cfg.input.seed = 77;
+    return cfg;
+}
+
+workload::PaperModelConfig
+randomized_model_config()
+{
+    // Compressed ramp so 25 subframes sweep a wide range of user
+    // counts, PRB sizes, layers and modulations.
+    workload::PaperModelConfig cfg;
+    cfg.ramp_subframes = 40;
+    cfg.prob_update_interval = 5;
+    cfg.seed = 77;
+    return cfg;
+}
+
+TEST(EngineParity, SerialAndWorkStealingAreBitIdentical)
+{
+    // The paper's Sec. IV-D validation through the unified interface:
+    // both engines process the same 25 randomized subframes; every
+    // per-user checksum (FNV-1a over the decoded CRC-checked bits,
+    // i.e. the full LLR->bit pipeline output) must match exactly.
+    const std::size_t n = 25;
+
+    auto serial = make_engine(parity_config(EngineKind::kSerial));
+    workload::PaperModel serial_model(randomized_model_config());
+    const RunRecord ref = serial->run(serial_model, n);
+
+    auto parallel =
+        make_engine(parity_config(EngineKind::kWorkStealing));
+    workload::PaperModel parallel_model(randomized_model_config());
+    const RunRecord record = parallel->run(parallel_model, n);
+
+    std::string why;
+    EXPECT_TRUE(RunRecord::equivalent(ref, record, &why)) << why;
+    EXPECT_EQ(ref.digest(), record.digest());
+    EXPECT_GT(ref.user_count(), 0u);
+}
+
+TEST(EngineParity, ProcessSubframeMatchesAcrossEngines)
+{
+    // Same parity at the synchronous single-subframe entry point,
+    // including CRC outcomes, over a randomized sequence.
+    auto serial = make_engine(parity_config(EngineKind::kSerial));
+    auto parallel =
+        make_engine(parity_config(EngineKind::kWorkStealing));
+
+    workload::PaperModel model(randomized_model_config());
+    std::size_t users_seen = 0;
+    for (std::size_t i = 0; i < 25; ++i) {
+        const phy::SubframeParams params = model.next_subframe();
+        const SubframeOutcome &a = serial->process_subframe(params);
+        const SubframeOutcome &b = parallel->process_subframe(params);
+        ASSERT_EQ(a.users.size(), b.users.size()) << "subframe " << i;
+        for (std::size_t u = 0; u < a.users.size(); ++u) {
+            EXPECT_EQ(a.users[u].user_id, b.users[u].user_id);
+            EXPECT_EQ(a.users[u].checksum, b.users[u].checksum)
+                << "subframe " << i << " user " << u;
+            EXPECT_EQ(a.users[u].crc_ok, b.users[u].crc_ok);
+            EXPECT_EQ(a.users[u].evm_rms, b.users[u].evm_rms);
+        }
+        users_seen += a.users.size();
+    }
+    EXPECT_GT(users_seen, 0u);
+}
+
+TEST(EngineFactory, MakesTheRequestedKind)
+{
+    EngineConfig cfg;
+    cfg.kind = EngineKind::kSerial;
+    EXPECT_STREQ(make_engine(cfg)->name(), "serial");
+    EXPECT_EQ(make_engine(cfg)->worker_pool(), nullptr);
+    cfg.kind = EngineKind::kWorkStealing;
+    cfg.pool.n_workers = 2;
+    auto ws = make_engine(cfg);
+    EXPECT_STREQ(ws->name(), "work-stealing");
+    ASSERT_NE(ws->worker_pool(), nullptr);
+    EXPECT_EQ(ws->worker_pool()->n_workers(), 2u);
+    EXPECT_STREQ(engine_kind_name(EngineKind::kSerial), "serial");
+    EXPECT_STREQ(engine_kind_name(EngineKind::kWorkStealing),
+                 "work-stealing");
 }
 
 TEST(Config, RejectsInvalidBenchmarkConfig)
