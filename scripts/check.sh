@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full local gate: Release build + tests, then the AddressSanitizer
-# build + tests.  Mirrors what CI would run; use before every push.
+# Full local gate: Release build + tests, the AddressSanitizer build +
+# tests, then the ThreadSanitizer build running the concurrency-heavy
+# runtime tests.  Mirrors what CI would run; use before every push.
 #
-#   scripts/check.sh          # release + asan
+#   scripts/check.sh          # release + asan + tsan
 #   scripts/check.sh --ubsan  # additionally run the UBSan suite
 set -euo pipefail
 
@@ -18,6 +19,10 @@ run_preset() {
 
 run_preset release
 run_preset asan
+# The tsan test preset filters to the concurrency/runtime suites (see
+# CMakePresets.json): pool interleavings, trace-ring export races, and
+# the serial-vs-parallel validation under ThreadSanitizer.
+run_preset tsan
 
 if [[ "${1:-}" == "--ubsan" ]]; then
     run_preset ubsan

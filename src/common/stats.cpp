@@ -86,12 +86,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x)
 {
+    // A NaN or infinite sample must not reach the integer cast below:
+    // converting a non-finite double (or one beyond the target range)
+    // to an integer is undefined behaviour, so clamp while still in
+    // floating point and reject non-finite values outright.
+    if (!std::isfinite(x)) {
+        ++non_finite_;
+        return;
+    }
     const double frac = (x - lo_) / (hi_ - lo_);
-    auto bin = static_cast<std::ptrdiff_t>(
-        frac * static_cast<double>(counts_.size()));
-    bin = std::clamp<std::ptrdiff_t>(
-        bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(bin)];
+    const double scaled = std::clamp(
+        frac * static_cast<double>(counts_.size()), 0.0,
+        static_cast<double>(counts_.size()) - 1.0);
+    const auto bin = static_cast<std::size_t>(scaled);
+    ++counts_[bin];
     ++total_;
 }
 

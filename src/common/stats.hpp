@@ -84,12 +84,17 @@ class Histogram
   public:
     Histogram(double lo, double hi, std::size_t bins);
 
-    /** Count a sample; out-of-range samples clamp to the edge bins. */
+    /** Count a sample; out-of-range samples clamp to the edge bins.
+     *  Non-finite samples (NaN, +/-inf) are tallied separately and do
+     *  not land in any bin. */
     void add(double x);
 
     std::size_t bin_count() const { return counts_.size(); }
     std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    /** Samples counted into bins (excludes non-finite samples). */
     std::size_t total() const { return total_; }
+    /** NaN/inf samples rejected by add(). */
+    std::size_t non_finite() const { return non_finite_; }
     /** Center value of a bin. */
     double bin_center(std::size_t bin) const;
 
@@ -97,6 +102,7 @@ class Histogram
     double lo_, hi_;
     std::vector<std::size_t> counts_;
     std::size_t total_ = 0;
+    std::size_t non_finite_ = 0;
 };
 
 } // namespace lte

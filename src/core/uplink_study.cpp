@@ -1,6 +1,7 @@
 #include "core/uplink_study.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
 #include "mgmt/core_allocator.hpp"
@@ -23,7 +24,8 @@ StudyConfig::scale_to(std::uint64_t n)
 }
 
 UplinkStudy::UplinkStudy(const StudyConfig &config)
-    : config_(config)
+    : config_(config),
+      metrics_(std::make_unique<obs::MetricsRegistry>())
 {
     config_.sim.validate();
     config_.power.validate();
@@ -53,7 +55,8 @@ UplinkStudy::table() const
 }
 
 std::vector<std::uint32_t>
-UplinkStudy::gating_plan(const sim::SimResult &result) const
+UplinkStudy::gating_plan(const sim::SimResult &result,
+                         mgmt::GatingStats *stats) const
 {
     mgmt::GatingPlanner planner(config_.power.domain_size,
                                 config_.power.total_cores);
@@ -70,7 +73,35 @@ UplinkStudy::gating_plan(const sim::SimResult &result) const
         powered.empty() ? config_.power.total_cores : powered.back();
     while (powered.size() < result.intervals.size())
         powered.push_back(last);
+    if (stats != nullptr)
+        *stats = planner.stats();
     return powered;
+}
+
+void
+UplinkStudy::record_run_metrics(const StrategyOutcome &outcome)
+{
+    const std::string prefix =
+        std::string("study.") + mgmt::strategy_name(outcome.strategy);
+    metrics_->counter(prefix + ".runs").add(1);
+    metrics_->counter(prefix + ".subframes").add(outcome.sim.subframes);
+    metrics_->counter(prefix + ".tasks").add(outcome.sim.tasks_executed);
+    metrics_->counter(prefix + ".estimator.saturated")
+        .add(outcome.estimator_stats.saturated_estimates);
+    metrics_->counter(prefix + ".estimator.clamped_low")
+        .add(outcome.estimator_stats.clamped_low);
+    metrics_->counter(prefix + ".estimator.clamped_high")
+        .add(outcome.estimator_stats.clamped_high);
+    metrics_->counter(prefix + ".gating.switches")
+        .add(outcome.gating_stats.switch_events);
+    metrics_->gauge(prefix + ".avg_power_w").set(outcome.avg_power_w);
+    metrics_->gauge(prefix + ".avg_dynamic_w")
+        .set(outcome.avg_dynamic_w);
+    metrics_->gauge(prefix + ".activity").set(outcome.sim.activity());
+    metrics_->gauge(prefix + ".mean_latency")
+        .set(outcome.sim.mean_latency());
+    metrics_->gauge(prefix + ".max_latency")
+        .set(outcome.sim.max_latency());
 }
 
 StrategyOutcome
@@ -99,7 +130,7 @@ UplinkStudy::run_strategy_on(mgmt::Strategy strategy,
 
     const power::PowerModel pm(config_.power);
     if (strategy == mgmt::Strategy::kPowerGating) {
-        outcome.powered = gating_plan(outcome.sim);
+        outcome.powered = gating_plan(outcome.sim, &outcome.gating_stats);
         outcome.series =
             pm.power_series_gated(outcome.sim, outcome.powered);
     } else {
@@ -108,6 +139,9 @@ UplinkStudy::run_strategy_on(mgmt::Strategy strategy,
     outcome.avg_power_w = power::PowerModel::average_power(outcome.series);
     outcome.avg_dynamic_w =
         outcome.avg_power_w - config_.power.base_power_w;
+    if (machine.estimator().has_value())
+        outcome.estimator_stats = machine.estimator()->stats();
+    record_run_metrics(outcome);
     return outcome;
 }
 

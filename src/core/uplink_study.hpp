@@ -9,11 +9,14 @@
 #ifndef LTE_CORE_UPLINK_STUDY_HPP
 #define LTE_CORE_UPLINK_STUDY_HPP
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "mgmt/core_allocator.hpp"
 #include "mgmt/estimator.hpp"
 #include "mgmt/strategy.hpp"
+#include "obs/metrics.hpp"
 #include "power/power_model.hpp"
 #include "sim/calibrate.hpp"
 #include "sim/machine.hpp"
@@ -51,6 +54,10 @@ struct StrategyOutcome
     std::vector<std::uint32_t> powered;
     double avg_power_w = 0.0;
     double avg_dynamic_w = 0.0; ///< avg_power - base power
+    /** Eq. 3-5 decision tallies from the run's estimator (if any). */
+    mgmt::EstimatorStats estimator_stats;
+    /** Eq. 6-7 decision tallies (PowerGating runs only). */
+    mgmt::GatingStats gating_stats;
 };
 
 class UplinkStudy
@@ -87,14 +94,28 @@ class UplinkStudy
 
     /**
      * Eq. 6-7: powered-core plan for a simulated run, padded with its
-     * last value to cover trailing drain intervals.
+     * last value to cover trailing drain intervals.  When @p stats is
+     * non-null the planner's decision tallies are copied out.
      */
     std::vector<std::uint32_t>
-    gating_plan(const sim::SimResult &result) const;
+    gating_plan(const sim::SimResult &result,
+                mgmt::GatingStats *stats = nullptr) const;
+
+    /**
+     * Study-level metrics: per-strategy counters and gauges
+     * accumulated across every run_strategy*() call (subframes, tasks,
+     * estimator clamps, gating switches, average power).
+     */
+    const obs::MetricsRegistry &metrics() const { return *metrics_; }
 
   private:
+    void record_run_metrics(const StrategyOutcome &outcome);
+
     StudyConfig config_;
     std::optional<mgmt::WorkloadEstimator> estimator_;
+    /** Behind a pointer: the registry is not movable (internal mutex)
+     *  but UplinkStudy must stay movable. */
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
 };
 
 } // namespace lte::core

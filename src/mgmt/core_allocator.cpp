@@ -30,6 +30,21 @@ GatingPlanner::GatingPlanner(std::uint32_t domain_size,
               "invalid domain geometry");
 }
 
+void
+GatingPlanner::note_decision(std::uint32_t powered)
+{
+    ++stats_.decisions;
+    stats_.peak_powered = std::max(stats_.peak_powered, powered);
+    if (stats_.decisions > 1 && powered != last_powered_) {
+        ++stats_.switch_events;
+        const std::uint32_t delta = powered > last_powered_
+                                        ? powered - last_powered_
+                                        : last_powered_ - powered;
+        stats_.domains_switched += delta / domain_size_;
+    }
+    last_powered_ = powered;
+}
+
 std::vector<std::uint32_t>
 GatingPlanner::drain_ready()
 {
@@ -49,6 +64,7 @@ GatingPlanner::drain_ready()
                                window_[static_cast<std::size_t>(offset)]);
         }
         decisions.push_back(powered);
+        note_decision(powered);
         ++emitted_;
         // Prune entries older than any future window needs.
         const std::uint64_t needed_from =
@@ -86,6 +102,7 @@ GatingPlanner::finish()
                                window_[static_cast<std::size_t>(offset)]);
         }
         decisions.push_back(powered);
+        note_decision(powered);
         ++emitted_;
         const std::uint64_t needed_from =
             emitted_ >= history_ ? emitted_ - history_ : 0;

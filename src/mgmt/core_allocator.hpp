@@ -24,6 +24,19 @@ std::uint32_t discretise_to_domains(std::uint32_t active_cores,
                                     std::uint32_t total_cores);
 
 /**
+ * Observability tallies of gating decisions: every change in the
+ * powered-core count is a domain switch event, each of which costs
+ * the paper's 15 mW on/off overhead (Eq. 9).
+ */
+struct GatingStats
+{
+    std::uint64_t decisions = 0;
+    std::uint64_t switch_events = 0;   ///< powered count changed
+    std::uint64_t domains_switched = 0;///< |delta| / domain_size summed
+    std::uint32_t peak_powered = 0;
+};
+
+/**
  * The power-gating provisioning window (Eq. 7): the number of
  * powered-on cores during subframe i is the maximum of the
  * domain-discretised demand over subframes i-2 .. i+2 — input
@@ -55,6 +68,9 @@ class GatingPlanner
     /** Flush decisions for the trailing subframes at end of run. */
     std::vector<std::uint32_t> finish();
 
+    /** Decision tallies since construction. */
+    const GatingStats &stats() const { return stats_; }
+
   private:
     std::uint32_t domain_size_;
     std::uint32_t total_cores_;
@@ -64,7 +80,11 @@ class GatingPlanner
     std::uint64_t front_index_ = 0;    ///< subframe index of window_[0]
     std::uint64_t fed_ = 0;
     std::uint64_t emitted_ = 0;
+    GatingStats stats_;
+    std::uint32_t last_powered_ = 0;
 
+    /** Record one emitted decision in the tallies. */
+    void note_decision(std::uint32_t powered);
     std::vector<std::uint32_t> drain_ready();
 };
 

@@ -78,6 +78,9 @@ WorkloadEstimator::estimate_subframe(
     double activity = 0.0;
     for (const auto &user : subframe.users)
         activity += estimate_user(user);
+    ++stats_.subframe_estimates;
+    if (activity > 1.0)
+        ++stats_.saturated_estimates;
     return std::clamp(activity, 0.0, 1.0);
 }
 
@@ -91,8 +94,16 @@ WorkloadEstimator::active_cores(double estimated_activity,
         estimated_activity * static_cast<double>(max_cores) +
         static_cast<double>(margin);
     const auto cores = static_cast<std::uint32_t>(std::ceil(raw));
-    return std::clamp<std::uint32_t>(cores, std::min(margin, max_cores),
-                                     max_cores);
+    // Floor at one core even with margin == 0: returning 0 would park
+    // every worker, and parked cores cannot be woken remotely.
+    const std::uint32_t floor =
+        std::max<std::uint32_t>(1, std::min(margin, max_cores));
+    ++stats_.core_decisions;
+    if (cores < floor)
+        ++stats_.clamped_low;
+    if (cores > max_cores)
+        ++stats_.clamped_high;
+    return std::clamp<std::uint32_t>(cores, floor, max_cores);
 }
 
 } // namespace lte::mgmt

@@ -61,6 +61,21 @@ class CalibrationTable
     std::array<double, kMaxLayers * 3> k_{};
 };
 
+/**
+ * Observability tallies of estimator decisions: how often Eq. 4
+ * saturated and how often Eq. 5 was clamped at either bound.  Updated
+ * by the (single) thread driving the estimator; exported into the
+ * study's metrics registry.
+ */
+struct EstimatorStats
+{
+    std::uint64_t subframe_estimates = 0;
+    std::uint64_t saturated_estimates = 0; ///< Eq. 4 clamped at 1.0
+    std::uint64_t core_decisions = 0;
+    std::uint64_t clamped_low = 0;  ///< Eq. 5 raised to the floor
+    std::uint64_t clamped_high = 0; ///< Eq. 5 capped at max_cores
+};
+
 /** Implements Eqs. 3-5 of the paper. */
 class WorkloadEstimator
 {
@@ -76,7 +91,10 @@ class WorkloadEstimator
     /**
      * Eq. 5: active cores = estimated activity x max_cores + margin
      * (margin defaults to the paper's two-core over-provisioning),
-     * clamped to [margin, max_cores].
+     * clamped to [max(1, margin), max_cores].  The floor never drops
+     * below one: a zero-margin estimator must not deactivate every
+     * core, since a napping TILEPro64 core cannot be reactivated
+     * remotely (Sec. V-B) and a fully parked pool deadlocks.
      */
     std::uint32_t active_cores(double estimated_activity,
                                std::uint32_t max_cores,
@@ -84,8 +102,13 @@ class WorkloadEstimator
 
     const CalibrationTable &table() const { return table_; }
 
+    /** Decision tallies since construction or the last reset. */
+    const EstimatorStats &stats() const { return stats_; }
+    void reset_stats() { stats_ = EstimatorStats{}; }
+
   private:
     CalibrationTable table_;
+    mutable EstimatorStats stats_;
 };
 
 } // namespace lte::mgmt

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Trace/metrics exporters.
+ *
+ * chrome://tracing JSON: the Trace Event Format's "X" (complete) and
+ * "i" (instant) phases, with one chrome "thread" per tracer slot, so
+ * a dumped timeline opens directly in chrome://tracing or Perfetto
+ * (ui.perfetto.dev) and shows per-worker chanest/weights/demod/tail
+ * spans, steals, and nap/idle sleep.
+ *
+ * CSV: the per-subframe activity/deadline series and the metrics
+ * registry, one row per sample, for plotting alongside the paper's
+ * figures.
+ */
+#ifndef LTE_OBS_EXPORT_HPP
+#define LTE_OBS_EXPORT_HPP
+
+#include <iosfwd>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lte::obs {
+
+/**
+ * Write all recorded spans as a chrome://tracing JSON object
+ * ({"traceEvents":[...]}).  Slots are exported as threads of one
+ * process named @p process_name; the last slot is labelled as the
+ * dispatch thread, the others as workers.
+ */
+void write_chrome_trace(std::ostream &os, const Tracer &tracer,
+                        std::string_view process_name = "lte-uplink");
+
+/**
+ * Write the per-subframe activity/deadline series as CSV with header
+ *   subframe,t_dispatch_ms,t_complete_ms,latency_ms,n_users,ops,
+ *   est_activity,active_workers,deadline_met
+ * A sample meets the deadline when latency_ms <= @p deadline_ms.
+ */
+void write_subframe_csv(std::ostream &os, const SubframeSeries &series,
+                        double deadline_ms);
+
+/** Write the registry snapshot as "name,type,value" CSV rows. */
+void write_metrics_csv(std::ostream &os, const MetricsRegistry &metrics);
+
+} // namespace lte::obs
+
+#endif // LTE_OBS_EXPORT_HPP

@@ -1,0 +1,57 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace lte::obs {
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : counters_) {
+        if (entry.first == name)
+            return entry.second;
+    }
+    counters_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple());
+    return counters_.back().second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : gauges_) {
+        if (entry.first == name)
+            return entry.second;
+    }
+    gauges_.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(name),
+                         std::forward_as_tuple());
+    return gauges_.back().second;
+}
+
+std::vector<MetricsRegistry::Sample>
+MetricsRegistry::snapshot() const
+{
+    std::vector<Sample> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(counters_.size() + gauges_.size());
+        for (const auto &entry : counters_) {
+            out.push_back({entry.first,
+                           static_cast<double>(entry.second.value()),
+                           true});
+        }
+        for (const auto &entry : gauges_)
+            out.push_back({entry.first, entry.second.value(), false});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sample &a, const Sample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+} // namespace lte::obs

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A small counters/gauges metrics registry for the runtime and the
+ * power-management study.
+ *
+ * Registration (name lookup) happens at setup time and may allocate;
+ * the returned Counter/Gauge references are stable for the registry's
+ * lifetime, so hot paths cache a pointer and update it with a single
+ * relaxed atomic — no locks, no lookups, no allocation.
+ */
+#ifndef LTE_OBS_METRICS_HPP
+#define LTE_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lte::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Name -> metric registry.  Metrics live in deques so references stay
+ * valid as more are registered; the mutex guards only registration
+ * and snapshotting, never metric updates.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Find or create the counter named @p name (stable reference). */
+    Counter &counter(std::string_view name);
+
+    /** Find or create the gauge named @p name (stable reference). */
+    Gauge &gauge(std::string_view name);
+
+    /** One exported metric value. */
+    struct Sample
+    {
+        std::string name;
+        double value = 0.0;
+        bool is_counter = false;
+    };
+
+    /** All metrics, sorted by name. */
+    std::vector<Sample> snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<std::pair<std::string, Counter>> counters_;
+    std::deque<std::pair<std::string, Gauge>> gauges_;
+};
+
+} // namespace lte::obs
+
+#endif // LTE_OBS_METRICS_HPP

@@ -29,7 +29,22 @@ EngineConfig::validate() const
     LTE_CHECK(delta_ms >= 0.0, "delta must be non-negative");
     receiver.validate();
     input.validate();
+    obs.validate();
 }
+
+namespace {
+
+/** Analytical flops of a subframe (op-model activity measure). */
+std::uint64_t
+subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas)
+{
+    std::uint64_t ops = 0;
+    for (const auto &user : params.users)
+        ops += phy::user_task_costs(user, n_antennas).total();
+    return ops;
+}
+
+} // namespace
 
 std::unique_ptr<Engine>
 make_engine(const EngineConfig &config)
@@ -51,8 +66,25 @@ SerialEngine::SerialEngine(const EngineConfig &config)
 {
     config_.validate();
     config_.kind = EngineKind::kSerial;
+    init_obs();
     // The serial engine runs kernels on the caller's thread.
     phy::warm_kernel_scratch();
+}
+
+void
+SerialEngine::init_obs()
+{
+    if (!config_.obs.enabled)
+        return;
+    tracer_ = std::make_unique<obs::Tracer>(1, config_.obs);
+    series_ =
+        std::make_unique<obs::SubframeSeries>(config_.obs.series_capacity);
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    // Cache the hot-path counters so steady-state updates never take
+    // the registry lock or allocate.
+    subframes_counter_ = &metrics_->counter("engine.subframes");
+    users_counter_ = &metrics_->counter("engine.users");
+    deadline_miss_counter_ = &metrics_->counter("engine.deadline_misses");
 }
 
 SerialEngine::SerialEngine(const phy::ReceiverConfig &receiver,
@@ -73,9 +105,13 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
     params.validate();
     input_.signals_for(params, signals_);
 
+    const std::uint64_t t_dispatch =
+        tracer_ ? tracer_->now_ns() : 0;
+
     outcome_.subframe_index = params.subframe_index;
     outcome_.users.resize(params.users.size());
     for (std::size_t u = 0; u < params.users.size(); ++u) {
+        const std::uint64_t t_user = tracer_ ? tracer_->now_ns() : 0;
         proc_.bind(params.users[u], signals_[u]);
         const phy::UserResult &result = proc_.process_all();
         UserOutcome &out = outcome_.users[u];
@@ -83,6 +119,28 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
         out.checksum = result.checksum;
         out.crc_ok = result.crc_ok;
         out.evm_rms = result.evm_rms;
+        if (tracer_) {
+            tracer_->record(0, obs::SpanKind::kUser, t_user,
+                            tracer_->now_ns(), result.user_id);
+        }
+    }
+
+    if (tracer_) {
+        const std::uint64_t t_complete = tracer_->now_ns();
+        tracer_->record(0, obs::SpanKind::kSubframe, t_dispatch,
+                        t_complete, params.subframe_index);
+        obs::SubframeSample sample;
+        sample.subframe_index = params.subframe_index;
+        sample.t_dispatch_ns = t_dispatch;
+        sample.t_complete_ns = t_complete;
+        sample.n_users = static_cast<std::uint32_t>(params.users.size());
+        sample.active_workers = 1;
+        sample.ops = subframe_ops(params, config_.receiver.n_antennas);
+        series_->push(sample);
+        subframes_counter_->add();
+        users_counter_->add(params.users.size());
+        if (sample.latency_ms() > config_.obs.deadline_ms)
+            deadline_miss_counter_->add();
     }
     return outcome_;
 }
@@ -119,6 +177,20 @@ WorkStealingEngine::WorkStealingEngine(const EngineConfig &config)
 {
     config_.validate();
     config_.kind = EngineKind::kWorkStealing;
+    if (config_.obs.enabled) {
+        // One ring per worker plus the dispatch thread, preallocated
+        // before the pool starts so recording never allocates.
+        tracer_ = std::make_unique<obs::Tracer>(
+            config_.pool.n_workers + 1, config_.obs);
+        series_ = std::make_unique<obs::SubframeSeries>(
+            config_.obs.series_capacity);
+        metrics_ = std::make_unique<obs::MetricsRegistry>();
+        subframes_counter_ = &metrics_->counter("engine.subframes");
+        users_counter_ = &metrics_->counter("engine.users");
+        deadline_miss_counter_ =
+            &metrics_->counter("engine.deadline_misses");
+        config_.pool.tracer = tracer_.get();
+    }
     pool_ = std::make_unique<WorkerPool>(config_.pool);
 }
 
@@ -147,7 +219,7 @@ WorkStealingEngine::release_job(SubframeJob *job)
     free_jobs_.push_back(job);
 }
 
-void
+double
 WorkStealingEngine::apply_estimator(const phy::SubframeParams &params)
 {
     // Proactive core management (Eq. 5) from the *next* subframe's
@@ -158,11 +230,35 @@ WorkStealingEngine::apply_estimator(const phy::SubframeParams &params)
          config_.pool.strategy == mgmt::Strategy::kNapIdle ||
          config_.pool.strategy == mgmt::Strategy::kPowerGating);
     if (!proactive)
-        return;
+        return -1.0;
     const double estimate = estimator_->estimate_subframe(params);
     pool_->set_active_workers(estimator_->active_cores(
         estimate, static_cast<std::uint32_t>(pool_->n_workers()),
         config_.core_margin));
+    return estimate;
+}
+
+void
+WorkStealingEngine::observe_completion(const SubframeJob &job,
+                                       std::uint64_t t_complete_ns)
+{
+    tracer_->record(dispatch_slot(), obs::SpanKind::kSubframe,
+                    job.t_dispatch_ns, t_complete_ns,
+                    job.params.subframe_index);
+    obs::SubframeSample sample;
+    sample.subframe_index = job.params.subframe_index;
+    sample.t_dispatch_ns = job.t_dispatch_ns;
+    sample.t_complete_ns = t_complete_ns;
+    sample.n_users = static_cast<std::uint32_t>(job.n_users);
+    sample.active_workers =
+        static_cast<std::uint32_t>(pool_->active_workers());
+    sample.est_activity = job.est_activity;
+    sample.ops = subframe_ops(job.params, config_.receiver.n_antennas);
+    series_->push(sample);
+    subframes_counter_->add();
+    users_counter_->add(job.n_users);
+    if (sample.latency_ms() > config_.obs.deadline_ms)
+        deadline_miss_counter_->add();
 }
 
 const SubframeOutcome &
@@ -170,14 +266,23 @@ WorkStealingEngine::process_subframe(const phy::SubframeParams &params)
 {
     params.validate();
     input_.signals_for(params, signals_);
-    apply_estimator(params);
+    const double estimate = apply_estimator(params);
 
     SubframeJob *job = acquire_job();
     job->prepare(params, signals_, config_.receiver);
+    if (tracer_) {
+        job->t_dispatch_ns = tracer_->now_ns();
+        job->est_activity = estimate;
+        tracer_->record_instant(dispatch_slot(), obs::SpanKind::kDispatch,
+                                job->t_dispatch_ns,
+                                params.subframe_index);
+    }
     if (job->n_users > 0) {
         pool_->submit(job);
         pool_->wait_idle();
     }
+    if (tracer_)
+        observe_completion(*job, tracer_->now_ns());
 
     outcome_.subframe_index = params.subframe_index;
     outcome_.users = job->results; // capacity reuse, scalar payload
@@ -228,6 +333,9 @@ WorkStealingEngine::run(workload::ParameterModel &model,
         // Flow control: keep at most max_in_flight subframes open.
         while (in_flight.size() >= config_.max_in_flight) {
             if (job_done(*in_flight.front())) {
+                if (tracer_)
+                    observe_completion(*in_flight.front(),
+                                       tracer_->now_ns());
                 record.subframes.push_back(collect(*in_flight.front()));
                 release_job(in_flight.front());
                 in_flight.pop_front();
@@ -238,7 +346,7 @@ WorkStealingEngine::run(workload::ParameterModel &model,
 
         const phy::SubframeParams params = model.next_subframe();
         params.validate();
-        apply_estimator(params);
+        const double estimate = apply_estimator(params);
 
         input_.signals_for(params, signals_);
         SubframeJob *job = acquire_job();
@@ -250,7 +358,18 @@ WorkStealingEngine::run(workload::ParameterModel &model,
             next_dispatch += delta;
         }
 
+        if (tracer_) {
+            job->t_dispatch_ns = tracer_->now_ns();
+            job->est_activity = estimate;
+            tracer_->record_instant(dispatch_slot(),
+                                    obs::SpanKind::kDispatch,
+                                    job->t_dispatch_ns,
+                                    params.subframe_index);
+        }
+
         if (job->n_users == 0) {
+            if (tracer_)
+                observe_completion(*job, job->t_dispatch_ns);
             record.subframes.push_back(collect(*job));
             release_job(job);
         } else {
@@ -264,6 +383,8 @@ WorkStealingEngine::run(workload::ParameterModel &model,
     while (!in_flight.empty()) {
         LTE_ASSERT(job_done(*in_flight.front()),
                    "pool idle but job incomplete");
+        if (tracer_)
+            observe_completion(*in_flight.front(), tracer_->now_ns());
         record.subframes.push_back(collect(*in_flight.front()));
         release_job(in_flight.front());
         in_flight.pop_front();
@@ -275,6 +396,14 @@ WorkStealingEngine::run(workload::ParameterModel &model,
     record.activity = snap.activity(pool_->n_workers());
     record.total_ops = snap.ops;
     record.steals = pool_->steals();
+    if (metrics_) {
+        // Run-level aggregates; cheap registry lookups off the hot path.
+        metrics_->gauge("engine.activity").set(record.activity);
+        metrics_->gauge("engine.wall_seconds").set(record.wall_seconds);
+        metrics_->counter("engine.steals").add(record.steals);
+        metrics_->gauge("engine.trace_dropped")
+            .set(static_cast<double>(tracer_->total_dropped()));
+    }
     return record;
 }
 

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "mgmt/estimator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phy/params.hpp"
 #include "phy/user_processor.hpp"
 #include "runtime/input_generator.hpp"
@@ -69,6 +71,14 @@ struct EngineConfig
     double delta_ms = 0.0;
     /** Over-provisioning margin for Eq. 5. */
     std::uint32_t core_margin = 2;
+    /**
+     * Observability: when obs.enabled the engine owns a span tracer
+     * (one ring per worker plus the dispatch thread), a per-subframe
+     * activity/deadline series and a metrics registry, all
+     * preallocated so steady-state recording stays allocation-free.
+     * Disabled, every recording site costs a single branch.
+     */
+    obs::ObsConfig obs;
 
     void validate() const;
 };
@@ -108,6 +118,13 @@ class Engine
 
     virtual InputGenerator &input() = 0;
     virtual const EngineConfig &config() const = 0;
+
+    /** Span tracer, or nullptr when observability is disabled. */
+    virtual obs::Tracer *tracer() = 0;
+    /** Per-subframe series, or nullptr when disabled. */
+    virtual const obs::SubframeSeries *subframe_series() const = 0;
+    /** Metrics registry, or nullptr when disabled. */
+    virtual obs::MetricsRegistry *metrics() = 0;
 };
 
 /** Build the engine selected by config.kind. */
@@ -138,14 +155,30 @@ class SerialEngine : public Engine
     WorkerPool *worker_pool() override { return nullptr; }
     InputGenerator &input() override { return input_; }
     const EngineConfig &config() const override { return config_; }
+    obs::Tracer *tracer() override { return tracer_.get(); }
+    const obs::SubframeSeries *subframe_series() const override
+    {
+        return series_.get();
+    }
+    obs::MetricsRegistry *metrics() override { return metrics_.get(); }
 
   private:
+    void init_obs();
+
     EngineConfig config_;
     InputGenerator input_;
     /** One processor, re-bound per user; arena reused across users. */
     phy::UserProcessor proc_;
     std::vector<const phy::UserSignal *> signals_;
     SubframeOutcome outcome_;
+
+    /** Observability state (null unless config.obs.enabled). */
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::SubframeSeries> series_;
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    obs::Counter *subframes_counter_ = nullptr;
+    obs::Counter *users_counter_ = nullptr;
+    obs::Counter *deadline_miss_counter_ = nullptr;
 };
 
 /**
@@ -168,6 +201,12 @@ class WorkStealingEngine : public Engine
     WorkerPool *worker_pool() override { return pool_.get(); }
     InputGenerator &input() override { return input_; }
     const EngineConfig &config() const override { return config_; }
+    obs::Tracer *tracer() override { return tracer_.get(); }
+    const obs::SubframeSeries *subframe_series() const override
+    {
+        return series_.get();
+    }
+    obs::MetricsRegistry *metrics() override { return metrics_.get(); }
 
     /** Legacy convenience (UplinkBenchmark API). */
     WorkerPool &pool() { return *pool_; }
@@ -176,7 +215,14 @@ class WorkStealingEngine : public Engine
     /** Fetch a warm job from the pool (grow-only free list). */
     SubframeJob *acquire_job();
     void release_job(SubframeJob *job);
-    void apply_estimator(const phy::SubframeParams &params);
+    /** Eq. 5 core deactivation; returns the Eq. 4 estimate (-1 when
+     *  no estimator applies). */
+    double apply_estimator(const phy::SubframeParams &params);
+    /** The tracer slot used by the dispatch/maintenance thread. */
+    std::size_t dispatch_slot() const { return config_.pool.n_workers; }
+    /** Record one completed job into the series/metrics/trace. */
+    void observe_completion(const SubframeJob &job,
+                            std::uint64_t t_complete_ns);
 
     EngineConfig config_;
     InputGenerator input_;
@@ -188,6 +234,14 @@ class WorkStealingEngine : public Engine
     std::vector<SubframeJob *> free_jobs_;
     std::vector<const phy::UserSignal *> signals_;
     SubframeOutcome outcome_;
+
+    /** Observability state (null unless config.obs.enabled). */
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::SubframeSeries> series_;
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    obs::Counter *subframes_counter_ = nullptr;
+    obs::Counter *users_counter_ = nullptr;
+    obs::Counter *deadline_miss_counter_ = nullptr;
 };
 
 } // namespace lte::runtime

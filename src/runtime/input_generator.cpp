@@ -28,9 +28,13 @@ InputGenerator::random_signal(const phy::UserParams &user)
         // Derive the pool deterministically from (seed, prb) so the
         // contents do not depend on request order.
         Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + user.prb);
-        // Signal shape depends only on the PRB split, so a canonical
-        // single-layer user parameter set suffices.
-        phy::UserParams shape = user;
+        // Signal shape depends only on the PRB split, so generate
+        // from canonical single-layer parameters rather than copying
+        // the first requester's layers/mod/id — the pool is shared by
+        // every user with this PRB count and its contents must not
+        // depend on who asked first.
+        phy::UserParams shape;
+        shape.prb = user.prb;
         pool.reserve(config_.pool_size);
         for (std::size_t i = 0; i < config_.pool_size; ++i) {
             pool.push_back(std::make_unique<phy::UserSignal>(

@@ -108,6 +108,12 @@ struct SubframeJob
     std::vector<UserOutcome> results;
     std::atomic<std::int32_t> users_remaining{0};
 
+    /** Observability (set by the engine when tracing is enabled):
+     *  dispatch timestamp relative to the tracer epoch and the
+     *  estimator's Eq. 4 output for this subframe (-1 if none). */
+    std::uint64_t t_dispatch_ns = 0;
+    double est_activity = -1.0;
+
     /**
      * (Re)bind the job to a subframe: pools UserWork objects (growing
      * the pool only when this job sees more users than ever before)

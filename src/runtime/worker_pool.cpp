@@ -117,13 +117,25 @@ WorkerPool::try_pop_global()
 void
 WorkerPool::account(std::size_t wid,
                     std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end,
                     std::uint64_t ops)
 {
-    const auto elapsed = std::chrono::steady_clock::now() - start;
     stats_[wid]->busy_ns.fetch_add(
-        static_cast<std::uint64_t>(elapsed.count()),
+        static_cast<std::uint64_t>((end - start).count()),
         std::memory_order_relaxed);
     stats_[wid]->ops.fetch_add(ops, std::memory_order_relaxed);
+}
+
+void
+WorkerPool::trace(std::size_t wid, obs::SpanKind kind,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end,
+                  std::uint64_t arg)
+{
+    if (obs::Tracer *tracer = config_.tracer) {
+        tracer->record(wid, kind, tracer->to_ns(start),
+                       tracer->to_ns(end), arg);
+    }
 }
 
 void
@@ -133,11 +145,15 @@ WorkerPool::execute_task(std::size_t wid, const Task &task)
     UserWork *work = task.work;
     if (task.kind == Task::Kind::kChanEst) {
         work->proc.run_chanest_task(task.index);
-        account(wid, start, work->costs.chanest_task);
+        const auto end = std::chrono::steady_clock::now();
+        account(wid, start, end, work->costs.chanest_task);
+        trace(wid, obs::SpanKind::kChanEst, start, end, task.index);
         work->chanest_remaining.fetch_sub(1, std::memory_order_release);
     } else {
         work->proc.run_demod_task(task.index);
-        account(wid, start, work->costs.demod_task);
+        const auto end = std::chrono::steady_clock::now();
+        account(wid, start, end, work->costs.demod_task);
+        trace(wid, obs::SpanKind::kDemod, start, end, task.index);
         work->demod_remaining.fetch_sub(1, std::memory_order_release);
     }
 }
@@ -161,6 +177,10 @@ WorkerPool::try_help(std::size_t wid)
             continue;
         if (auto task = deques_[victim]->steal_top()) {
             stats_[wid]->steals.fetch_add(1, std::memory_order_relaxed);
+            if (obs::Tracer *tracer = config_.tracer) {
+                tracer->record_instant(wid, obs::SpanKind::kSteal,
+                                       tracer->now_ns(), victim);
+            }
             execute_task(wid, *task);
             return true;
         }
@@ -191,7 +211,10 @@ WorkerPool::run_user(std::size_t wid, UserWork *work)
     {
         const auto start = std::chrono::steady_clock::now();
         work->proc.compute_weights();
-        account(wid, start, work->costs.weights);
+        const auto end = std::chrono::steady_clock::now();
+        account(wid, start, end, work->costs.weights);
+        trace(wid, obs::SpanKind::kWeights, start, end,
+              work->proc.params().id);
     }
 
     // Stage 2: demodulation, one task per (data symbol, layer).
@@ -223,7 +246,9 @@ WorkerPool::finish_user(std::size_t wid, UserWork *work)
     out.checksum = result.checksum;
     out.crc_ok = result.crc_ok;
     out.evm_rms = result.evm_rms;
-    account(wid, start, work->costs.tail);
+    const auto end = std::chrono::steady_clock::now();
+    account(wid, start, end, work->costs.tail);
+    trace(wid, obs::SpanKind::kTail, start, end, result.user_id);
 
     if (work->parent->users_remaining.fetch_sub(
             1, std::memory_order_acq_rel) == 1) {
@@ -246,7 +271,10 @@ WorkerPool::worker_main(std::size_t wid)
         // wakes to re-check its status (there is no way to remotely
         // reactivate a napping TILEPro64 core, Sec. V-B).
         if (wid >= active_workers_.load(std::memory_order_acquire)) {
+            const auto start = std::chrono::steady_clock::now();
             std::this_thread::sleep_for(config_.nap_poll_period);
+            trace(wid, obs::SpanKind::kNap, start,
+                  std::chrono::steady_clock::now(), 0);
             continue;
         }
 
@@ -267,9 +295,13 @@ WorkerPool::worker_main(std::size_t wid)
             break;
           case mgmt::Strategy::kIdle:
           case mgmt::Strategy::kNapIdle:
-          case mgmt::Strategy::kPowerGating:
+          case mgmt::Strategy::kPowerGating: {
+            const auto start = std::chrono::steady_clock::now();
             std::this_thread::sleep_for(config_.idle_poll_period);
+            trace(wid, obs::SpanKind::kIdle, start,
+                  std::chrono::steady_clock::now(), 0);
             break;
+          }
         }
     }
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "mgmt/strategy.hpp"
+#include "obs/trace.hpp"
 #include "runtime/task.hpp"
 #include "runtime/ws_deque.hpp"
 
@@ -45,6 +46,13 @@ struct WorkerPoolConfig
     /** Periodic wake-up of a NAP-deactivated worker. */
     std::chrono::microseconds nap_poll_period{500};
     std::uint64_t steal_seed = 1;
+    /**
+     * Optional span tracer (not owned; must outlive the pool).  Worker
+     * w records into tracer slot w, so the tracer needs at least
+     * n_workers slots.  Null disables tracing at the cost of one
+     * branch per recording site.
+     */
+    obs::Tracer *tracer = nullptr;
 };
 
 /** Aggregate activity accounting (the paper's Eq. 1/2 counters). */
@@ -113,7 +121,13 @@ class WorkerPool
     void finish_user(std::size_t wid, UserWork *work);
     void account(std::size_t wid,
                  std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end,
                  std::uint64_t ops);
+    /** Record a span on worker @p wid if tracing is on (one branch). */
+    void trace(std::size_t wid, obs::SpanKind kind,
+               std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end,
+               std::uint64_t arg);
 
     WorkerPoolConfig config_;
 

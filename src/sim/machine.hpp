@@ -40,6 +40,13 @@ class Machine
     /** Provide the estimator for NAP-family strategies. */
     void set_estimator(std::optional<mgmt::WorkloadEstimator> estimator);
 
+    /** The machine's estimator copy (its stats reflect this run). */
+    const std::optional<mgmt::WorkloadEstimator> &
+    estimator() const
+    {
+        return estimator_;
+    }
+
     /**
      * Simulate @p n_subframes drawn from @p model (consumed from its
      * current state) and return the occupancy trace.

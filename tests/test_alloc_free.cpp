@@ -170,13 +170,14 @@ steady_subframe()
 }
 
 void
-expect_zero_alloc_steady_state(EngineKind kind)
+expect_zero_alloc_steady_state(EngineKind kind, bool tracing = false)
 {
     EngineConfig cfg;
     cfg.kind = kind;
     cfg.pool.n_workers = 3;
     cfg.pool.strategy = mgmt::Strategy::kNoNap; // yield, never sleep
     cfg.input.pool_size = 4;
+    cfg.obs.enabled = tracing;
     auto engine = make_engine(cfg);
 
     const phy::SubframeParams sf = steady_subframe();
@@ -206,6 +207,16 @@ expect_zero_alloc_steady_state(EngineKind kind)
     // The work actually ran and is deterministic.
     EXPECT_NE(checksum, 0u);
     EXPECT_EQ(checksum, warm_checksum);
+
+    if (tracing) {
+        // Tracing was really on: spans and series samples were
+        // recorded into the preallocated buffers, not silently
+        // skipped.
+        ASSERT_NE(engine->tracer(), nullptr);
+        EXPECT_GT(engine->tracer()->total_recorded(), 0u);
+        ASSERT_NE(engine->subframe_series(), nullptr);
+        EXPECT_EQ(engine->subframe_series()->size(), 28u);
+    }
 }
 
 TEST(AllocFree, SerialEngineSteadyStateDoesNotAllocate)
@@ -216,6 +227,19 @@ TEST(AllocFree, SerialEngineSteadyStateDoesNotAllocate)
 TEST(AllocFree, WorkStealingEngineSteadyStateDoesNotAllocate)
 {
     expect_zero_alloc_steady_state(EngineKind::kWorkStealing);
+}
+
+TEST(AllocFree, SerialEngineTracingEnabledDoesNotAllocate)
+{
+    // The observability layer must preserve the guarantee: rings,
+    // series and counters are preallocated at engine construction, so
+    // recording spans in steady state touches no heap.
+    expect_zero_alloc_steady_state(EngineKind::kSerial, true);
+}
+
+TEST(AllocFree, WorkStealingEngineTracingEnabledDoesNotAllocate)
+{
+    expect_zero_alloc_steady_state(EngineKind::kWorkStealing, true);
 }
 
 TEST(AllocFree, CounterSeesAllocations)

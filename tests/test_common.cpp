@@ -198,6 +198,29 @@ TEST(Histogram, CountsAndClamping)
     EXPECT_NEAR(h.bin_center(9), 9.5, 1e-12);
 }
 
+TEST(Histogram, NonFiniteSamplesRejected)
+{
+    // Regression: casting NaN/inf to an integer bin index is
+    // undefined behaviour; non-finite samples must be counted
+    // separately and land in no bin.
+    Histogram h(0.0, 10.0, 10);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.non_finite(), 3u);
+    for (std::size_t b = 0; b < h.bin_count(); ++b)
+        EXPECT_EQ(h.count(b), 0u);
+    // Finite samples still count normally afterwards, including
+    // values large enough to overflow the bin product to infinity.
+    h.add(5.0);
+    h.add(std::numeric_limits<double>::max());
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.non_finite(), 3u);
+}
+
 TEST(MathUtil, DbRoundTrip)
 {
     for (double lin : {0.001, 0.5, 1.0, 10.0, 12345.0})

@@ -122,6 +122,36 @@ TEST(WorkloadEstimator, ActiveCoresEquation5)
     EXPECT_EQ(est.active_cores(0.1, 62, 0), 7u); // no margin
 }
 
+TEST(WorkloadEstimator, ActiveCoresNeverZero)
+{
+    // Regression: with margin == 0 and zero estimated activity the
+    // raw Eq. 5 result is 0 cores, which would park every worker — a
+    // napping core cannot be woken remotely, deadlocking the pool.
+    // The floor must stay at one core.
+    WorkloadEstimator est(synthetic_table());
+    EXPECT_EQ(est.active_cores(0.0, 62, 0), 1u);
+    EXPECT_EQ(est.active_cores(0.0, 1, 0), 1u);
+    // Tiny but non-zero activity also rounds up to at least one.
+    EXPECT_EQ(est.active_cores(1e-9, 62, 0), 1u);
+    // The floor never exceeds the chip: margin > max_cores still
+    // clamps to max_cores.
+    EXPECT_EQ(est.active_cores(0.0, 4, 8), 4u);
+}
+
+TEST(WorkloadEstimator, DecisionStatsTallied)
+{
+    WorkloadEstimator est(synthetic_table());
+    est.active_cores(0.0, 62, 0);  // clamped up to the floor
+    est.active_cores(0.5, 62);     // in range
+    est.active_cores(1.5, 62);     // clamped down to max_cores
+    const EstimatorStats &stats = est.stats();
+    EXPECT_EQ(stats.core_decisions, 3u);
+    EXPECT_EQ(stats.clamped_low, 1u);
+    EXPECT_EQ(stats.clamped_high, 1u);
+    est.reset_stats();
+    EXPECT_EQ(est.stats().core_decisions, 0u);
+}
+
 TEST(Discretise, Equation6)
 {
     EXPECT_EQ(discretise_to_domains(0, 8, 64), 0u);
@@ -130,6 +160,25 @@ TEST(Discretise, Equation6)
     EXPECT_EQ(discretise_to_domains(9, 8, 64), 16u);
     EXPECT_EQ(discretise_to_domains(62, 8, 64), 64u);
     EXPECT_EQ(discretise_to_domains(100, 8, 64), 64u);
+}
+
+TEST(GatingPlanner, StatsCountSwitches)
+{
+    GatingPlanner planner(8, 64, 0, 0); // no window: demand through
+    std::vector<std::uint32_t> decisions;
+    for (std::uint32_t demand : {4u, 4u, 12u, 12u, 4u}) {
+        for (std::uint32_t p : planner.push(demand))
+            decisions.push_back(p);
+    }
+    for (std::uint32_t p : planner.finish())
+        decisions.push_back(p);
+    // Discretised: 8, 8, 16, 16, 8 — two switch events of one domain.
+    ASSERT_EQ(decisions.size(), 5u);
+    const GatingStats &stats = planner.stats();
+    EXPECT_EQ(stats.decisions, 5u);
+    EXPECT_EQ(stats.switch_events, 2u);
+    EXPECT_EQ(stats.domains_switched, 2u);
+    EXPECT_EQ(stats.peak_powered, 16u);
 }
 
 TEST(GatingPlanner, WindowMaximumEquation7)

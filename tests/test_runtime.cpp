@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 
 #include "runtime/benchmark.hpp"
@@ -58,6 +59,63 @@ TEST(WsDeque, ConcurrentStealsLoseNothing)
     while (dq.steal_top().has_value())
         taken.fetch_add(1);
     EXPECT_EQ(taken.load() + owner_taken, kTasks);
+}
+
+// ------------------------------------------------ input generator
+
+std::uint64_t
+signal_digest(const phy::UserSignal &signal)
+{
+    // Cheap order-sensitive digest over every complex sample.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        h = (h ^ bits) * 0x100000001b3ULL;
+    };
+    for (const auto &ant : signal.antennas)
+        for (const auto &slot : ant.slots)
+            for (const auto &sym : slot)
+                for (const auto &c : sym) {
+                    mix(c.real());
+                    mix(c.imag());
+                }
+    return h;
+}
+
+TEST(InputGenerator, PoolIndependentOfRequestOrder)
+{
+    // Regression: the shared per-PRB pool used to be generated from
+    // the first requester's full parameter set, so the layers/mod of
+    // whoever asked first leaked into the pool contents.  Two
+    // generators serving the same users in reverse order must hand
+    // out identical signals.
+    const InputGeneratorConfig cfg{.pool_size = 3, .seed = 7};
+
+    phy::UserParams a{.id = 1, .prb = 12, .layers = 1,
+                      .mod = Modulation::kQpsk};
+    phy::UserParams b{.id = 2, .prb = 12, .layers = 4,
+                      .mod = Modulation::k64Qam};
+
+    auto one_user_subframe = [](const phy::UserParams &user) {
+        phy::SubframeParams sf;
+        sf.users.push_back(user);
+        return sf;
+    };
+    auto request = [&](InputGenerator &gen, const phy::UserParams &u) {
+        return signal_digest(*gen.signals_for(one_user_subframe(u))[0]);
+    };
+
+    InputGenerator forward(cfg);
+    InputGenerator backward(cfg);
+    const std::uint64_t fwd_a = request(forward, a);
+    const std::uint64_t fwd_b = request(forward, b);
+    const std::uint64_t bwd_b = request(backward, b);
+    const std::uint64_t bwd_a = request(backward, a);
+    // Same pool, same cursor positions: first request each side draws
+    // pool[0], second draws pool[1] — regardless of which user asks.
+    EXPECT_EQ(fwd_a, bwd_b);
+    EXPECT_EQ(fwd_b, bwd_a);
 }
 
 // --------------------------------------------- serial vs parallel
