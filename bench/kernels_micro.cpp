@@ -7,6 +7,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "simd/simd.hpp"
+
 #include "channel/signal_source.hpp"
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
@@ -51,10 +53,11 @@ BM_FftForward(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(n));
 }
-// 5-smooth sizes, a prime-factor size (direct DFT), and a Bluestein
-// size, covering the library's three code paths.
+// 5-smooth sizes, a prime-factor size (direct DFT), a Bluestein size,
+// and powers of two (the pure radix-4/radix-2 butterfly path),
+// covering the library's code paths.
 BENCHMARK(BM_FftForward)->Arg(12)->Arg(144)->Arg(300)->Arg(1200)
-    ->Arg(492)->Arg(804);
+    ->Arg(492)->Arg(804)->Arg(256)->Arg(1024);
 
 void
 BM_ChannelEstimate(benchmark::State &state)
@@ -88,6 +91,72 @@ BM_CombinerWeights(benchmark::State &state)
 }
 BENCHMARK(BM_CombinerWeights)->Arg(1)->Arg(2)->Arg(4);
 
+/** The allocation-free engine path: flat ChannelView in, re-shaped
+ *  CombinerWeights out (SIMD Gram accumulation when enabled). */
+void
+BM_CombinerWeightsInto(benchmark::State &state)
+{
+    const auto layers = static_cast<std::size_t>(state.range(0));
+    const std::size_t antennas = 4;
+    const std::size_t m = 300;
+    const CVec ch = random_signal(antennas * layers * m, 21);
+    const phy::ChannelView view{ch.data(), antennas, layers, m};
+    phy::CombinerWeights w;
+    for (auto _ : state) {
+        phy::compute_combiner_weights_into(view, 0.05f, w);
+        benchmark::DoNotOptimize(&w);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_CombinerWeightsInto)->Arg(1)->Arg(2)->Arg(4);
+
+/** Antenna combining of one SC-FDMA symbol into one layer. */
+void
+BM_Combine(benchmark::State &state)
+{
+    const auto antennas = static_cast<std::size_t>(state.range(0));
+    const std::size_t layers = 2;
+    const std::size_t m = 1200;
+    const CVec ch = random_signal(antennas * layers * m, 22);
+    const phy::ChannelView view{ch.data(), antennas, layers, m};
+    phy::CombinerWeights w;
+    phy::compute_combiner_weights_into(view, 0.05f, w);
+
+    std::vector<CVec> rx_store;
+    for (std::size_t a = 0; a < antennas; ++a)
+        rx_store.push_back(random_signal(m, 23 + a));
+    std::vector<CfView> rx;
+    for (const CVec &v : rx_store)
+        rx.emplace_back(v.data(), v.size());
+
+    CVec out(m);
+    for (auto _ : state) {
+        phy::combine_layer_into(std::span<const CfView>(rx), w, 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_Combine)->Arg(2)->Arg(4);
+
+/** The channel estimator's matched filter in isolation. */
+void
+BM_MatchedFilter(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const CVec rx = random_signal(m, 24);
+    const CVec ref = phy::user_dmrs(1, 0, m, 0);
+    CVec out(m);
+    for (auto _ : state) {
+        phy::matched_filter_conj_into(rx, ref, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_MatchedFilter)->Arg(300)->Arg(1200);
+
 void
 BM_SoftDemap(benchmark::State &state)
 {
@@ -101,6 +170,24 @@ BM_SoftDemap(benchmark::State &state)
                             1200);
 }
 BENCHMARK(BM_SoftDemap)->Arg(0)->Arg(1)->Arg(2);
+
+/** The allocation-free demapper entry point (no output vector in the
+ *  loop), per modulation. */
+void
+BM_SoftDemapInto(benchmark::State &state)
+{
+    const auto mod = static_cast<Modulation>(state.range(0));
+    const std::size_t m = 1200;
+    const CVec symbols = random_signal(m, 7);
+    std::vector<Llr> llrs(m * bits_per_symbol(mod));
+    for (auto _ : state) {
+        phy::demodulate_soft_into(symbols, mod, 0.05f, llrs);
+        benchmark::DoNotOptimize(llrs.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_SoftDemapInto)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_Interleave(benchmark::State &state)
@@ -207,4 +294,16 @@ BENCHMARK(BM_FullUserSubframe)->Arg(10)->Arg(50)->Arg(200);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::AddCustomContext("simd_backend", lte::simd::backend_name());
+    benchmark::AddCustomContext(
+        "simd_enabled", lte::simd::enabled() ? "true" : "false");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -5,14 +5,20 @@
 #
 #   scripts/check.sh          # release + asan + tsan
 #   scripts/check.sh --ubsan  # additionally run the UBSan suite
+#
+# LTE_SIMD=ON|OFF (default ON) selects the SIMD kernel configuration
+# for every preset, so the whole gate can be run in both modes:
+#   LTE_SIMD=OFF scripts/check.sh --ubsan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+LTE_SIMD="${LTE_SIMD:-ON}"
+
 run_preset() {
     local preset="$1"
-    echo "==> configure/build/test preset '${preset}'"
-    cmake --preset "${preset}"
+    echo "==> configure/build/test preset '${preset}' (LTE_SIMD=${LTE_SIMD})"
+    cmake --preset "${preset}" -DLTE_SIMD="${LTE_SIMD}"
     cmake --build --preset "${preset}" -j "$(nproc)"
     ctest --preset "${preset}"
 }

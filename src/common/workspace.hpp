@@ -16,6 +16,7 @@
 #ifndef LTE_COMMON_WORKSPACE_HPP
 #define LTE_COMMON_WORKSPACE_HPP
 
+#include <complex>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -23,6 +24,34 @@
 #include "common/check.hpp"
 
 namespace lte {
+
+/**
+ * Split-complex (structure-of-arrays) view over scratch memory: one
+ * contiguous float plane per component.  The SIMD kernels want real
+ * and imaginary parts in separate registers; carving scratch in this
+ * layout makes their loads and stores plain contiguous float traffic
+ * instead of de/interleave shuffles.
+ */
+struct SplitSpan
+{
+    std::span<float> re;
+    std::span<float> im;
+
+    std::size_t size() const { return re.size(); }
+};
+
+/**
+ * Reuse a complex scratch span as a SplitSpan of equal length: the
+ * first s.size() floats back the real plane, the rest the imaginary
+ * plane.  The two views alias the same storage as @p s, so the caller
+ * must not use the complex view while the split view is live.
+ */
+inline SplitSpan
+as_split(std::span<std::complex<float>> s)
+{
+    float *f = reinterpret_cast<float *>(s.data());
+    return {{f, s.size()}, {f + s.size(), s.size()}};
+}
 
 class Workspace
 {

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "simd/complex.hpp"
 
 namespace lte::fft {
 
@@ -98,6 +99,26 @@ struct Fft::Impl
         return w;
     }
 
+#if defined(LTE_SIMD_ENABLED)
+    /** Vectorized radix-2 combine (same arithmetic as the scalar fast
+     *  path, kLanes butterflies at a time plus a scalar tail). */
+    template <bool Inverse>
+    void combine2(cf32 *out, std::size_t m, std::size_t root_stride) const;
+
+    /** Vectorized radix-4 combine.  Uses the exact +-i rotation for
+     *  W_4 instead of a twiddle lookup, so a radix-4 level costs three
+     *  complex multiplies per output column instead of the four the
+     *  generic combine would spend on two radix-2 levels. */
+    template <bool Inverse>
+    void combine4(cf32 *out, std::size_t m, std::size_t root_stride) const;
+
+    /** Vectorized small-odd-radix combine (the generic formula with
+     *  the W_p constants broadcast); used for p = 3 and 5, which the
+     *  odd-factor-first ordering places at wide columns. */
+    template <std::size_t P, bool Inverse>
+    void combinep(cf32 *out, std::size_t m, std::size_t root_stride) const;
+#endif
+
     // --- Bluestein ---
     void bluestein(const cf32 *in, cf32 *out, bool inverse,
                    CfSpan scratch) const;
@@ -167,7 +188,30 @@ Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
         return;
     }
 
+#if defined(LTE_SIMD_ENABLED)
+    // Factor order is chosen for the vector combines: odd factors are
+    // pulled to the top of the recursion, where their combine spans
+    // the widest columns (m = len/p stays large), and the remaining
+    // power-of-two subtrees run the radix-4/radix-2 vector butterflies
+    // down to trivial leaves.  The scalar build keeps the original
+    // smallest-factor-first order.
+    std::size_t p;
+    if ((len & (len - 1)) == 0) {
+        // Pure power of two: radix-4 while possible.
+        p = (len > 4 && len % 4 == 0) ? 4 : smallest_factor(len);
+    } else {
+        std::size_t odd = len;
+        while (odd % 2 == 0)
+            odd /= 2;
+        const std::size_t po = smallest_factor(odd);
+        // Only 3 and 5 have vector combines; a larger prime factor is
+        // cheapest as a direct-DFT leaf, which the original
+        // smallest-factor-first order produces.
+        p = po <= 5 ? po : smallest_factor(len);
+    }
+#else
     const std::size_t p = smallest_factor(len);
+#endif
     const std::size_t m = len / p;
 
     if (p == len) {
@@ -190,6 +234,24 @@ Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
                          m, root_stride * p);
     }
 
+#if defined(LTE_SIMD_ENABLED)
+    if (p == 4) {
+        combine4<Inverse>(out, m, root_stride);
+        return;
+    }
+    if (p == 2) {
+        combine2<Inverse>(out, m, root_stride);
+        return;
+    }
+    if (p == 3) {
+        combinep<3, Inverse>(out, m, root_stride);
+        return;
+    }
+    if (p == 5) {
+        combinep<5, Inverse>(out, m, root_stride);
+        return;
+    }
+#else
     if (p == 2) {
         // Radix-2 fast path: the combine below collapses to one
         // butterfly per output pair.  Same arithmetic as the generic
@@ -206,6 +268,7 @@ Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
         }
         return;
     }
+#endif
 
     // Combine: X[k + r*m] = sum_q W_len^(q*k) * W_p^(q*r) * Y_q[k].
     // All root indices stay below n by construction: q*k*root_stride
@@ -235,6 +298,171 @@ Fft::Impl::recurse(const cf32 *in, std::size_t in_stride, cf32 *out,
     }
 }
 
+#if defined(LTE_SIMD_ENABLED)
+
+template <bool Inverse>
+void
+Fft::Impl::combine2(cf32 *out, std::size_t m, std::size_t root_stride) const
+{
+    const cf32 w_half = root<Inverse>(m * root_stride);
+    const simd::cvf wh = simd::cvf::set1(w_half);
+    const cf32 *rt = roots.data();
+    std::size_t k = 0;
+    for (; k + simd::kLanes <= m; k += simd::kLanes) {
+        // Twiddles sit at stride root_stride in the master table; at
+        // the outermost level the stride is 1 and a contiguous load
+        // beats the gather.
+        simd::cvf w = root_stride == 1
+                          ? simd::cload(rt + k)
+                          : simd::cload_strided(rt + k * root_stride,
+                                                root_stride);
+        if constexpr (Inverse)
+            w = simd::cconj(w);
+        const simd::cvf t0 = simd::cload(out + k);
+        const simd::cvf t1 = simd::cmul(simd::cload(out + m + k), w);
+        simd::cstore(out + k, t0 + t1);
+        simd::cstore(out + m + k, t0 + simd::cmul(t1, wh));
+    }
+    std::size_t tw = k * root_stride;
+    for (; k < m; ++k, tw += root_stride) {
+        const cf32 t0 = out[k];
+        const cf32 t1 = out[m + k] * root<Inverse>(tw);
+        out[k] = t0 + t1;
+        out[m + k] = t0 + t1 * w_half;
+    }
+}
+
+template <bool Inverse>
+void
+Fft::Impl::combine4(cf32 *out, std::size_t m, std::size_t root_stride) const
+{
+    // X[k + r*m] combines the four sub-transforms with twiddles
+    // W_len^(q*k) and the exact fourth roots of unity.  The largest
+    // twiddle index is 3*(m-1)*root_stride < len*root_stride = n, so
+    // no index reduction is needed.  The forward W_4 = -i rotation is
+    // (re, im) -> (im, -re); the inverse flips the sign.
+    const cf32 *rt = roots.data();
+    std::size_t k = 0;
+    for (; k + simd::kLanes <= m; k += simd::kLanes) {
+        simd::cvf w1 = root_stride == 1
+                           ? simd::cload(rt + k)
+                           : simd::cload_strided(rt + k * root_stride,
+                                                 root_stride);
+        simd::cvf w2 = simd::cload_strided(rt + 2 * k * root_stride,
+                                           2 * root_stride);
+        simd::cvf w3 = simd::cload_strided(rt + 3 * k * root_stride,
+                                           3 * root_stride);
+        if constexpr (Inverse) {
+            w1 = simd::cconj(w1);
+            w2 = simd::cconj(w2);
+            w3 = simd::cconj(w3);
+        }
+        const simd::cvf x0 = simd::cload(out + k);
+        const simd::cvf x1 = simd::cmul(simd::cload(out + m + k), w1);
+        const simd::cvf x2 = simd::cmul(simd::cload(out + 2 * m + k), w2);
+        const simd::cvf x3 = simd::cmul(simd::cload(out + 3 * m + k), w3);
+        const simd::cvf a = x0 + x2;
+        const simd::cvf b = x0 - x2;
+        const simd::cvf c = x1 + x3;
+        const simd::cvf d = x1 - x3;
+        const simd::cvf wd = Inverse
+                                 ? simd::cvf{simd::vneg(d.im), d.re}
+                                 : simd::cvf{d.im, simd::vneg(d.re)};
+        simd::cstore(out + k, a + c);
+        simd::cstore(out + m + k, b + wd);
+        simd::cstore(out + 2 * m + k, a - c);
+        simd::cstore(out + 3 * m + k, b - wd);
+    }
+    for (; k < m; ++k) {
+        const std::size_t base = k * root_stride;
+        const cf32 x0 = out[k];
+        const cf32 x1 = out[m + k] * root<Inverse>(base);
+        const cf32 x2 = out[2 * m + k] * root<Inverse>(2 * base);
+        const cf32 x3 = out[3 * m + k] * root<Inverse>(3 * base);
+        const cf32 a = x0 + x2;
+        const cf32 b = x0 - x2;
+        const cf32 c = x1 + x3;
+        const cf32 d = x1 - x3;
+        const cf32 wd = Inverse ? cf32(-d.imag(), d.real())
+                                : cf32(d.imag(), -d.real());
+        out[k] = a + c;
+        out[m + k] = b + wd;
+        out[2 * m + k] = a - c;
+        out[3 * m + k] = b - wd;
+    }
+}
+
+template <std::size_t P, bool Inverse>
+void
+Fft::Impl::combinep(cf32 *out, std::size_t m, std::size_t root_stride) const
+{
+    // The generic combine with p known at compile time: the inner W_p
+    // constants W_p^(q*r) = roots[((q*r mod P) * m * root_stride)] are
+    // broadcast once, and each block evaluates
+    //   X[k + r*m] = sum_q W_len^(q*k) * W_p^(q*r) * Y_q[k]
+    // in the same accumulation order as the scalar loop.  Twiddle
+    // indices stay below n as in the generic combine.
+    simd::cvf wp[P];
+    for (std::size_t e = 0; e < P; ++e)
+        wp[e] = simd::cvf::set1(root<Inverse>(e * m * root_stride));
+
+    const cf32 *rt = roots.data();
+    std::size_t k = 0;
+    for (; k + simd::kLanes <= m; k += simd::kLanes) {
+        simd::cvf t[P];
+        t[0] = simd::cload(out + k);
+        for (std::size_t q = 1; q < P; ++q) {
+            simd::cvf w =
+                q * root_stride == 1
+                    ? simd::cload(rt + k)
+                    : simd::cload_strided(rt + q * k * root_stride,
+                                          q * root_stride);
+            if constexpr (Inverse)
+                w = simd::cconj(w);
+            t[q] = simd::cmul(simd::cload(out + q * m + k), w);
+        }
+        simd::cvf acc0 = t[0];
+        for (std::size_t q = 1; q < P; ++q)
+            acc0 = acc0 + t[q];
+        simd::cstore(out + k, acc0);
+        for (std::size_t r = 1; r < P; ++r) {
+            simd::cvf acc = t[0];
+            std::size_t exp = 0; // (q * r) mod P
+            for (std::size_t q = 1; q < P; ++q) {
+                exp += r;
+                if (exp >= P)
+                    exp -= P;
+                acc = acc + simd::cmul(t[q], wp[exp]);
+            }
+            simd::cstore(out + r * m + k, acc);
+        }
+    }
+    std::size_t base = k * root_stride;
+    for (; k < m; ++k, base += root_stride) {
+        cf32 t[P];
+        t[0] = out[k];
+        for (std::size_t q = 1; q < P; ++q)
+            t[q] = out[q * m + k] * root<Inverse>(q * base);
+        cf32 acc0 = t[0];
+        for (std::size_t q = 1; q < P; ++q)
+            acc0 += t[q];
+        out[k] = acc0;
+        for (std::size_t r = 1; r < P; ++r) {
+            cf32 acc = t[0];
+            std::size_t exp = 0; // (q * r) mod P
+            for (std::size_t q = 1; q < P; ++q) {
+                exp += r;
+                if (exp >= P)
+                    exp -= P;
+                acc += t[q] * root<Inverse>(exp * m * root_stride);
+            }
+            out[k + r * m] = acc;
+        }
+    }
+}
+
+#endif // LTE_SIMD_ENABLED
+
 void
 Fft::Impl::bluestein(const cf32 *in, cf32 *out, bool inverse,
                      CfSpan scratch) const
@@ -253,11 +481,20 @@ Fft::Impl::bluestein(const cf32 *in, cf32 *out, bool inverse,
     const CfSpan a = scratch.subspan(0, conv_n);
     const CfSpan fa = scratch.subspan(conv_n, conv_n);
 
-    for (std::size_t k = 0; k < n; ++k) {
+    std::size_t k = 0;
+#if defined(LTE_SIMD_ENABLED)
+    for (; k + simd::kLanes <= n; k += simd::kLanes) {
+        const simd::cvf x = simd::cload(in + k);
+        const simd::cvf c = simd::cload(chirp.data() + k);
+        simd::cstore(a.data() + k,
+                     inverse ? simd::cmul_conj(x, c) : simd::cmul(x, c));
+    }
+#endif
+    for (; k < n; ++k) {
         const cf32 c = inverse ? std::conj(chirp[k]) : chirp[k];
         a[k] = in[k] * c;
     }
-    for (std::size_t k = n; k < conv_n; ++k)
+    for (k = n; k < conv_n; ++k)
         a[k] = cf32(0.0f, 0.0f);
 
     // conv_fft is mixed-radix and runs out-of-place here, so it needs
@@ -269,18 +506,35 @@ Fft::Impl::bluestein(const cf32 *in, cf32 *out, bool inverse,
         // transform the kernel is chirp itself, whose FFT is the
         // conjugate-mirrored chirp_fft. Recompute cheaply via symmetry:
         // FFT(conj(b))[k] = conj(FFT(b)[(conv_n - k) % conv_n]).
-        for (std::size_t k = 0; k < conv_n; ++k) {
+        for (k = 0; k < conv_n; ++k) {
             const std::size_t mirror = (conv_n - k) % conv_n;
             fa[k] *= std::conj(chirp_fft[mirror]);
         }
     } else {
-        for (std::size_t k = 0; k < conv_n; ++k)
+        k = 0;
+#if defined(LTE_SIMD_ENABLED)
+        for (; k + simd::kLanes <= conv_n; k += simd::kLanes) {
+            const simd::cvf f = simd::cload(fa.data() + k);
+            const simd::cvf c = simd::cload(chirp_fft.data() + k);
+            simd::cstore(fa.data() + k, simd::cmul(f, c));
+        }
+#endif
+        for (; k < conv_n; ++k)
             fa[k] *= chirp_fft[k];
     }
 
     conv_fft->inverse(fa.data(), a.data(), CfSpan{});
 
-    for (std::size_t k = 0; k < n; ++k) {
+    k = 0;
+#if defined(LTE_SIMD_ENABLED)
+    for (; k + simd::kLanes <= n; k += simd::kLanes) {
+        const simd::cvf x = simd::cload(a.data() + k);
+        const simd::cvf c = simd::cload(chirp.data() + k);
+        simd::cstore(out + k,
+                     inverse ? simd::cmul_conj(x, c) : simd::cmul(x, c));
+    }
+#endif
+    for (; k < n; ++k) {
         const cf32 c = inverse ? std::conj(chirp[k]) : chirp[k];
         out[k] = a[k] * c;
     }
@@ -310,7 +564,20 @@ Fft::Impl::transform(const cf32 *in, cf32 *out, bool inverse,
 
     if (inverse) {
         const float scale = 1.0f / static_cast<float>(n);
-        for (std::size_t k = 0; k < n; ++k)
+        std::size_t k = 0;
+#if defined(LTE_SIMD_ENABLED)
+        const simd::vf s = simd::vf::set1(scale);
+        float *f = reinterpret_cast<float *>(out);
+        // Interleaved scaling by a real factor needs no deinterleave:
+        // scale 2*kLanes consecutive floats per iteration.
+        for (; k + simd::kLanes <= n; k += simd::kLanes) {
+            const simd::vf a = simd::vf::load(f + 2 * k);
+            const simd::vf b = simd::vf::load(f + 2 * k + simd::kLanes);
+            (a * s).store(f + 2 * k);
+            (b * s).store(f + 2 * k + simd::kLanes);
+        }
+#endif
+        for (; k < n; ++k)
             out[k] *= scale;
     }
 }

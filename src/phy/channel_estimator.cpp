@@ -5,8 +5,38 @@
 
 #include "common/check.hpp"
 #include "fft/fft.hpp"
+#include "simd/complex.hpp"
 
 namespace lte::phy {
+
+void
+matched_filter_conj_scalar_into(CfView rx, CfView ref, CfSpan out)
+{
+    LTE_CHECK(rx.size() == ref.size() && out.size() == rx.size(),
+              "matched filter length mismatch");
+    for (std::size_t k = 0; k < rx.size(); ++k)
+        out[k] = rx[k] * std::conj(ref[k]);
+}
+
+void
+matched_filter_conj_into(CfView rx, CfView ref, CfSpan out)
+{
+#if defined(LTE_SIMD_ENABLED)
+    LTE_CHECK(rx.size() == ref.size() && out.size() == rx.size(),
+              "matched filter length mismatch");
+    const std::size_t n = rx.size();
+    std::size_t k = 0;
+    for (; k + simd::kLanes <= n; k += simd::kLanes) {
+        const simd::cvf a = simd::cload(rx.data() + k);
+        const simd::cvf b = simd::cload(ref.data() + k);
+        simd::cstore(out.data() + k, simd::cmul_conj(a, b));
+    }
+    for (; k < n; ++k)
+        out[k] = rx[k] * std::conj(ref[k]);
+#else
+    matched_filter_conj_scalar_into(rx, ref, out);
+#endif
+}
 
 std::pair<std::size_t, std::size_t>
 window_extent(std::size_t n, double window_fraction)
@@ -46,10 +76,8 @@ estimate_channel_into(CfView received_ref, CfView layer_ref,
     const CfSpan delay = scratch.subspan(0, n);
     const CfSpan fft_scratch = scratch.subspan(n);
 
-    // 1. Matched filter: DMRS samples have unit magnitude, so
-    //    multiplying by the conjugate divides out the known sequence.
-    for (std::size_t k = 0; k < n; ++k)
-        freq_response[k] = received_ref[k] * std::conj(layer_ref[k]);
+    // 1. Matched filter (SIMD-dispatched).
+    matched_filter_conj_into(received_ref, layer_ref, freq_response);
 
     // 2. To the delay domain.
     plan.inverse(freq_response.data(), delay.data(), fft_scratch);
@@ -68,9 +96,11 @@ estimate_channel_into(CfView received_ref, CfView layer_ref,
         ++noise_bins;
     }
 
-    // 3. Window in place: keep [0, front) and [n-back, n).
-    for (std::size_t i = front; i < n - back; ++i)
-        delay[i] = cf32(0.0f, 0.0f);
+    // 3. Window in place: keep [0, front) and [n-back, n).  A block
+    //    fill, which the compiler lowers to wide stores directly.
+    std::fill(delay.begin() + static_cast<std::ptrdiff_t>(front),
+              delay.begin() + static_cast<std::ptrdiff_t>(n - back),
+              cf32(0.0f, 0.0f));
 
     // 4. Back to the frequency domain.
     plan.forward(delay.data(), freq_response.data(), fft_scratch);

@@ -77,6 +77,17 @@ float estimate_channel_into(CfView received_ref, CfView layer_ref,
 std::size_t estimate_channel_scratch(std::size_t n);
 
 /**
+ * The estimator's matched filter: out[k] = rx[k] * conj(ref[k]).
+ * DMRS samples have unit magnitude, so multiplying by the conjugate
+ * divides out the known sequence.  Vectorized when built with
+ * LTE_SIMD=ON; exposed for benchmarks and parity tests.
+ */
+void matched_filter_conj_into(CfView rx, CfView ref, CfSpan out);
+
+/** Scalar reference twin of matched_filter_conj_into. */
+void matched_filter_conj_scalar_into(CfView rx, CfView ref, CfSpan out);
+
+/**
  * The number of leading/trailing delay bins kept by the window for a
  * transform of size @p n under @p window_fraction (exposed for tests).
  * first = causal taps kept at the start, second = taps kept at the end.

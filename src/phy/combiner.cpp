@@ -1,7 +1,12 @@
 #include "phy/combiner.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
+#include "common/workspace.hpp"
 #include "matrix/fixed_cmat.hpp"
+#include "phy/kernel_scratch.hpp"
+#include "simd/complex.hpp"
 
 namespace lte::phy {
 
@@ -26,7 +31,7 @@ CombinerWeights::at(std::size_t sc, std::size_t layer, std::size_t antenna)
 {
     LTE_CHECK(sc < n_sc_ && layer < layers_ && antenna < antennas_,
               "weight index out of range");
-    return w_[(sc * layers_ + layer) * antennas_ + antenna];
+    return (*this)(sc, layer, antenna);
 }
 
 const cf32 &
@@ -64,6 +69,149 @@ weights_impl(std::size_t antennas, std::size_t layers, std::size_t n_sc,
     }
 }
 
+#if defined(LTE_SIMD_ENABLED)
+
+/** Subcarriers per Gram tile: multiple of every backend's kLanes, and
+ *  small enough that the split-complex tile (kMaxGramPairs planes)
+ *  fits comfortably inside the per-thread kernel scratch. */
+constexpr std::size_t kWeightsTile = 256;
+
+/** Upper-triangle entry count of a kMaxLayers x kMaxLayers Gram. */
+constexpr std::size_t kMaxGramPairs = kMaxLayers * (kMaxLayers + 1) / 2;
+
+/**
+ * Single-layer MMSE weights, fully vectorized: the Gram is the scalar
+ * sum_a |h_a|^2, so weights reduce to conj(h) / (gram + noise_var)
+ * with no matrix algebra at all.
+ */
+void
+weights_simd_single_layer(const ChannelView &ch, float noise_var,
+                          CombinerWeights &out)
+{
+    const std::size_t n = ch.n_sc;
+    const std::size_t antennas = ch.antennas;
+    const simd::vf nv = simd::vf::set1(noise_var);
+    const simd::vf one = simd::vf::set1(1.0f);
+
+    std::size_t sc = 0;
+    for (; sc + simd::kLanes <= n; sc += simd::kLanes) {
+        simd::vf gram = simd::vf::zero();
+        for (std::size_t a = 0; a < antennas; ++a) {
+            const simd::cvf h = simd::cload(&ch.at(a, 0, sc));
+            gram = gram + simd::cnorm(h);
+        }
+        const simd::vf inv = one / (gram + nv);
+        for (std::size_t a = 0; a < antennas; ++a) {
+            const simd::cvf h = simd::cload(&ch.at(a, 0, sc));
+            simd::cstore(out.plane(0, a) + sc,
+                         {h.re * inv, simd::vneg(h.im) * inv});
+        }
+    }
+    for (; sc < n; ++sc) {
+        float gram = 0.0f;
+        for (std::size_t a = 0; a < antennas; ++a)
+            gram += std::norm(ch.at(a, 0, sc));
+        const float inv = 1.0f / (gram + noise_var);
+        for (std::size_t a = 0; a < antennas; ++a)
+            out.plane(0, a)[sc] = std::conj(ch.at(a, 0, sc)) * inv;
+    }
+}
+
+/**
+ * Multi-layer MMSE weights: the Gram accumulation G = H^H H runs
+ * vectorized across subcarriers into a split-complex tile carved from
+ * the per-thread kernel scratch (upper triangle only; G is Hermitian),
+ * then each subcarrier's add-noise / invert / W = G^-1 H^H solve runs
+ * on the stack matrices exactly like the scalar twin.
+ */
+void
+weights_simd_tiled(const ChannelView &ch, float noise_var,
+                   CombinerWeights &out)
+{
+    const std::size_t layers = ch.layers;
+    const std::size_t antennas = ch.antennas;
+    const std::size_t n_pairs = layers * (layers + 1) / 2;
+    const SplitSpan gram =
+        as_split(kernel_scratch().first(n_pairs * kWeightsTile));
+
+    for (std::size_t base = 0; base < ch.n_sc; base += kWeightsTile) {
+        const std::size_t cnt =
+            std::min(kWeightsTile, ch.n_sc - base);
+
+        // Vectorized Gram: one (r, c) upper-triangle plane at a time,
+        // each a conj-multiply-accumulate streamed across subcarriers.
+        std::size_t idx = 0;
+        for (std::size_t r = 0; r < layers; ++r) {
+            for (std::size_t c = r; c < layers; ++c, ++idx) {
+                float *gr = gram.re.data() + idx * kWeightsTile;
+                float *gi = gram.im.data() + idx * kWeightsTile;
+                std::size_t j = 0;
+                for (; j + simd::kLanes <= cnt; j += simd::kLanes) {
+                    simd::cvf acc = simd::cvf::zero();
+                    for (std::size_t a = 0; a < antennas; ++a) {
+                        const simd::cvf hr =
+                            simd::cload(&ch.at(a, r, base + j));
+                        const simd::cvf hc =
+                            simd::cload(&ch.at(a, c, base + j));
+                        // conj(h_r) * h_c
+                        acc = acc + simd::cmul_conj(hc, hr);
+                    }
+                    acc.re.store(gr + j);
+                    acc.im.store(gi + j);
+                }
+                for (; j < cnt; ++j) {
+                    cf32 acc(0.0f, 0.0f);
+                    for (std::size_t a = 0; a < antennas; ++a) {
+                        acc += std::conj(ch.at(a, r, base + j)) *
+                               ch.at(a, c, base + j);
+                    }
+                    gr[j] = acc.real();
+                    gi[j] = acc.imag();
+                }
+            }
+        }
+
+        // Per-subcarrier solve on the tiled Gram values.
+        for (std::size_t j = 0; j < cnt; ++j) {
+            const std::size_t sc = base + j;
+            matrix::FixedCMat g(layers, layers);
+            idx = 0;
+            for (std::size_t r = 0; r < layers; ++r) {
+                for (std::size_t c = r; c < layers; ++c, ++idx) {
+                    const cf32 v(gram.re[idx * kWeightsTile + j],
+                                 gram.im[idx * kWeightsTile + j]);
+                    g.at(r, c) = v;
+                    if (c != r)
+                        g.at(c, r) = std::conj(v);
+                }
+            }
+            const matrix::FixedCMat inv =
+                g.add_scaled_identity(noise_var).inverse();
+            for (std::size_t l = 0; l < layers; ++l) {
+                for (std::size_t a = 0; a < antennas; ++a) {
+                    cf32 acc(0.0f, 0.0f);
+                    for (std::size_t l2 = 0; l2 < layers; ++l2) {
+                        acc += inv.at(l, l2) *
+                               std::conj(ch.at(a, l2, sc));
+                    }
+                    out(sc, l, a) = acc;
+                }
+            }
+        }
+    }
+}
+
+#endif // LTE_SIMD_ENABLED
+
+void
+check_channel_view(const ChannelView &channel, float noise_var)
+{
+    LTE_CHECK(channel.data != nullptr && channel.antennas >= 1 &&
+                  channel.layers >= 1,
+              "need at least one antenna and layer");
+    LTE_CHECK(noise_var > 0.0f, "noise variance must be positive");
+}
+
 } // namespace
 
 CombinerWeights
@@ -82,24 +230,29 @@ compute_combiner_weights(const std::vector<std::vector<CVec>> &channel,
             LTE_CHECK(resp.size() == n_sc, "ragged subcarrier dimension");
     }
 
-    CombinerWeights out(n_sc, layers, antennas);
-    weights_impl(
-        antennas, layers, n_sc,
-        [&](std::size_t a, std::size_t l, std::size_t sc) {
-            return channel[a][l][sc];
-        },
-        noise_var, out);
+    // Cold path: flatten into the contiguous layout the hot entry
+    // point wants, then share its implementation (and SIMD path).
+    CVec flat(antennas * layers * n_sc);
+    for (std::size_t a = 0; a < antennas; ++a) {
+        for (std::size_t l = 0; l < layers; ++l) {
+            std::copy(channel[a][l].begin(), channel[a][l].end(),
+                      flat.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              (a * layers + l) * n_sc));
+        }
+    }
+    const ChannelView view{flat.data(), antennas, layers, n_sc};
+    CombinerWeights out;
+    compute_combiner_weights_into(view, noise_var, out);
     return out;
 }
 
 void
-compute_combiner_weights_into(const ChannelView &channel, float noise_var,
-                              CombinerWeights &out)
+compute_combiner_weights_scalar_into(const ChannelView &channel,
+                                     float noise_var,
+                                     CombinerWeights &out)
 {
-    LTE_CHECK(channel.data != nullptr && channel.antennas >= 1 &&
-                  channel.layers >= 1,
-              "need at least one antenna and layer");
-    LTE_CHECK(noise_var > 0.0f, "noise variance must be positive");
+    check_channel_view(channel, noise_var);
     out.resize(channel.n_sc, channel.layers, channel.antennas);
     weights_impl(
         channel.antennas, channel.layers, channel.n_sc,
@@ -108,6 +261,43 @@ compute_combiner_weights_into(const ChannelView &channel, float noise_var,
         },
         noise_var, out);
 }
+
+void
+compute_combiner_weights_into(const ChannelView &channel, float noise_var,
+                              CombinerWeights &out)
+{
+#if defined(LTE_SIMD_ENABLED)
+    check_channel_view(channel, noise_var);
+    LTE_CHECK(channel.antennas <= matrix::FixedCMat::kMaxDim &&
+                  channel.layers <= matrix::FixedCMat::kMaxDim,
+              "channel dimensions exceed FixedCMat capacity");
+    out.resize(channel.n_sc, channel.layers, channel.antennas);
+    if (channel.layers == 1)
+        weights_simd_single_layer(channel, noise_var, out);
+    else
+        weights_simd_tiled(channel, noise_var, out);
+#else
+    compute_combiner_weights_scalar_into(channel, noise_var, out);
+#endif
+}
+
+namespace {
+
+void
+check_combine_args(std::span<const CfView> rx_symbol,
+                   const CombinerWeights &weights, std::size_t layer,
+                   CfSpan out)
+{
+    LTE_CHECK(rx_symbol.size() == weights.antennas(),
+              "antenna count mismatch");
+    LTE_CHECK(layer < weights.layers(), "layer out of range");
+    const std::size_t n_sc = weights.n_subcarriers();
+    LTE_CHECK(out.size() == n_sc, "output length mismatch");
+    for (const auto &ant : rx_symbol)
+        LTE_CHECK(ant.size() == n_sc, "subcarrier count mismatch");
+}
+
+} // namespace
 
 CVec
 combine_layer(const std::vector<CVec> &rx_symbol,
@@ -130,17 +320,12 @@ combine_layer(const std::vector<CVec> &rx_symbol,
 }
 
 void
-combine_layer_into(std::span<const CfView> rx_symbol,
-                   const CombinerWeights &weights, std::size_t layer,
-                   CfSpan out)
+combine_layer_scalar_into(std::span<const CfView> rx_symbol,
+                          const CombinerWeights &weights,
+                          std::size_t layer, CfSpan out)
 {
-    LTE_CHECK(rx_symbol.size() == weights.antennas(),
-              "antenna count mismatch");
-    LTE_CHECK(layer < weights.layers(), "layer out of range");
+    check_combine_args(rx_symbol, weights, layer, out);
     const std::size_t n_sc = weights.n_subcarriers();
-    LTE_CHECK(out.size() == n_sc, "output length mismatch");
-    for (const auto &ant : rx_symbol)
-        LTE_CHECK(ant.size() == n_sc, "subcarrier count mismatch");
 
     for (std::size_t sc = 0; sc < n_sc; ++sc)
         out[sc] = cf32(0.0f, 0.0f);
@@ -149,6 +334,102 @@ combine_layer_into(std::span<const CfView> rx_symbol,
         for (std::size_t sc = 0; sc < n_sc; ++sc)
             out[sc] += weights(sc, layer, a) * y[sc];
     }
+}
+
+void
+combine_layer_into(std::span<const CfView> rx_symbol,
+                   const CombinerWeights &weights, std::size_t layer,
+                   CfSpan out)
+{
+#if defined(LTE_SIMD_ENABLED)
+    check_combine_args(rx_symbol, weights, layer, out);
+    const std::size_t n_sc = weights.n_subcarriers();
+    const std::size_t antennas = rx_symbol.size();
+
+    std::size_t sc = 0;
+    for (; sc + simd::kLanes <= n_sc; sc += simd::kLanes) {
+        simd::cvf acc = simd::cvf::zero();
+        for (std::size_t a = 0; a < antennas; ++a) {
+            const simd::cvf w =
+                simd::cload(weights.plane(layer, a) + sc);
+            const simd::cvf y = simd::cload(rx_symbol[a].data() + sc);
+            acc = acc + simd::cmul(w, y);
+        }
+        simd::cstore(out.data() + sc, acc);
+    }
+    for (; sc < n_sc; ++sc) {
+        cf32 acc(0.0f, 0.0f);
+        for (std::size_t a = 0; a < antennas; ++a)
+            acc += weights(sc, layer, a) * rx_symbol[a][sc];
+        out[sc] = acc;
+    }
+#else
+    combine_layer_scalar_into(rx_symbol, weights, layer, out);
+#endif
+}
+
+void
+apply_mmse_bias_scalar_into(const ChannelView &channel,
+                            const CombinerWeights &weights,
+                            std::size_t layer, CfSpan combined)
+{
+    LTE_CHECK(combined.size() == weights.n_subcarriers(),
+              "combined length mismatch");
+    for (std::size_t sc = 0; sc < combined.size(); ++sc) {
+        cf32 bias(0.0f, 0.0f);
+        for (std::size_t a = 0; a < channel.antennas; ++a)
+            bias += weights(sc, layer, a) * channel.at(a, layer, sc);
+        if (std::norm(bias) > 1e-12f)
+            combined[sc] /= bias;
+    }
+}
+
+void
+apply_mmse_bias_into(const ChannelView &channel,
+                     const CombinerWeights &weights, std::size_t layer,
+                     CfSpan combined)
+{
+#if defined(LTE_SIMD_ENABLED)
+    LTE_CHECK(combined.size() == weights.n_subcarriers(),
+              "combined length mismatch");
+    const std::size_t n_sc = combined.size();
+    const std::size_t antennas = channel.antennas;
+    const simd::vf threshold = simd::vf::set1(1e-12f);
+    const simd::vf tiny = simd::vf::set1(1e-30f);
+    const simd::vf one = simd::vf::set1(1.0f);
+
+    std::size_t sc = 0;
+    for (; sc + simd::kLanes <= n_sc; sc += simd::kLanes) {
+        simd::cvf bias = simd::cvf::zero();
+        for (std::size_t a = 0; a < antennas; ++a) {
+            const simd::cvf w =
+                simd::cload(weights.plane(layer, a) + sc);
+            const simd::cvf h =
+                simd::cload(&channel.at(a, layer, sc));
+            bias = bias + simd::cmul(w, h);
+        }
+        const simd::cvf c = simd::cload(combined.data() + sc);
+        const simd::vf n2 = simd::cnorm(bias);
+        const simd::vf mask = simd::vgt(n2, threshold);
+        // c / bias = c * conj(bias) / |bias|^2; the vmax keeps the
+        // masked-off lanes away from a 0/0 NaN.
+        const simd::vf inv = one / simd::vmax(n2, tiny);
+        const simd::cvf corrected =
+            simd::cscale(simd::cmul_conj(c, bias), inv);
+        simd::cstore(combined.data() + sc,
+                     {simd::vselect(mask, corrected.re, c.re),
+                      simd::vselect(mask, corrected.im, c.im)});
+    }
+    for (; sc < n_sc; ++sc) {
+        cf32 bias(0.0f, 0.0f);
+        for (std::size_t a = 0; a < antennas; ++a)
+            bias += weights(sc, layer, a) * channel.at(a, layer, sc);
+        if (std::norm(bias) > 1e-12f)
+            combined[sc] /= bias;
+    }
+#else
+    apply_mmse_bias_scalar_into(channel, weights, layer, combined);
+#endif
 }
 
 } // namespace lte::phy

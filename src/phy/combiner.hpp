@@ -23,7 +23,11 @@ namespace lte::phy {
 /**
  * Per-subcarrier combiner weights for one slot.
  *
- * Storage is subcarrier-major: weight(sc, layer, antenna).
+ * Storage is plane-major: one contiguous subcarrier run per
+ * (layer, antenna) pair, i.e. weight[(layer * antennas + antenna) *
+ * n_sc + sc].  The combining and bias-correction kernels stream each
+ * plane sequentially, which is what makes their SIMD loads contiguous;
+ * the accessors hide the layout from everyone else.
  */
 class CombinerWeights
 {
@@ -52,14 +56,28 @@ class CombinerWeights
     cf32 &
     operator()(std::size_t sc, std::size_t layer, std::size_t antenna)
     {
-        return w_[(sc * layers_ + layer) * antennas_ + antenna];
+        return w_[(layer * antennas_ + antenna) * n_sc_ + sc];
     }
 
     const cf32 &
     operator()(std::size_t sc, std::size_t layer,
                std::size_t antenna) const
     {
-        return w_[(sc * layers_ + layer) * antennas_ + antenna];
+        return w_[(layer * antennas_ + antenna) * n_sc_ + sc];
+    }
+
+    /** The contiguous n_subcarriers() weight run of one
+     *  (layer, antenna) pair. */
+    const cf32 *
+    plane(std::size_t layer, std::size_t antenna) const
+    {
+        return w_.data() + (layer * antennas_ + antenna) * n_sc_;
+    }
+
+    cf32 *
+    plane(std::size_t layer, std::size_t antenna)
+    {
+        return w_.data() + (layer * antennas_ + antenna) * n_sc_;
     }
 
   private:
@@ -101,12 +119,22 @@ compute_combiner_weights(const std::vector<std::vector<CVec>> &channel,
 
 /**
  * Heap-free variant over a flat channel view; @p out is re-shaped to
- * match (allocation-free once at capacity).  The per-subcarrier
- * matrix algebra runs on fixed-capacity stack matrices.
+ * match (allocation-free once at capacity).  With LTE_SIMD=ON the
+ * Gram accumulation H^H H runs vectorized across subcarriers (the
+ * per-subcarrier matrix inverse stays on fixed-capacity stack
+ * matrices); single-layer allocations take a fully vectorized
+ * matched-filter path.
  */
 void compute_combiner_weights_into(const ChannelView &channel,
                                    float noise_var,
                                    CombinerWeights &out);
+
+/** Scalar reference twin of compute_combiner_weights_into (the plain
+ *  per-subcarrier FixedCMat solve); SIMD parity tests compare against
+ *  this. */
+void compute_combiner_weights_scalar_into(const ChannelView &channel,
+                                          float noise_var,
+                                          CombinerWeights &out);
 
 /**
  * Combine one received SC-FDMA symbol across antennas into one layer's
@@ -119,10 +147,32 @@ CVec combine_layer(const std::vector<CVec> &rx_symbol,
                    const CombinerWeights &weights, std::size_t layer);
 
 /** Heap-free variant: @p rx_symbol is one view per antenna and the
- *  combined samples are written to @p out (n_subcarriers long). */
+ *  combined samples are written to @p out (n_subcarriers long).
+ *  Vectorized across subcarriers when built with LTE_SIMD=ON. */
 void combine_layer_into(std::span<const CfView> rx_symbol,
                         const CombinerWeights &weights, std::size_t layer,
                         CfSpan out);
+
+/** Scalar reference twin of combine_layer_into. */
+void combine_layer_scalar_into(std::span<const CfView> rx_symbol,
+                               const CombinerWeights &weights,
+                               std::size_t layer, CfSpan out);
+
+/**
+ * MMSE bias correction: divide each combined subcarrier by the
+ * effective gain sum_a W(sc, layer, a) * H(a, layer, sc) so the
+ * constellation points land back on grid.  Subcarriers whose bias
+ * magnitude is negligible (|bias|^2 <= 1e-12) are left untouched.
+ * Vectorized across subcarriers when built with LTE_SIMD=ON.
+ */
+void apply_mmse_bias_into(const ChannelView &channel,
+                          const CombinerWeights &weights,
+                          std::size_t layer, CfSpan combined);
+
+/** Scalar reference twin of apply_mmse_bias_into. */
+void apply_mmse_bias_scalar_into(const ChannelView &channel,
+                                 const CombinerWeights &weights,
+                                 std::size_t layer, CfSpan combined);
 
 } // namespace lte::phy
 

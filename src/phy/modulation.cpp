@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "simd/complex.hpp"
 
 namespace lte::phy {
 
@@ -148,46 +149,155 @@ modulate(const std::vector<std::uint8_t> &bits, Modulation mod)
     return out;
 }
 
-void
-demodulate_soft_into(CfView symbols, Modulation mod, float noise_var,
-                     LlrSpan llrs)
+namespace {
+
+/** Clamp the demapper noise variance to the documented floor.  The
+ *  negated comparison also routes NaN to the floor. */
+float
+clamp_noise_var(float noise_var)
 {
-    LTE_CHECK(noise_var > 0.0f, "noise variance must be positive");
+    return noise_var > kDemodNoiseFloor ? noise_var : kDemodNoiseFloor;
+}
+
+/**
+ * Demap one symbol: bits_per_symbol LLRs written to @p out.  Global
+ * bit k lives on axis k % 2 as axis bit k / 2; the cross-axis distance
+ * cancels in best1 - best0, so each axis is demapped independently.
+ * Shared by the scalar reference loop and the SIMD kernel's tail so
+ * tail lanes are bit-identical to the reference.
+ */
+inline void
+demap_symbol(const AxisTable &table, cf32 y, float inv_nv, Llr *out)
+{
+    const std::size_t patterns = table.levels.size();
+    // Axis patterns are at most 8 (64-QAM: 3 bits per axis).
+    float dist[8];
+    for (int axis = 0; axis < 2; ++axis) {
+        const float v = axis == 0 ? y.real() : y.imag();
+        for (std::size_t p = 0; p < patterns; ++p) {
+            const float d = v - table.levels[p];
+            dist[p] = d * d;
+        }
+        for (std::size_t bit = 0; bit < table.n_bits; ++bit) {
+            float best0 = std::numeric_limits<float>::max();
+            float best1 = std::numeric_limits<float>::max();
+            for (std::size_t p = 0; p < patterns; ++p) {
+                if ((p >> bit) & 1)
+                    best1 = std::min(best1, dist[p]);
+                else
+                    best0 = std::min(best0, dist[p]);
+            }
+            out[2 * bit + axis] = (best1 - best0) * inv_nv;
+        }
+    }
+}
+
+#if defined(LTE_SIMD_ENABLED)
+
+/**
+ * Vectorized max-log demapper: one symbol per SIMD lane, the same
+ * distance/min arithmetic as demap_symbol in every lane.  Outputs are
+ * produced bit-major (one vector per LLR position) and transposed to
+ * the symbol-major LLR layout on store; QPSK's two positions are a
+ * plain interleave.  The sub-kLanes tail falls back to demap_symbol.
+ */
+template <std::size_t kBps>
+void
+demap_simd(CfView symbols, const AxisTable &table, float inv_nv,
+           LlrSpan llrs)
+{
+    constexpr std::size_t n_bits = kBps / 2;
+    constexpr std::size_t patterns = std::size_t{1} << n_bits;
+
+    simd::vf levels[patterns];
+    for (std::size_t p = 0; p < patterns; ++p)
+        levels[p] = simd::vf::set1(table.levels[p]);
+    const simd::vf inv = simd::vf::set1(inv_nv);
+    const simd::vf flt_max =
+        simd::vf::set1(std::numeric_limits<float>::max());
+
+    const std::size_t n = symbols.size();
+    std::size_t s = 0;
+    for (; s + simd::kLanes <= n; s += simd::kLanes) {
+        const simd::cvf y = simd::cload(symbols.data() + s);
+        simd::vf out[kBps];
+        for (int axis = 0; axis < 2; ++axis) {
+            const simd::vf v = axis == 0 ? y.re : y.im;
+            simd::vf dist[patterns];
+            for (std::size_t p = 0; p < patterns; ++p) {
+                const simd::vf d = v - levels[p];
+                dist[p] = d * d;
+            }
+            for (std::size_t bit = 0; bit < n_bits; ++bit) {
+                simd::vf best0 = flt_max;
+                simd::vf best1 = flt_max;
+                for (std::size_t p = 0; p < patterns; ++p) {
+                    if ((p >> bit) & 1)
+                        best1 = simd::vmin(best1, dist[p]);
+                    else
+                        best0 = simd::vmin(best0, dist[p]);
+                }
+                out[2 * bit + axis] = (best1 - best0) * inv;
+            }
+        }
+        float *dst = llrs.data() + s * kBps;
+        if constexpr (kBps == 2) {
+            simd::store_interleaved2(dst, out[0], out[1]);
+        } else {
+            float buf[kBps][simd::kLanes];
+            for (std::size_t k = 0; k < kBps; ++k)
+                out[k].store(buf[k]);
+            for (std::size_t j = 0; j < simd::kLanes; ++j) {
+                for (std::size_t k = 0; k < kBps; ++k)
+                    dst[j * kBps + k] = buf[k][j];
+            }
+        }
+    }
+    for (; s < n; ++s)
+        demap_symbol(table, symbols[s], inv_nv, llrs.data() + s * kBps);
+}
+
+#endif // LTE_SIMD_ENABLED
+
+} // namespace
+
+void
+demodulate_soft_scalar_into(CfView symbols, Modulation mod,
+                            float noise_var, LlrSpan llrs)
+{
     const std::size_t bps = bits_per_symbol(mod);
     LTE_CHECK(llrs.size() == symbols.size() * bps,
               "LLR buffer length mismatch");
     const AxisTable &table = axis_table(mod);
-    const std::size_t patterns = table.levels.size();
-    const float inv_nv = 1.0f / noise_var;
+    const float inv_nv = 1.0f / clamp_noise_var(noise_var);
+    for (std::size_t s = 0; s < symbols.size(); ++s)
+        demap_symbol(table, symbols[s], inv_nv, llrs.data() + s * bps);
+}
 
-    // Axis patterns are at most 8 (64-QAM: 3 bits per axis).
-    float dist[8];
-
-    for (std::size_t s = 0; s < symbols.size(); ++s) {
-        const cf32 y = symbols[s];
-        // Global bit k lives on axis k % 2 as axis bit k / 2; the
-        // cross-axis distance cancels in best1 - best0, so each axis
-        // is demapped independently.
-        for (int axis = 0; axis < 2; ++axis) {
-            const float v = axis == 0 ? y.real() : y.imag();
-            for (std::size_t p = 0; p < patterns; ++p) {
-                const float d = v - table.levels[p];
-                dist[p] = d * d;
-            }
-            for (std::size_t bit = 0; bit < table.n_bits; ++bit) {
-                float best0 = std::numeric_limits<float>::max();
-                float best1 = std::numeric_limits<float>::max();
-                for (std::size_t p = 0; p < patterns; ++p) {
-                    if ((p >> bit) & 1)
-                        best1 = std::min(best1, dist[p]);
-                    else
-                        best0 = std::min(best0, dist[p]);
-                }
-                llrs[s * bps + 2 * bit + axis] =
-                    (best1 - best0) * inv_nv;
-            }
-        }
+void
+demodulate_soft_into(CfView symbols, Modulation mod, float noise_var,
+                     LlrSpan llrs)
+{
+#if defined(LTE_SIMD_ENABLED)
+    const std::size_t bps = bits_per_symbol(mod);
+    LTE_CHECK(llrs.size() == symbols.size() * bps,
+              "LLR buffer length mismatch");
+    const AxisTable &table = axis_table(mod);
+    const float inv_nv = 1.0f / clamp_noise_var(noise_var);
+    switch (mod) {
+      case Modulation::kQpsk:
+        demap_simd<2>(symbols, table, inv_nv, llrs);
+        break;
+      case Modulation::k16Qam:
+        demap_simd<4>(symbols, table, inv_nv, llrs);
+        break;
+      case Modulation::k64Qam:
+        demap_simd<6>(symbols, table, inv_nv, llrs);
+        break;
     }
+#else
+    demodulate_soft_scalar_into(symbols, mod, noise_var, llrs);
+#endif
 }
 
 std::vector<Llr>

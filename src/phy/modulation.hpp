@@ -29,6 +29,19 @@ namespace lte::phy {
 CVec modulate(const std::vector<std::uint8_t> &bits, Modulation mod);
 
 /**
+ * Noise-variance floor applied by the soft demapper.
+ *
+ * A degenerate subframe (all-zero signal, a pathological channel
+ * estimate, or an upstream NaN) can reach the demapper with a noise
+ * variance that is zero, negative, or NaN.  Rather than aborting the
+ * whole study, the demapper clamps to this floor: LLR magnitudes
+ * saturate (1/kDemodNoiseFloor is finite in float) and decoding
+ * degrades gracefully.  Values above the floor are used unchanged, so
+ * every realistic subframe is unaffected.
+ */
+inline constexpr float kDemodNoiseFloor = 1e-20f;
+
+/**
  * Max-log soft demapping.
  *
  * Computed separably per axis (square Gray constellations make the
@@ -38,16 +51,25 @@ CVec modulate(const std::vector<std::uint8_t> &bits, Modulation mod);
  *
  * @param symbols   received (equalised) symbols
  * @param mod       modulation scheme
- * @param noise_var effective noise variance after combining (> 0)
+ * @param noise_var effective noise variance after combining; values
+ *                  not greater than kDemodNoiseFloor (including NaN)
+ *                  are clamped to the floor
  * @return bits_per_symbol(mod) LLRs per input symbol
  */
 std::vector<Llr> demodulate_soft(const CVec &symbols, Modulation mod,
                                  float noise_var);
 
 /** Heap-free variant: writes the LLRs into @p out, which must hold
- *  exactly symbols.size() * bits_per_symbol(mod) entries. */
+ *  exactly symbols.size() * bits_per_symbol(mod) entries.  Dispatches
+ *  to the SIMD demapper when the library is built with LTE_SIMD=ON. */
 void demodulate_soft_into(CfView symbols, Modulation mod, float noise_var,
                           LlrSpan out);
+
+/** Scalar reference twin of demodulate_soft_into: always the plain
+ *  per-symbol loop, regardless of the SIMD build mode.  The SIMD
+ *  demapper's parity tests compare against this. */
+void demodulate_soft_scalar_into(CfView symbols, Modulation mod,
+                                 float noise_var, LlrSpan out);
 
 /**
  * Squared Euclidean distance from @p y to the nearest constellation

@@ -231,17 +231,9 @@ UserProcessor::demod_one(std::size_t slot, std::size_t data_symbol,
 
     // MMSE bias correction: scale each subcarrier by the effective
     // gain sum_a W(l,a) H(a,l) so constellation points land on grid.
-    const CombinerWeights &w = weights_[slot];
-    for (std::size_t sc = 0; sc < m_sc; ++sc) {
-        cf32 bias(0.0f, 0.0f);
-        for (std::size_t a = 0; a < config_.n_antennas; ++a) {
-            bias += w(sc, layer, a) *
-                    channel_[slot][(a * params_.layers + layer) * m_sc +
-                                   sc];
-        }
-        if (std::norm(bias) > 1e-12f)
-            combined[sc] /= bias;
-    }
+    const ChannelView chan{channel_[slot].data(), config_.n_antennas,
+                           params_.layers, m_sc};
+    apply_mmse_bias_into(chan, weights_[slot], layer, combined);
 
     // SC-FDMA despreading: back to the time domain where the
     // constellation symbols live.

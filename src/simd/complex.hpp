@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Split-complex (structure-of-arrays) vector type on top of simd::vf.
+ *
+ * The receive-chain buffers store interleaved std::complex<float>; the
+ * SIMD kernels want separate real/imaginary registers so a complex
+ * multiply is plain mul/add lanes.  `cload`/`cstore` convert between
+ * the two layouts with shuffles (one vld2/vst2 on NEON), and
+ * `cload_strided` gathers kLanes complex values at a constant stride
+ * (FFT twiddle access patterns).
+ */
+#ifndef LTE_SIMD_COMPLEX_HPP
+#define LTE_SIMD_COMPLEX_HPP
+
+#include "simd/simd.hpp"
+
+namespace lte::simd {
+
+/** kLanes complex values, split into real and imaginary vectors. */
+struct cvf
+{
+    vf re, im;
+
+    static cvf zero() { return {vf::zero(), vf::zero()}; }
+    static cvf set1(cf32 x) { return {vf::set1(x.real()), vf::set1(x.imag())}; }
+};
+
+inline cvf operator+(cvf a, cvf b) { return {a.re + b.re, a.im + b.im}; }
+inline cvf operator-(cvf a, cvf b) { return {a.re - b.re, a.im - b.im}; }
+
+/** Complex product a*b (naive formula; same arithmetic as the scalar
+ *  kernels' std::complex multiply on finite inputs). */
+inline cvf
+cmul(cvf a, cvf b)
+{
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+
+/** a * conj(b). */
+inline cvf
+cmul_conj(cvf a, cvf b)
+{
+    return {a.re * b.re + a.im * b.im, a.im * b.re - a.re * b.im};
+}
+
+inline cvf cconj(cvf a) { return {a.re, vneg(a.im)}; }
+
+/** |a|^2 per lane. */
+inline vf cnorm(cvf a) { return a.re * a.re + a.im * a.im; }
+
+/** Scale by a real vector. */
+inline cvf cscale(cvf a, vf s) { return {a.re * s, a.im * s}; }
+
+// ---------------------------------------------------------------------------
+// Interleaved <-> split-complex conversions
+// ---------------------------------------------------------------------------
+
+#if defined(LTE_SIMD_BACKEND_AVX2)
+
+inline cvf
+cload(const cf32 *p)
+{
+    const float *f = reinterpret_cast<const float *>(p);
+    const __m256 a = _mm256_loadu_ps(f);     // r0 i0 r1 i1 | r2 i2 r3 i3
+    const __m256 b = _mm256_loadu_ps(f + 8); // r4 i4 r5 i5 | r6 i6 r7 i7
+    const __m256 t0 = _mm256_permute2f128_ps(a, b, 0x20);
+    const __m256 t1 = _mm256_permute2f128_ps(a, b, 0x31);
+    return {{_mm256_shuffle_ps(t0, t1, _MM_SHUFFLE(2, 0, 2, 0))},
+            {_mm256_shuffle_ps(t0, t1, _MM_SHUFFLE(3, 1, 3, 1))}};
+}
+
+inline void
+store_interleaved2(float *f, vf a, vf b)
+{
+    const __m256 lo = _mm256_unpacklo_ps(a.raw, b.raw);
+    const __m256 hi = _mm256_unpackhi_ps(a.raw, b.raw);
+    _mm256_storeu_ps(f, _mm256_permute2f128_ps(lo, hi, 0x20));
+    _mm256_storeu_ps(f + 8, _mm256_permute2f128_ps(lo, hi, 0x31));
+}
+
+inline cvf
+cload_strided(const cf32 *p, std::size_t stride)
+{
+    const float *f = reinterpret_cast<const float *>(p);
+    const int s2 = static_cast<int>(2 * stride);
+    const __m256i idx = _mm256_mullo_epi32(
+        _mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0), _mm256_set1_epi32(s2));
+    return {{_mm256_i32gather_ps(f, idx, 4)},
+            {_mm256_i32gather_ps(f + 1, idx, 4)}};
+}
+
+#elif defined(LTE_SIMD_BACKEND_SSE2)
+
+inline cvf
+cload(const cf32 *p)
+{
+    const float *f = reinterpret_cast<const float *>(p);
+    const __m128 a = _mm_loadu_ps(f);     // r0 i0 r1 i1
+    const __m128 b = _mm_loadu_ps(f + 4); // r2 i2 r3 i3
+    return {{_mm_shuffle_ps(a, b, _MM_SHUFFLE(2, 0, 2, 0))},
+            {_mm_shuffle_ps(a, b, _MM_SHUFFLE(3, 1, 3, 1))}};
+}
+
+inline void
+store_interleaved2(float *f, vf a, vf b)
+{
+    _mm_storeu_ps(f, _mm_unpacklo_ps(a.raw, b.raw));
+    _mm_storeu_ps(f + 4, _mm_unpackhi_ps(a.raw, b.raw));
+}
+
+inline cvf
+cload_strided(const cf32 *p, std::size_t stride)
+{
+    const cf32 a = p[0];
+    const cf32 b = p[stride];
+    const cf32 c = p[2 * stride];
+    const cf32 d = p[3 * stride];
+    return {{_mm_setr_ps(a.real(), b.real(), c.real(), d.real())},
+            {_mm_setr_ps(a.imag(), b.imag(), c.imag(), d.imag())}};
+}
+
+#elif defined(LTE_SIMD_BACKEND_NEON)
+
+inline cvf
+cload(const cf32 *p)
+{
+    const float32x4x2_t v =
+        vld2q_f32(reinterpret_cast<const float *>(p));
+    return {{v.val[0]}, {v.val[1]}};
+}
+
+inline void
+store_interleaved2(float *f, vf a, vf b)
+{
+    float32x4x2_t out;
+    out.val[0] = a.raw;
+    out.val[1] = b.raw;
+    vst2q_f32(f, out);
+}
+
+inline cvf
+cload_strided(const cf32 *p, std::size_t stride)
+{
+    float re[4], im[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        re[i] = p[i * stride].real();
+        im[i] = p[i * stride].imag();
+    }
+    return {vf::load(re), vf::load(im)};
+}
+
+#else // scalar
+
+inline cvf
+cload(const cf32 *p)
+{
+    cvf v;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+        v.re.raw[i] = p[i].real();
+        v.im.raw[i] = p[i].imag();
+    }
+    return v;
+}
+
+inline void
+store_interleaved2(float *f, vf a, vf b)
+{
+    for (std::size_t i = 0; i < kLanes; ++i) {
+        f[2 * i] = a.raw[i];
+        f[2 * i + 1] = b.raw[i];
+    }
+}
+
+inline cvf
+cload_strided(const cf32 *p, std::size_t stride)
+{
+    cvf v;
+    for (std::size_t i = 0; i < kLanes; ++i) {
+        v.re.raw[i] = p[i * stride].real();
+        v.im.raw[i] = p[i * stride].imag();
+    }
+    return v;
+}
+
+#endif // backend
+
+/** Interleave kLanes complex values back into std::complex storage. */
+inline void
+cstore(cf32 *p, cvf v)
+{
+    store_interleaved2(reinterpret_cast<float *>(p), v.re, v.im);
+}
+
+} // namespace lte::simd
+
+#endif // LTE_SIMD_COMPLEX_HPP

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/rng.hpp"
@@ -146,11 +147,23 @@ TEST(Modulation, RejectsRaggedBitCount)
                  std::invalid_argument);
 }
 
-TEST(Modulation, RejectsNonPositiveNoise)
+TEST(Modulation, NonPositiveNoiseClampsToFloor)
 {
-    const CVec s = {cf32(1.0f, 0.0f)};
-    EXPECT_THROW(demodulate_soft(s, Modulation::kQpsk, 0.0f),
-                 std::invalid_argument);
+    // Degenerate noise estimates (zero, negative, NaN) must not abort
+    // the pipeline mid-subframe: they clamp to kDemodNoiseFloor and
+    // produce the same finite LLRs an explicit floor would.
+    const CVec s = {cf32(1.0f, 0.0f), cf32(-0.3f, 0.7f)};
+    const auto at_floor =
+        demodulate_soft(s, Modulation::kQpsk, kDemodNoiseFloor);
+    for (const float bad : {0.0f, -1.0f,
+                            std::numeric_limits<float>::quiet_NaN()}) {
+        const auto llrs = demodulate_soft(s, Modulation::kQpsk, bad);
+        ASSERT_EQ(llrs.size(), at_floor.size());
+        for (std::size_t i = 0; i < llrs.size(); ++i) {
+            EXPECT_TRUE(std::isfinite(llrs[i]));
+            EXPECT_EQ(llrs[i], at_floor[i]);
+        }
+    }
 }
 
 TEST(Modulation, HardDecisionSignConvention)
