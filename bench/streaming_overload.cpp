@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Streaming-engine overload study: drives the TTI-paced streaming
+ * engine at ~2x its measured service capacity and compares the three
+ * shed policies (drop-newest, drop-oldest, degrade) against the
+ * lossless backpressure baseline.
+ *
+ * For each policy the table reports the admission accounting
+ * (submitted / admitted / completed / shed, split into queue-full and
+ * expired), the degraded-chain count, deadline misses among completed
+ * subframes, and the p50/p99 admission-to-completion latency drawn
+ * from the per-subframe observability series.  The point of the
+ * exercise: with shedding enabled, tail latency stays bounded by the
+ * deadline even though offered load is twice capacity, at the cost of
+ * dropped (or degraded) subframes — the lossless baseline instead
+ * lets latency grow with the backlog.
+ */
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/engine.hpp"
+#include "workload/steady_model.hpp"
+
+namespace {
+
+using namespace lte;
+
+/** The saturating subframe used throughout: one maximal-rate user. */
+phy::UserParams
+heavy_user()
+{
+    phy::UserParams u;
+    u.id = 0;
+    u.prb = 100;
+    u.layers = 4;
+    u.mod = Modulation::k64Qam;
+    return u;
+}
+
+/** Serial per-subframe service time, measured after warm-up. */
+double
+measure_service_ms(std::uint64_t seed)
+{
+    runtime::EngineConfig cfg;
+    cfg.kind = runtime::EngineKind::kSerial;
+    cfg.input.pool_size = 2;
+    cfg.input.seed = seed;
+    auto engine = runtime::make_engine(cfg);
+    phy::SubframeParams sf;
+    sf.subframe_index = 0;
+    sf.users.push_back(heavy_user());
+    engine->process_subframe(sf);
+    const auto t0 = std::chrono::steady_clock::now();
+    const int reps = 8;
+    for (int i = 0; i < reps; ++i)
+        engine->process_subframe(sf);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+           reps;
+}
+
+/**
+ * Effective per-subframe drain time of the actual streaming pipeline
+ * (lossless, free-running): unlike serial_service / n_workers this
+ * reflects the host's real parallelism — on a single-core container
+ * the pool cannot scale and the drain time stays near the serial
+ * service time.
+ */
+double
+measure_drain_ms(std::uint64_t seed, std::size_t n_workers,
+                 std::size_t max_in_flight)
+{
+    runtime::EngineConfig cfg;
+    cfg.kind = runtime::EngineKind::kStreaming;
+    cfg.pool.n_workers = n_workers;
+    cfg.input.pool_size = 2;
+    cfg.input.seed = seed;
+    cfg.max_in_flight = max_in_flight;
+    cfg.admission_queue = 8;
+    cfg.delta_ms = 0.0;   // free-running
+    cfg.deadline_ms = 0.0; // lossless: backpressure, never shed
+    auto engine = runtime::make_engine(cfg);
+    phy::SubframeParams sf;
+    sf.subframe_index = 0;
+    sf.users.push_back(heavy_user());
+    for (int i = 0; i < 4; ++i)
+        engine->process_subframe(sf); // warm-up: arenas, FFT plans
+    workload::SteadyModel model(heavy_user());
+    const std::size_t n = 24;
+    const auto record = engine->run(model, n);
+    return record.wall_seconds * 1e3 / static_cast<double>(n);
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(values.size() - 1));
+    return values[idx];
+}
+
+struct Scenario
+{
+    const char *label;
+    double deadline_ms; // 0 = lossless backpressure
+    runtime::ShedPolicy policy;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lte;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_banner("Streaming engine: shed policies under 2x "
+                        "overload",
+                        args);
+
+    const double service_ms = measure_service_ms(args.seed);
+    const std::size_t n_workers = 4;
+    const std::size_t max_in_flight = n_workers;
+    const double drain_ms =
+        measure_drain_ms(args.seed, n_workers, max_in_flight);
+    // Arrivals at twice the pipeline's measured drain rate — a true 2x
+    // overload regardless of how many cores the host really grants.
+    const double delta_ms = drain_ms / 2.0;
+    const double deadline_ms = 3.0 * drain_ms;
+    const std::size_t n_subframes = args.full ? 1000 : 240;
+
+    std::cout << "serial service time:   " << report::fmt(service_ms, 3)
+              << " ms/subframe\n"
+              << "pipeline drain time:   " << report::fmt(drain_ms, 3)
+              << " ms/subframe (" << n_workers << " workers, "
+              << max_in_flight << " in flight)\n"
+              << "arrival period:        " << report::fmt(delta_ms, 3)
+              << " ms  (2x overload)\n"
+              << "admission deadline:    " << report::fmt(deadline_ms, 3)
+              << " ms\n\n";
+
+    const Scenario scenarios[] = {
+        {"lossless", 0.0, runtime::ShedPolicy::kDropNewest},
+        {"drop-newest", deadline_ms, runtime::ShedPolicy::kDropNewest},
+        {"drop-oldest", deadline_ms, runtime::ShedPolicy::kDropOldest},
+        {"degrade", deadline_ms, runtime::ShedPolicy::kDegrade},
+    };
+
+    report::TextTable table({"policy", "submitted", "completed", "shed",
+                             "q-full", "expired", "degraded", "misses",
+                             "p50 ms", "p99 ms", "wall s"});
+    for (const Scenario &sc : scenarios) {
+        runtime::EngineConfig cfg;
+        cfg.kind = runtime::EngineKind::kStreaming;
+        cfg.pool.n_workers = n_workers;
+        cfg.input.pool_size = 2;
+        cfg.input.seed = args.seed;
+        cfg.max_in_flight = max_in_flight;
+        cfg.admission_queue = 8;
+        cfg.delta_ms = delta_ms;
+        cfg.deadline_ms = sc.deadline_ms;
+        cfg.shed_policy = sc.policy;
+        cfg.obs.enabled = true;
+        cfg.obs.deadline_ms = deadline_ms;
+        cfg.obs.series_capacity = n_subframes;
+        auto engine = runtime::make_engine(cfg);
+
+        workload::SteadyModel model(heavy_user());
+        const auto record = engine->run(model, n_subframes);
+
+        const auto &stats =
+            dynamic_cast<const runtime::StreamingEngine &>(*engine)
+                .shed_stats();
+        const auto &series = *engine->subframe_series();
+        std::vector<double> latencies;
+        latencies.reserve(series.size());
+        for (std::size_t i = 0; i < series.size(); ++i)
+            latencies.push_back(series.at(i).latency_ms());
+        const double misses =
+            engine->metrics()->counter("engine.deadline_misses").value();
+
+        table.add_row({sc.label, std::to_string(stats.submitted),
+                       std::to_string(stats.completed),
+                       std::to_string(stats.shed),
+                       std::to_string(stats.shed_queue_full),
+                       std::to_string(stats.shed_expired),
+                       std::to_string(stats.degraded),
+                       report::fmt(misses, 0),
+                       report::fmt(percentile(latencies, 0.50), 2),
+                       report::fmt(percentile(latencies, 0.99), 2),
+                       report::fmt(record.wall_seconds, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nwith a deadline and a shed policy, the queue wait "
+                 "is capped by the\nadmission deadline, so p99 latency "
+                 "settles near deadline +\nmax_in_flight x drain ("
+              << report::fmt(deadline_ms +
+                                 static_cast<double>(max_in_flight) *
+                                     drain_ms,
+                             1)
+              << " ms here) no matter how long the run;\nthe lossless "
+                 "baseline's latency instead grows with the backlog.\n"
+                 "'degrade' converts would-be drops into cheap MRC + "
+                 "turbo-bypass\nsubframes and completes the most "
+                 "traffic.\n";
+    return 0;
+}

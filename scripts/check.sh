@@ -26,9 +26,20 @@ run_preset() {
 run_preset release
 run_preset asan
 # The tsan test preset filters to the concurrency/runtime suites (see
-# CMakePresets.json): pool interleavings, trace-ring export races, and
-# the serial-vs-parallel validation under ThreadSanitizer.
+# CMakePresets.json): pool interleavings, trace-ring export races, the
+# serial-vs-parallel validation and the streaming-engine suites under
+# ThreadSanitizer.
 run_preset tsan
+
+# Streaming overload soak: the admission/shed accounting must balance
+# with genuinely concurrent subframes in flight, swept across the
+# in-flight bound (1 = lock-step degenerate case, 4 = deep pipeline).
+for inflight in 1 4; do
+    echo "==> tsan streaming overload soak (LTE_STREAM_MAX_INFLIGHT=${inflight})"
+    LTE_STREAM_MAX_INFLIGHT="${inflight}" \
+        ./build-tsan/tests/test_streaming \
+        --gtest_filter='StreamingOverload.*:StreamingParity.*'
+done
 
 if [[ "${1:-}" == "--ubsan" ]]; then
     run_preset ubsan

@@ -102,6 +102,10 @@ UplinkStudy::record_run_metrics(const StrategyOutcome &outcome)
         .set(outcome.sim.mean_latency());
     metrics_->gauge(prefix + ".max_latency")
         .set(outcome.sim.max_latency());
+    metrics_->gauge(prefix + ".deadline_miss_rate")
+        .set(outcome.deadline_miss_rate);
+    metrics_->gauge(prefix + ".max_backlog")
+        .set(static_cast<double>(outcome.sim.max_ready_backlog));
 }
 
 StrategyOutcome
@@ -141,7 +145,32 @@ UplinkStudy::run_strategy_on(mgmt::Strategy strategy,
         outcome.avg_power_w - config_.power.base_power_w;
     if (machine.estimator().has_value())
         outcome.estimator_stats = machine.estimator()->stats();
+    outcome.deadline_miss_rate =
+        1.0 - outcome.sim.deadline_hit_rate(config_.deadline_periods);
     record_run_metrics(outcome);
+    return outcome;
+}
+
+StrategyOutcome
+UplinkStudy::run_strategy_overloaded(mgmt::Strategy strategy,
+                                     double overload_factor)
+{
+    LTE_CHECK(overload_factor >= 1.0,
+              "overload factor must be at least 1");
+    // Arrivals come overload_factor times faster than the calibrated
+    // saturation rate; everything downstream (latency in periods,
+    // deadline accounting) follows from the shortened DELTA.
+    const double nominal_delta = config_.sim.delta_s;
+    config_.sim.delta_s = nominal_delta / overload_factor;
+    StrategyOutcome outcome;
+    try {
+        workload::PaperModel model(config_.model);
+        outcome = run_strategy_on(strategy, model, config_.subframes);
+    } catch (...) {
+        config_.sim.delta_s = nominal_delta;
+        throw;
+    }
+    config_.sim.delta_s = nominal_delta;
     return outcome;
 }
 

@@ -35,6 +35,13 @@ struct StudyConfig
     std::size_t n_antennas = 4;
     /** Subframes per strategy run (paper: 68 000 = 340 s). */
     std::uint64_t subframes = 68000;
+    /**
+     * Responsiveness budget in subframe periods: a user whose
+     * dispatch-to-completion latency exceeds this misses its deadline
+     * (the paper keeps two to three subframes in flight, so three
+     * periods is the default budget).
+     */
+    double deadline_periods = 3.0;
 
     /**
      * Scale the run to @p n subframes, shrinking the workload ramp
@@ -54,6 +61,8 @@ struct StrategyOutcome
     std::vector<std::uint32_t> powered;
     double avg_power_w = 0.0;
     double avg_dynamic_w = 0.0; ///< avg_power - base power
+    /** Fraction of users finishing past config.deadline_periods. */
+    double deadline_miss_rate = 0.0;
     /** Eq. 3-5 decision tallies from the run's estimator (if any). */
     mgmt::EstimatorStats estimator_stats;
     /** Eq. 6-7 decision tallies (PowerGating runs only). */
@@ -91,6 +100,16 @@ class UplinkStudy
     StrategyOutcome run_strategy_on(mgmt::Strategy strategy,
                                     workload::ParameterModel &model,
                                     std::uint64_t subframes);
+
+    /**
+     * Run one strategy with arrivals @p overload_factor times faster
+     * than the calibrated DELTA (factor 1 = nominal load, 2 = twice
+     * the machine's saturation rate).  Quantifies how each
+     * power-management strategy behaves past saturation: compare
+     * deadline_miss_rate and sim.max_ready_backlog across strategies.
+     */
+    StrategyOutcome run_strategy_overloaded(mgmt::Strategy strategy,
+                                            double overload_factor);
 
     /**
      * Eq. 6-7: powered-core plan for a simulated run, padded with its

@@ -84,6 +84,20 @@ WorkloadEstimator::estimate_subframe(
     return std::clamp(activity, 0.0, 1.0);
 }
 
+double
+WorkloadEstimator::estimate_subframe(const phy::SubframeParams &subframe,
+                                     std::size_t backlog) const
+{
+    const double base = estimate_subframe(subframe);
+    if (backlog == 0)
+        return base;
+    const double boosted = std::clamp(
+        base * (1.0 + static_cast<double>(backlog)), 0.0, 1.0);
+    if (boosted > base)
+        ++stats_.backlog_boosts;
+    return boosted;
+}
+
 std::uint32_t
 WorkloadEstimator::active_cores(double estimated_activity,
                                 std::uint32_t max_cores,

@@ -74,6 +74,9 @@ struct EstimatorStats
     std::uint64_t core_decisions = 0;
     std::uint64_t clamped_low = 0;  ///< Eq. 5 raised to the floor
     std::uint64_t clamped_high = 0; ///< Eq. 5 capped at max_cores
+    /** Estimates raised above the single-subframe Eq. 4 value because
+     *  the streaming engine reported a non-empty backlog. */
+    std::uint64_t backlog_boosts = 0;
 };
 
 /** Implements Eqs. 3-5 of the paper. */
@@ -87,6 +90,17 @@ class WorkloadEstimator
 
     /** Eq. 4: estimated activity of a subframe, clamped to [0, 1]. */
     double estimate_subframe(const phy::SubframeParams &subframe) const;
+
+    /**
+     * Eq. 4 extended for a streaming pipeline: @p backlog subframes
+     * are already resident (queued or executing) when this one
+     * arrives, each demanding roughly a subframe's worth of activity,
+     * so the demand estimate is the single-subframe value scaled by
+     * (1 + backlog), clamped to [0, 1].  With backlog == 0 this is
+     * exactly estimate_subframe().
+     */
+    double estimate_subframe(const phy::SubframeParams &subframe,
+                             std::size_t backlog) const;
 
     /**
      * Eq. 5: active cores = estimated activity x max_cores + margin

@@ -21,6 +21,7 @@ span_category(SpanKind kind)
       case SpanKind::kSteal:
       case SpanKind::kSubframe:
       case SpanKind::kDispatch:
+      case SpanKind::kShed:
         return "sched";
       case SpanKind::kNap:
       case SpanKind::kIdle:

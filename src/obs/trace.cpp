@@ -20,6 +20,7 @@ span_kind_name(SpanKind kind)
       case SpanKind::kIdle: return "idle";
       case SpanKind::kSubframe: return "subframe";
       case SpanKind::kDispatch: return "dispatch";
+      case SpanKind::kShed: return "shed";
     }
     return "?";
 }

@@ -47,10 +47,11 @@ enum class SpanKind : std::uint8_t
     kIdle,     ///< reactive IDLE sleep while workless
     kSubframe, ///< dispatch-to-completion of one subframe
     kDispatch, ///< instant: a subframe entered the pool
+    kShed,     ///< instant: admission controller dropped a subframe
 };
 
 /** Number of distinct span kinds (for fixed-size per-kind tallies). */
-inline constexpr std::size_t kSpanKindCount = 10;
+inline constexpr std::size_t kSpanKindCount = 11;
 
 /** Short stable name used in exports ("chanest", "demod", ...). */
 const char *span_kind_name(SpanKind kind);
@@ -103,8 +104,17 @@ class ThreadTrace
 /** Tracer sizing/behaviour; part of the engine configuration. */
 struct ObsConfig
 {
-    /** Master switch; everything below is inert when false. */
+    /** Master tracing switch: owns the span tracer and the
+     *  per-subframe series.  Implies metrics. */
     bool enabled = false;
+    /**
+     * Metrics without tracing: when true the engine owns a
+     * MetricsRegistry (subframe/user/deadline-miss counters and the
+     * streaming admission counters) even with tracing off, so
+     * accounting never depends on span rings being allocated.
+     * Tracing (`enabled`) always implies metrics.
+     */
+    bool metrics_enabled = false;
     /** Ring capacity per thread slot (events). */
     std::size_t events_per_thread = 1 << 15;
     /** Per-subframe series capacity (samples; see SubframeSeries). */

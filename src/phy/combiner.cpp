@@ -263,6 +263,31 @@ compute_combiner_weights_scalar_into(const ChannelView &channel,
 }
 
 void
+compute_mrc_weights_into(const ChannelView &channel, float noise_var,
+                         CombinerWeights &out)
+{
+    check_channel_view(channel, noise_var);
+    out.resize(channel.n_sc, channel.layers, channel.antennas);
+    // Per-layer matched filter: W(sc,l,a) = H*(a,l,sc) / (||H_l||^2 +
+    // sigma^2).  No layers x layers inverse, so inter-layer
+    // interference is ignored — the deliberate accuracy trade of the
+    // streaming engine's degrade shed policy.  Plain scalar loops: the
+    // point of this path is to be cheap, not vectorised.
+    for (std::size_t l = 0; l < channel.layers; ++l) {
+        for (std::size_t sc = 0; sc < channel.n_sc; ++sc) {
+            float gain = 0.0f;
+            for (std::size_t a = 0; a < channel.antennas; ++a) {
+                const cf32 h = channel.at(a, l, sc);
+                gain += h.real() * h.real() + h.imag() * h.imag();
+            }
+            const float denom = gain + noise_var;
+            for (std::size_t a = 0; a < channel.antennas; ++a)
+                out(sc, l, a) = std::conj(channel.at(a, l, sc)) / denom;
+        }
+    }
+}
+
+void
 compute_combiner_weights_into(const ChannelView &channel, float noise_var,
                               CombinerWeights &out)
 {

@@ -137,6 +137,16 @@ void compute_combiner_weights_scalar_into(const ChannelView &channel,
                                           CombinerWeights &out);
 
 /**
+ * Degraded-mode combiner weights: per-layer matched filter (MRC),
+ * W(sc, l, a) = H*(a, l, sc) / (||H_l(sc)||^2 + noise_var), with no
+ * layers x layers inverse.  Much cheaper than MMSE but ignores
+ * inter-layer interference; used by the streaming engine's "degrade"
+ * load-shedding policy when a subframe is running late.
+ */
+void compute_mrc_weights_into(const ChannelView &channel, float noise_var,
+                              CombinerWeights &out);
+
+/**
  * Combine one received SC-FDMA symbol across antennas into one layer's
  * frequency-domain samples: z(f) = sum_a W(f, layer, a) * y_a(f).
  *

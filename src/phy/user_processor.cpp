@@ -193,7 +193,11 @@ UserProcessor::compute_weights()
     for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
         const ChannelView view{channel_[slot].data(), config_.n_antennas,
                                params_.layers, params_.sc_in_slot(slot)};
-        compute_combiner_weights_into(view, noise_var_, weights_[slot]);
+        if (degraded_)
+            compute_mrc_weights_into(view, noise_var_, weights_[slot]);
+        else
+            compute_combiner_weights_into(view, noise_var_,
+                                          weights_[slot]);
     }
 }
 
@@ -287,7 +291,7 @@ UserProcessor::finish()
                         evm_acc / static_cast<double>(evm_n)))
                   : 0.0f;
 
-    if (config_.use_real_turbo) {
+    if (config_.use_real_turbo && !degraded_) {
         // Cold path (off by default): the decoder allocates internally.
         const std::size_t k = turbo_info_bits(capacity_bits(params_));
         const std::vector<Llr> coded(

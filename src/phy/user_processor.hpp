@@ -141,6 +141,16 @@ class UserProcessor
     /** Serial convenience: run every stage in order. */
     const UserResult &process_all();
 
+    /**
+     * Degraded-quality mode (streaming-engine load shedding): combiner
+     * weights fall back from MMSE to per-layer MRC and the real turbo
+     * decoder (when configured) is skipped in favour of the
+     * pass-through.  Takes effect at the next compute_weights()/
+     * finish(); cleared by every bind-time reset.
+     */
+    void set_degraded(bool degraded) { degraded_ = degraded; }
+    bool degraded() const { return degraded_; }
+
     const UserParams &params() const { return params_; }
 
     /** Workspace high-water mark in bytes (observability/tests). */
@@ -162,6 +172,7 @@ class UserProcessor
     ReceiverConfig config_;
     const UserSignal *signal_ = nullptr;
     bool bound_ = false;
+    bool degraded_ = false;
 
     /** Bump arena backing every per-subframe span below. */
     Workspace arena_;

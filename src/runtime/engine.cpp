@@ -18,6 +18,22 @@ engine_kind_name(EngineKind kind)
         return "serial";
       case EngineKind::kWorkStealing:
         return "work-stealing";
+      case EngineKind::kStreaming:
+        return "streaming";
+    }
+    return "unknown";
+}
+
+const char *
+shed_policy_name(ShedPolicy policy)
+{
+    switch (policy) {
+      case ShedPolicy::kDropNewest:
+        return "drop-newest";
+      case ShedPolicy::kDropOldest:
+        return "drop-oldest";
+      case ShedPolicy::kDegrade:
+        return "degrade";
     }
     return "unknown";
 }
@@ -27,6 +43,8 @@ EngineConfig::validate() const
 {
     LTE_CHECK(max_in_flight >= 1, "need at least one subframe in flight");
     LTE_CHECK(delta_ms >= 0.0, "delta must be non-negative");
+    LTE_CHECK(deadline_ms >= 0.0, "deadline must be non-negative");
+    LTE_CHECK(admission_queue >= 1, "need at least one admission slot");
     receiver.validate();
     input.validate();
     obs.validate();
@@ -54,6 +72,8 @@ make_engine(const EngineConfig &config)
         return std::make_unique<SerialEngine>(config);
       case EngineKind::kWorkStealing:
         return std::make_unique<WorkStealingEngine>(config);
+      case EngineKind::kStreaming:
+        return std::make_unique<StreamingEngine>(config);
     }
     LTE_CHECK(false, "unknown engine kind");
     return nullptr;
@@ -74,17 +94,34 @@ SerialEngine::SerialEngine(const EngineConfig &config)
 void
 SerialEngine::init_obs()
 {
-    if (!config_.obs.enabled)
-        return;
-    tracer_ = std::make_unique<obs::Tracer>(1, config_.obs);
-    series_ =
-        std::make_unique<obs::SubframeSeries>(config_.obs.series_capacity);
-    metrics_ = std::make_unique<obs::MetricsRegistry>();
-    // Cache the hot-path counters so steady-state updates never take
-    // the registry lock or allocate.
-    subframes_counter_ = &metrics_->counter("engine.subframes");
-    users_counter_ = &metrics_->counter("engine.users");
-    deadline_miss_counter_ = &metrics_->counter("engine.deadline_misses");
+    if (config_.obs.enabled) {
+        tracer_ = std::make_unique<obs::Tracer>(1, config_.obs);
+        series_ = std::make_unique<obs::SubframeSeries>(
+            config_.obs.series_capacity);
+    }
+    // Metrics are independent of tracing: engine.deadline_misses and
+    // friends must count whenever metrics are on, not only when the
+    // span rings happen to be allocated.
+    if (config_.obs.enabled || config_.obs.metrics_enabled) {
+        metrics_ = std::make_unique<obs::MetricsRegistry>();
+        // Cache the hot-path counters so steady-state updates never
+        // take the registry lock or allocate.
+        subframes_counter_ = &metrics_->counter("engine.subframes");
+        users_counter_ = &metrics_->counter("engine.users");
+        deadline_miss_counter_ =
+            &metrics_->counter("engine.deadline_misses");
+    }
+}
+
+std::uint64_t
+SerialEngine::obs_now_ns() const
+{
+    if (tracer_)
+        return tracer_->now_ns();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
 }
 
 SerialEngine::SerialEngine(const phy::ReceiverConfig &receiver,
@@ -105,8 +142,8 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
     params.validate();
     input_.signals_for(params, signals_);
 
-    const std::uint64_t t_dispatch =
-        tracer_ ? tracer_->now_ns() : 0;
+    const bool observing = tracer_ || metrics_;
+    const std::uint64_t t_dispatch = observing ? obs_now_ns() : 0;
 
     outcome_.subframe_index = params.subframe_index;
     outcome_.users.resize(params.users.size());
@@ -125,10 +162,8 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
         }
     }
 
-    if (tracer_) {
-        const std::uint64_t t_complete = tracer_->now_ns();
-        tracer_->record(0, obs::SpanKind::kSubframe, t_dispatch,
-                        t_complete, params.subframe_index);
+    if (observing) {
+        const std::uint64_t t_complete = obs_now_ns();
         obs::SubframeSample sample;
         sample.subframe_index = params.subframe_index;
         sample.t_dispatch_ns = t_dispatch;
@@ -136,7 +171,11 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
         sample.n_users = static_cast<std::uint32_t>(params.users.size());
         sample.active_workers = 1;
         sample.ops = subframe_ops(params, config_.receiver.n_antennas);
-        series_->push(sample);
+        if (tracer_) {
+            tracer_->record(0, obs::SpanKind::kSubframe, t_dispatch,
+                            t_complete, params.subframe_index);
+            series_->push(sample);
+        }
         subframes_counter_->add();
         users_counter_->add(params.users.size());
         if (sample.latency_ms() > config_.obs.deadline_ms)
@@ -184,14 +223,28 @@ WorkStealingEngine::WorkStealingEngine(const EngineConfig &config)
             config_.pool.n_workers + 1, config_.obs);
         series_ = std::make_unique<obs::SubframeSeries>(
             config_.obs.series_capacity);
+        config_.pool.tracer = tracer_.get();
+    }
+    // Metrics are independent of tracing (see SerialEngine::init_obs).
+    if (config_.obs.enabled || config_.obs.metrics_enabled) {
         metrics_ = std::make_unique<obs::MetricsRegistry>();
         subframes_counter_ = &metrics_->counter("engine.subframes");
         users_counter_ = &metrics_->counter("engine.users");
         deadline_miss_counter_ =
             &metrics_->counter("engine.deadline_misses");
-        config_.pool.tracer = tracer_.get();
     }
     pool_ = std::make_unique<WorkerPool>(config_.pool);
+}
+
+std::uint64_t
+WorkStealingEngine::obs_now_ns() const
+{
+    if (tracer_)
+        return tracer_->now_ns();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
 }
 
 void
@@ -242,9 +295,6 @@ void
 WorkStealingEngine::observe_completion(const SubframeJob &job,
                                        std::uint64_t t_complete_ns)
 {
-    tracer_->record(dispatch_slot(), obs::SpanKind::kSubframe,
-                    job.t_dispatch_ns, t_complete_ns,
-                    job.params.subframe_index);
     obs::SubframeSample sample;
     sample.subframe_index = job.params.subframe_index;
     sample.t_dispatch_ns = job.t_dispatch_ns;
@@ -254,11 +304,18 @@ WorkStealingEngine::observe_completion(const SubframeJob &job,
         static_cast<std::uint32_t>(pool_->active_workers());
     sample.est_activity = job.est_activity;
     sample.ops = subframe_ops(job.params, config_.receiver.n_antennas);
-    series_->push(sample);
-    subframes_counter_->add();
-    users_counter_->add(job.n_users);
-    if (sample.latency_ms() > config_.obs.deadline_ms)
-        deadline_miss_counter_->add();
+    if (tracer_) {
+        tracer_->record(dispatch_slot(), obs::SpanKind::kSubframe,
+                        job.t_dispatch_ns, t_complete_ns,
+                        job.params.subframe_index);
+        series_->push(sample);
+    }
+    if (metrics_) {
+        subframes_counter_->add();
+        users_counter_->add(job.n_users);
+        if (sample.latency_ms() > config_.obs.deadline_ms)
+            deadline_miss_counter_->add();
+    }
 }
 
 const SubframeOutcome &
@@ -270,19 +327,24 @@ WorkStealingEngine::process_subframe(const phy::SubframeParams &params)
 
     SubframeJob *job = acquire_job();
     job->prepare(params, signals_, config_.receiver);
-    if (tracer_) {
-        job->t_dispatch_ns = tracer_->now_ns();
+    const bool observing = tracer_ || metrics_;
+    if (observing) {
+        job->t_dispatch_ns = obs_now_ns();
+        job->t_arrival_ns = job->t_dispatch_ns;
         job->est_activity = estimate;
-        tracer_->record_instant(dispatch_slot(), obs::SpanKind::kDispatch,
-                                job->t_dispatch_ns,
-                                params.subframe_index);
+        if (tracer_) {
+            tracer_->record_instant(dispatch_slot(),
+                                    obs::SpanKind::kDispatch,
+                                    job->t_dispatch_ns,
+                                    params.subframe_index);
+        }
     }
     if (job->n_users > 0) {
         pool_->submit(job);
         pool_->wait_idle();
     }
-    if (tracer_)
-        observe_completion(*job, tracer_->now_ns());
+    if (observing)
+        observe_completion(*job, obs_now_ns());
 
     outcome_.subframe_index = params.subframe_index;
     outcome_.users = job->results; // capacity reuse, scalar payload
@@ -329,13 +391,14 @@ WorkStealingEngine::run(workload::ParameterModel &model,
         std::chrono::duration_cast<clock::duration>(
             std::chrono::duration<double, std::milli>(config_.delta_ms));
 
+    const bool observing = tracer_ || metrics_;
     for (std::size_t i = 0; i < n_subframes; ++i) {
         // Flow control: keep at most max_in_flight subframes open.
         while (in_flight.size() >= config_.max_in_flight) {
             if (job_done(*in_flight.front())) {
-                if (tracer_)
+                if (observing)
                     observe_completion(*in_flight.front(),
-                                       tracer_->now_ns());
+                                       obs_now_ns());
                 record.subframes.push_back(collect(*in_flight.front()));
                 release_job(in_flight.front());
                 in_flight.pop_front();
@@ -358,17 +421,20 @@ WorkStealingEngine::run(workload::ParameterModel &model,
             next_dispatch += delta;
         }
 
-        if (tracer_) {
-            job->t_dispatch_ns = tracer_->now_ns();
+        if (observing) {
+            job->t_dispatch_ns = obs_now_ns();
+            job->t_arrival_ns = job->t_dispatch_ns;
             job->est_activity = estimate;
-            tracer_->record_instant(dispatch_slot(),
-                                    obs::SpanKind::kDispatch,
-                                    job->t_dispatch_ns,
-                                    params.subframe_index);
+            if (tracer_) {
+                tracer_->record_instant(dispatch_slot(),
+                                        obs::SpanKind::kDispatch,
+                                        job->t_dispatch_ns,
+                                        params.subframe_index);
+            }
         }
 
         if (job->n_users == 0) {
-            if (tracer_)
+            if (observing)
                 observe_completion(*job, job->t_dispatch_ns);
             record.subframes.push_back(collect(*job));
             release_job(job);
@@ -383,8 +449,8 @@ WorkStealingEngine::run(workload::ParameterModel &model,
     while (!in_flight.empty()) {
         LTE_ASSERT(job_done(*in_flight.front()),
                    "pool idle but job incomplete");
-        if (tracer_)
-            observe_completion(*in_flight.front(), tracer_->now_ns());
+        if (observing)
+            observe_completion(*in_flight.front(), obs_now_ns());
         record.subframes.push_back(collect(*in_flight.front()));
         release_job(in_flight.front());
         in_flight.pop_front();
@@ -401,8 +467,10 @@ WorkStealingEngine::run(workload::ParameterModel &model,
         metrics_->gauge("engine.activity").set(record.activity);
         metrics_->gauge("engine.wall_seconds").set(record.wall_seconds);
         metrics_->counter("engine.steals").add(record.steals);
-        metrics_->gauge("engine.trace_dropped")
-            .set(static_cast<double>(tracer_->total_dropped()));
+        if (tracer_) {
+            metrics_->gauge("engine.trace_dropped")
+                .set(static_cast<double>(tracer_->total_dropped()));
+        }
     }
     return record;
 }

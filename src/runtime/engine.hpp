@@ -28,7 +28,9 @@
 #ifndef LTE_RUNTIME_ENGINE_HPP
 #define LTE_RUNTIME_ENGINE_HPP
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -51,10 +53,37 @@ enum class EngineKind : std::uint8_t
 {
     kSerial,       ///< one thread, users processed in order
     kWorkStealing, ///< worker pool with task stealing (the default)
+    kStreaming,    ///< TTI-paced admission + bounded in-flight pipeline
 };
 
-/** Human-readable engine name ("serial" / "work-stealing"). */
+/** Human-readable engine name ("serial" / "work-stealing" /
+ *  "streaming"). */
 const char *engine_kind_name(EngineKind kind);
+
+/**
+ * What the streaming admission controller does when it must shed load
+ * (admission ring full, or a queued subframe has aged past the
+ * deadline).  Expired subframes are always dropped — by the time the
+ * deadline has passed there is nothing useful left to compute — so the
+ * policy chooses the reaction to a *full ring*.
+ */
+enum class ShedPolicy : std::uint8_t
+{
+    /** Drop the arriving subframe; queued ones keep their place. */
+    kDropNewest,
+    /** Drop the oldest queued subframe to admit the arrival (the
+     *  queued one is the likeliest to miss its deadline anyway). */
+    kDropOldest,
+    /** Like kDropOldest, but additionally process subframes that have
+     *  consumed over half their deadline budget with the degraded
+     *  receive chain (MRC combining, no turbo) to shorten the queue
+     *  instead of dropping further subframes. */
+    kDegrade,
+};
+
+/** Human-readable policy name ("drop-newest" / "drop-oldest" /
+ *  "degrade"). */
+const char *shed_policy_name(ShedPolicy policy);
 
 /** Unified engine configuration (superset of both engines' needs). */
 struct EngineConfig
@@ -72,11 +101,26 @@ struct EngineConfig
     /** Over-provisioning margin for Eq. 5. */
     std::uint32_t core_margin = 2;
     /**
+     * Streaming engine only: admission-to-completion deadline in
+     * milliseconds.  0 means infinite — the engine never sheds and
+     * applies backpressure (blocks the arrival source) when the
+     * pipeline is full, which is the lossless mode used for
+     * streaming-vs-lock-step validation.
+     */
+    double deadline_ms = 0.0;
+    /** Streaming engine only: capacity of the pending admission ring
+     *  (prepared subframes waiting for an in-flight slot). */
+    std::size_t admission_queue = 8;
+    /** Streaming engine only: reaction to overload. */
+    ShedPolicy shed_policy = ShedPolicy::kDropNewest;
+    /**
      * Observability: when obs.enabled the engine owns a span tracer
      * (one ring per worker plus the dispatch thread), a per-subframe
      * activity/deadline series and a metrics registry, all
      * preallocated so steady-state recording stays allocation-free.
-     * Disabled, every recording site costs a single branch.
+     * obs.metrics_enabled grants the registry alone (counters work
+     * with tracing off).  Disabled, every recording site costs a
+     * single branch.
      */
     obs::ObsConfig obs;
 
@@ -164,6 +208,9 @@ class SerialEngine : public Engine
 
   private:
     void init_obs();
+    /** Monotonic ns: tracer epoch when tracing, engine epoch when only
+     *  metrics are on (accounting must not depend on the tracer). */
+    std::uint64_t obs_now_ns() const;
 
     EngineConfig config_;
     InputGenerator input_;
@@ -172,13 +219,16 @@ class SerialEngine : public Engine
     std::vector<const phy::UserSignal *> signals_;
     SubframeOutcome outcome_;
 
-    /** Observability state (null unless config.obs.enabled). */
+    /** Tracing state (null unless config.obs.enabled); metrics_ is
+     *  live whenever obs.enabled or obs.metrics_enabled. */
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::SubframeSeries> series_;
     std::unique_ptr<obs::MetricsRegistry> metrics_;
     obs::Counter *subframes_counter_ = nullptr;
     obs::Counter *users_counter_ = nullptr;
     obs::Counter *deadline_miss_counter_ = nullptr;
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
 };
 
 /**
@@ -223,6 +273,9 @@ class WorkStealingEngine : public Engine
     /** Record one completed job into the series/metrics/trace. */
     void observe_completion(const SubframeJob &job,
                             std::uint64_t t_complete_ns);
+    /** Monotonic ns: tracer epoch when tracing, engine epoch when only
+     *  metrics are on (accounting must not depend on the tracer). */
+    std::uint64_t obs_now_ns() const;
 
     EngineConfig config_;
     InputGenerator input_;
@@ -235,13 +288,128 @@ class WorkStealingEngine : public Engine
     std::vector<const phy::UserSignal *> signals_;
     SubframeOutcome outcome_;
 
-    /** Observability state (null unless config.obs.enabled). */
+    /** Tracing state (null unless config.obs.enabled); metrics_ is
+     *  live whenever obs.enabled or obs.metrics_enabled. */
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::SubframeSeries> series_;
     std::unique_ptr<obs::MetricsRegistry> metrics_;
     obs::Counter *subframes_counter_ = nullptr;
     obs::Counter *users_counter_ = nullptr;
     obs::Counter *deadline_miss_counter_ = nullptr;
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * The streaming engine (the tentpole of the subframe-based power
+ * management study's overload behaviour): a TTI-paced arrival source
+ * feeds a bounded admission ring of pooled jobs; up to max_in_flight
+ * subframes execute concurrently on the work-stealing pool, each
+ * waited on individually (WorkerPool::wait_job) instead of through the
+ * global wait_idle() barrier.  An admission controller enforces
+ * deadline_ms: when the ring is full or a queued subframe has aged
+ * past the deadline, it sheds by the configured ShedPolicy and records
+ * the decision (SpanKind::kShed, engine.shed* counters).  With
+ * deadline_ms == 0 the engine is lossless and applies backpressure
+ * instead, which makes its output bit-identical to the lock-step
+ * engines for the same model stream.
+ */
+class StreamingEngine : public Engine
+{
+  public:
+    explicit StreamingEngine(const EngineConfig &config);
+
+    const char *name() const override { return "streaming"; }
+    const SubframeOutcome &
+    process_subframe(const phy::SubframeParams &params) override;
+    RunRecord run(workload::ParameterModel &model,
+                  std::size_t n_subframes) override;
+    void set_estimator(
+        std::optional<mgmt::WorkloadEstimator> estimator) override;
+    WorkerPool *worker_pool() override { return pool_.get(); }
+    InputGenerator &input() override { return input_; }
+    const EngineConfig &config() const override { return config_; }
+    obs::Tracer *tracer() override { return tracer_.get(); }
+    const obs::SubframeSeries *subframe_series() const override
+    {
+        return series_.get();
+    }
+    obs::MetricsRegistry *metrics() override { return metrics_.get(); }
+
+    /** Admission tallies of the last run() (also exported as
+     *  engine.* counters when metrics are enabled). */
+    struct ShedStats
+    {
+        std::uint64_t submitted = 0; ///< arrivals offered by the model
+        std::uint64_t admitted = 0;  ///< entered the worker pool
+        std::uint64_t completed = 0; ///< finished processing
+        std::uint64_t shed = 0;      ///< dropped (queue-full + expired)
+        std::uint64_t shed_queue_full = 0;
+        std::uint64_t shed_expired = 0;
+        std::uint64_t degraded = 0;  ///< admitted on the degraded chain
+    };
+    const ShedStats &shed_stats() const { return shed_stats_; }
+
+  private:
+    SubframeJob *acquire_job();
+    void release_job(SubframeJob *job);
+    /** Eq. 4/5 with backlog awareness (queued + executing jobs). */
+    double apply_estimator(const phy::SubframeParams &params,
+                           std::size_t backlog);
+    std::size_t dispatch_slot() const { return config_.pool.n_workers; }
+    std::uint64_t obs_now_ns() const;
+    /** Age of a prepared-but-unfinished job in milliseconds. */
+    double age_ms(const SubframeJob &job, std::uint64_t now_ns) const;
+    void observe_completion(const SubframeJob &job,
+                            std::uint64_t t_complete_ns);
+    /** Account one shed subframe (kShed span + counters). */
+    void observe_shed(std::uint64_t subframe_index, bool expired);
+    /** Submit the pending front while in-flight slots are free; sheds
+     *  expired entries and flips long-waiting ones to the degraded
+     *  chain under ShedPolicy::kDegrade. */
+    void admit_pending();
+    /** Pop completed jobs off the executing front, in order. */
+    void reap_completed(RunRecord &record);
+    /** Block until the oldest executing job finishes, then reap. */
+    void drain_one(RunRecord &record);
+
+    EngineConfig config_;
+    InputGenerator input_;
+    std::unique_ptr<WorkerPool> pool_;
+    std::optional<mgmt::WorkloadEstimator> estimator_;
+
+    /** Pooled jobs; at most admission_queue + max_in_flight + 1 ever
+     *  exist. */
+    std::vector<std::unique_ptr<SubframeJob>> jobs_;
+    std::vector<SubframeJob *> free_jobs_;
+    std::vector<const phy::UserSignal *> signals_;
+    SubframeOutcome outcome_;
+
+    /** Prepared subframes waiting for an in-flight slot (the
+     *  admission ring; bounded by config.admission_queue). */
+    std::deque<SubframeJob *> pending_;
+    /** Submitted subframes, oldest first (bounded by max_in_flight). */
+    std::deque<SubframeJob *> executing_;
+
+    ShedStats shed_stats_;
+
+    /** Tracing state (null unless config.obs.enabled); metrics_ is
+     *  live whenever obs.enabled or obs.metrics_enabled. */
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::SubframeSeries> series_;
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    obs::Counter *subframes_counter_ = nullptr;
+    obs::Counter *users_counter_ = nullptr;
+    obs::Counter *deadline_miss_counter_ = nullptr;
+    obs::Counter *submitted_counter_ = nullptr;
+    obs::Counter *admitted_counter_ = nullptr;
+    obs::Counter *completed_counter_ = nullptr;
+    obs::Counter *shed_counter_ = nullptr;
+    obs::Counter *shed_queue_full_counter_ = nullptr;
+    obs::Counter *shed_expired_counter_ = nullptr;
+    obs::Counter *degraded_counter_ = nullptr;
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace lte::runtime

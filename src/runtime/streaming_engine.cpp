@@ -1,0 +1,418 @@
+/**
+ * @file
+ * The streaming subframe engine: TTI-paced admission, a bounded
+ * in-flight pipeline and deadline-aware load shedding.
+ *
+ * The lock-step engines answer the paper's validation question ("does
+ * the parallel receiver compute the same bits?"); this engine answers
+ * the deployment question ("what happens at 1 ms arrival cadence when
+ * the machine cannot keep up?").  Subframes arrive on a fixed TTI
+ * clock, wait in a bounded admission ring, execute concurrently on the
+ * work-stealing pool (each reaped individually via
+ * WorkerPool::wait_job — no global barrier), and are shed or degraded
+ * by the admission controller once the deadline budget is spent.
+ *
+ * Invariant maintained per run and asserted at its end:
+ *
+ *     shed + completed == submitted
+ *
+ * With deadline_ms == 0 the controller never sheds: a full pipeline
+ * blocks the arrival source instead (backpressure), which makes the
+ * engine lossless and its output bit-identical to the lock-step
+ * engines over the same parameter stream.
+ */
+#include "runtime/engine.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.hpp"
+#include "phy/kernel_scratch.hpp"
+#include "phy/op_model.hpp"
+
+namespace lte::runtime {
+
+namespace {
+
+/** Analytical flops of a subframe (op-model activity measure). */
+std::uint64_t
+subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas)
+{
+    std::uint64_t ops = 0;
+    for (const auto &user : params.users)
+        ops += phy::user_task_costs(user, n_antennas).total();
+    return ops;
+}
+
+/** Collect the outcome of a completed job. */
+SubframeOutcome
+collect(const SubframeJob &job)
+{
+    SubframeOutcome outcome;
+    outcome.subframe_index = job.params.subframe_index;
+    outcome.users.assign(job.results.begin(),
+                         job.results.begin() +
+                             static_cast<std::ptrdiff_t>(job.n_users));
+    return outcome;
+}
+
+bool
+job_done(const SubframeJob &job)
+{
+    return job.users_remaining.load(std::memory_order_acquire) <= 0;
+}
+
+} // namespace
+
+StreamingEngine::StreamingEngine(const EngineConfig &config)
+    : config_(config), input_(config.input)
+{
+    config_.validate();
+    config_.kind = EngineKind::kStreaming;
+    if (config_.obs.enabled) {
+        tracer_ = std::make_unique<obs::Tracer>(
+            config_.pool.n_workers + 1, config_.obs);
+        series_ = std::make_unique<obs::SubframeSeries>(
+            config_.obs.series_capacity);
+        config_.pool.tracer = tracer_.get();
+    }
+    // Metrics are independent of tracing (see SerialEngine::init_obs).
+    if (config_.obs.enabled || config_.obs.metrics_enabled) {
+        metrics_ = std::make_unique<obs::MetricsRegistry>();
+        subframes_counter_ = &metrics_->counter("engine.subframes");
+        users_counter_ = &metrics_->counter("engine.users");
+        deadline_miss_counter_ =
+            &metrics_->counter("engine.deadline_misses");
+        submitted_counter_ = &metrics_->counter("engine.submitted");
+        admitted_counter_ = &metrics_->counter("engine.admitted");
+        completed_counter_ = &metrics_->counter("engine.completed");
+        shed_counter_ = &metrics_->counter("engine.shed");
+        shed_queue_full_counter_ =
+            &metrics_->counter("engine.shed_queue_full");
+        shed_expired_counter_ =
+            &metrics_->counter("engine.shed_expired");
+        degraded_counter_ = &metrics_->counter("engine.degraded");
+    }
+    pool_ = std::make_unique<WorkerPool>(config_.pool);
+}
+
+void
+StreamingEngine::set_estimator(
+    std::optional<mgmt::WorkloadEstimator> estimator)
+{
+    estimator_ = std::move(estimator);
+}
+
+SubframeJob *
+StreamingEngine::acquire_job()
+{
+    if (free_jobs_.empty()) {
+        jobs_.push_back(std::make_unique<SubframeJob>());
+        return jobs_.back().get();
+    }
+    SubframeJob *job = free_jobs_.back();
+    free_jobs_.pop_back();
+    return job;
+}
+
+void
+StreamingEngine::release_job(SubframeJob *job)
+{
+    free_jobs_.push_back(job);
+}
+
+std::uint64_t
+StreamingEngine::obs_now_ns() const
+{
+    if (tracer_)
+        return tracer_->now_ns();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+double
+StreamingEngine::age_ms(const SubframeJob &job,
+                        std::uint64_t now_ns) const
+{
+    return static_cast<double>(now_ns - job.t_arrival_ns) / 1e6;
+}
+
+double
+StreamingEngine::apply_estimator(const phy::SubframeParams &params,
+                                 std::size_t backlog)
+{
+    const bool proactive =
+        estimator_.has_value() &&
+        (config_.pool.strategy == mgmt::Strategy::kNap ||
+         config_.pool.strategy == mgmt::Strategy::kNapIdle ||
+         config_.pool.strategy == mgmt::Strategy::kPowerGating);
+    if (!proactive)
+        return -1.0;
+    // Backlog-aware Eq. 4: resident subframes still demand cores, so
+    // the streaming engine must not power down under a queue.
+    const double estimate = estimator_->estimate_subframe(params, backlog);
+    pool_->set_active_workers(estimator_->active_cores(
+        estimate, static_cast<std::uint32_t>(pool_->n_workers()),
+        config_.core_margin));
+    return estimate;
+}
+
+void
+StreamingEngine::observe_completion(const SubframeJob &job,
+                                    std::uint64_t t_complete_ns)
+{
+    ++shed_stats_.completed;
+    obs::SubframeSample sample;
+    sample.subframe_index = job.params.subframe_index;
+    // Latency is admission-to-completion: the deadline clock starts at
+    // the TTI tick, not at pool admission, so queue wait counts.
+    sample.t_dispatch_ns = job.t_arrival_ns;
+    sample.t_complete_ns = t_complete_ns;
+    sample.n_users = static_cast<std::uint32_t>(job.n_users);
+    sample.active_workers =
+        static_cast<std::uint32_t>(pool_->active_workers());
+    sample.est_activity = job.est_activity;
+    sample.ops = subframe_ops(job.params, config_.receiver.n_antennas);
+    if (tracer_) {
+        tracer_->record(dispatch_slot(), obs::SpanKind::kSubframe,
+                        job.t_dispatch_ns, t_complete_ns,
+                        job.params.subframe_index);
+        series_->push(sample);
+    }
+    if (metrics_) {
+        subframes_counter_->add();
+        completed_counter_->add();
+        users_counter_->add(job.n_users);
+        if (sample.latency_ms() > config_.obs.deadline_ms)
+            deadline_miss_counter_->add();
+    }
+}
+
+void
+StreamingEngine::observe_shed(std::uint64_t subframe_index, bool expired)
+{
+    ++shed_stats_.shed;
+    if (expired)
+        ++shed_stats_.shed_expired;
+    else
+        ++shed_stats_.shed_queue_full;
+    if (tracer_) {
+        tracer_->record_instant(dispatch_slot(), obs::SpanKind::kShed,
+                                obs_now_ns(), subframe_index);
+    }
+    if (metrics_) {
+        shed_counter_->add();
+        (expired ? shed_expired_counter_ : shed_queue_full_counter_)
+            ->add();
+    }
+}
+
+void
+StreamingEngine::admit_pending()
+{
+    while (!pending_.empty()) {
+        SubframeJob *job = pending_.front();
+        const std::uint64_t now = obs_now_ns();
+        const double age = age_ms(*job, now);
+        if (config_.deadline_ms > 0.0 && age > config_.deadline_ms) {
+            // Expired in the queue: nothing useful left to compute.
+            pending_.pop_front();
+            observe_shed(job->params.subframe_index, /*expired=*/true);
+            release_job(job);
+            continue;
+        }
+        if (executing_.size() >= config_.max_in_flight)
+            break;
+        if (config_.shed_policy == ShedPolicy::kDegrade &&
+            config_.deadline_ms > 0.0 &&
+            age > 0.5 * config_.deadline_ms) {
+            // Over half the budget gone waiting: trade EVM for
+            // latency rather than risk a drop.
+            job->set_degraded(true);
+            ++shed_stats_.degraded;
+            if (metrics_)
+                degraded_counter_->add();
+        }
+        pending_.pop_front();
+        job->t_dispatch_ns = now;
+        if (tracer_) {
+            tracer_->record_instant(dispatch_slot(),
+                                    obs::SpanKind::kDispatch, now,
+                                    job->params.subframe_index);
+        }
+        ++shed_stats_.admitted;
+        if (metrics_)
+            admitted_counter_->add();
+        if (job->n_users > 0)
+            pool_->submit(job);
+        // A zero-user job is born complete (users_remaining == 0); it
+        // still flows through executing_ so reaping preserves order.
+        executing_.push_back(job);
+    }
+}
+
+void
+StreamingEngine::reap_completed(RunRecord &record)
+{
+    while (!executing_.empty() && job_done(*executing_.front())) {
+        SubframeJob *job = executing_.front();
+        executing_.pop_front();
+        observe_completion(*job, obs_now_ns());
+        record.subframes.push_back(collect(*job));
+        release_job(job);
+    }
+}
+
+void
+StreamingEngine::drain_one(RunRecord &record)
+{
+    LTE_ASSERT(!executing_.empty(),
+               "drain_one() needs an in-flight subframe");
+    pool_->wait_job(*executing_.front());
+    reap_completed(record);
+}
+
+const SubframeOutcome &
+StreamingEngine::process_subframe(const phy::SubframeParams &params)
+{
+    params.validate();
+    LTE_ASSERT(pending_.empty() && executing_.empty(),
+               "process_subframe() may not interleave with run()");
+    input_.signals_for(params, signals_);
+    const double estimate = apply_estimator(params, 0);
+
+    SubframeJob *job = acquire_job();
+    job->prepare(params, signals_, config_.receiver);
+    job->t_arrival_ns = obs_now_ns();
+    job->t_dispatch_ns = job->t_arrival_ns;
+    job->est_activity = estimate;
+    if (tracer_) {
+        tracer_->record_instant(dispatch_slot(), obs::SpanKind::kDispatch,
+                                job->t_dispatch_ns,
+                                params.subframe_index);
+    }
+    ++shed_stats_.submitted;
+    ++shed_stats_.admitted;
+    if (metrics_) {
+        submitted_counter_->add();
+        admitted_counter_->add();
+    }
+    if (job->n_users > 0) {
+        pool_->submit(job);
+        pool_->wait_job(*job);
+    }
+    observe_completion(*job, obs_now_ns());
+
+    outcome_.subframe_index = params.subframe_index;
+    outcome_.users = job->results; // capacity reuse, scalar payload
+    release_job(job);
+    return outcome_;
+}
+
+RunRecord
+StreamingEngine::run(workload::ParameterModel &model,
+                     std::size_t n_subframes)
+{
+    using clock = std::chrono::steady_clock;
+
+    RunRecord record;
+    record.subframes.reserve(n_subframes);
+    shed_stats_ = ShedStats{};
+    pool_->reset_activity();
+    const auto run_start = clock::now();
+    auto next_arrival = run_start;
+    const auto delta =
+        std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double, std::milli>(config_.delta_ms));
+
+    for (std::size_t i = 0; i < n_subframes; ++i) {
+        // The TTI clock: arrivals come every delta_ms whether or not
+        // the pipeline kept up (free-running when delta_ms == 0).
+        if (config_.delta_ms > 0.0) {
+            std::this_thread::sleep_until(next_arrival);
+            next_arrival += delta;
+        }
+        reap_completed(record);
+
+        const phy::SubframeParams params = model.next_subframe();
+        params.validate();
+        ++shed_stats_.submitted;
+        if (metrics_)
+            submitted_counter_->add();
+
+        // Make room in the admission ring.
+        bool admit_arrival = true;
+        if (pending_.size() >= config_.admission_queue) {
+            if (config_.deadline_ms == 0.0) {
+                // Lossless mode: block the arrival source until the
+                // pipeline frees a slot (backpressure, never shed).
+                while (pending_.size() >= config_.admission_queue) {
+                    admit_pending();
+                    if (pending_.size() < config_.admission_queue)
+                        break;
+                    drain_one(record);
+                }
+            } else if (config_.shed_policy == ShedPolicy::kDropOldest) {
+                // The oldest queued subframe is the closest to its
+                // deadline — sacrifice it for the fresh arrival.
+                SubframeJob *oldest = pending_.front();
+                pending_.pop_front();
+                observe_shed(oldest->params.subframe_index,
+                             /*expired=*/false);
+                release_job(oldest);
+            } else {
+                // kDropNewest / kDegrade: keep the queued work.  For
+                // kDegrade this is what lets jobs age toward the
+                // half-deadline mark and take the cheap chain instead
+                // of being refreshed out of the ring by new arrivals.
+                observe_shed(params.subframe_index, /*expired=*/false);
+                admit_arrival = false;
+            }
+        }
+
+        if (admit_arrival) {
+            const double estimate = apply_estimator(
+                params, pending_.size() + executing_.size());
+            input_.signals_for(params, signals_);
+            SubframeJob *job = acquire_job();
+            job->prepare(params, signals_, config_.receiver);
+            job->t_arrival_ns = obs_now_ns();
+            job->est_activity = estimate;
+            pending_.push_back(job);
+        }
+        admit_pending();
+    }
+
+    // Drain the tail; queued subframes can still expire while the
+    // pipeline catches up.
+    while (!pending_.empty() || !executing_.empty()) {
+        if (!executing_.empty())
+            drain_one(record);
+        admit_pending();
+    }
+
+    LTE_ASSERT(shed_stats_.shed + shed_stats_.completed ==
+                   shed_stats_.submitted,
+               "admission accounting lost a subframe");
+
+    const auto snap = pool_->activity();
+    record.wall_seconds =
+        std::chrono::duration<double>(clock::now() - run_start).count();
+    record.activity = snap.activity(pool_->n_workers());
+    record.total_ops = snap.ops;
+    record.steals = pool_->steals();
+    if (metrics_) {
+        metrics_->gauge("engine.activity").set(record.activity);
+        metrics_->gauge("engine.wall_seconds").set(record.wall_seconds);
+        metrics_->counter("engine.steals").add(record.steals);
+        if (tracer_) {
+            metrics_->gauge("engine.trace_dropped")
+                .set(static_cast<double>(tracer_->total_dropped()));
+        }
+    }
+    return record;
+}
+
+} // namespace lte::runtime

@@ -56,9 +56,11 @@ struct UserWork
      */
     void
     reset(const phy::UserParams &params, const phy::UserSignal *signal,
-          SubframeJob *parent_job, std::size_t slot)
+          SubframeJob *parent_job, std::size_t slot,
+          bool degraded = false)
     {
         proc.bind(params, signal);
+        proc.set_degraded(degraded);
         costs = phy::user_task_costs(params, n_antennas);
         parent = parent_job;
         result_slot = slot;
@@ -108,11 +110,17 @@ struct SubframeJob
     std::vector<UserOutcome> results;
     std::atomic<std::int32_t> users_remaining{0};
 
-    /** Observability (set by the engine when tracing is enabled):
-     *  dispatch timestamp relative to the tracer epoch and the
-     *  estimator's Eq. 4 output for this subframe (-1 if none). */
+    /** Observability (set by the engine when obs is on): arrival and
+     *  dispatch timestamps relative to the engine's clock epoch and
+     *  the estimator's Eq. 4 output for this subframe (-1 if none).
+     *  For lock-step engines arrival == dispatch; the streaming
+     *  engine stamps arrival at the TTI tick and dispatch at pool
+     *  admission, so the gap is admission-queue wait. */
+    std::uint64_t t_arrival_ns = 0;
     std::uint64_t t_dispatch_ns = 0;
     double est_activity = -1.0;
+    /** Processed with the degraded (MRC / no-turbo) receive chain. */
+    bool degraded = false;
 
     /**
      * (Re)bind the job to a subframe: pools UserWork objects (growing
@@ -126,11 +134,25 @@ struct SubframeJob
     {
         params = subframe;
         n_users = subframe.users.size();
+        degraded = false;
         while (users.size() < n_users)
             users.push_back(std::make_unique<UserWork>(receiver));
         results.resize(n_users);
         for (std::size_t u = 0; u < n_users; ++u)
             users[u]->reset(subframe.users[u], signals[u], this, u);
+    }
+
+    /**
+     * Switch every pooled user processor of this (prepared, not yet
+     * submitted) job to the degraded receive chain — the streaming
+     * admission controller's "degrade" shed action.
+     */
+    void
+    set_degraded(bool value)
+    {
+        degraded = value;
+        for (std::size_t u = 0; u < n_users; ++u)
+            users[u]->proc.set_degraded(value);
     }
 };
 

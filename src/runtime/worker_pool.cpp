@@ -18,6 +18,17 @@ ActivitySnapshot::activity(std::size_t n_workers) const
             static_cast<double>(n_workers));
 }
 
+ActivitySnapshot
+ActivitySnapshot::operator-(const ActivitySnapshot &earlier) const
+{
+    ActivitySnapshot delta;
+    delta.busy = busy - earlier.busy;
+    delta.wall = wall - earlier.wall;
+    delta.ops = ops - earlier.ops;
+    delta.steals = steals - earlier.steals;
+    return delta;
+}
+
 WorkerPool::WorkerPool(const WorkerPoolConfig &config)
     : config_(config), active_workers_(config.n_workers),
       epoch_(std::chrono::steady_clock::now())
@@ -66,6 +77,18 @@ WorkerPool::wait_idle()
 }
 
 void
+WorkerPool::wait_job(const SubframeJob &job)
+{
+    // finish_user() notifies done_cv_ on every job completion (the
+    // users_remaining 1 -> 0 transition), so waiting on one job is the
+    // same condition variable with a per-job predicate.
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [&job] {
+        return job.users_remaining.load(std::memory_order_acquire) <= 0;
+    });
+}
+
+void
 WorkerPool::set_active_workers(std::size_t n)
 {
     active_workers_.store(
@@ -74,36 +97,39 @@ WorkerPool::set_active_workers(std::size_t n)
 }
 
 ActivitySnapshot
-WorkerPool::activity() const
+WorkerPool::activity_total() const
 {
     ActivitySnapshot snap;
     for (const auto &s : stats_) {
         snap.busy += std::chrono::nanoseconds(
             s->busy_ns.load(std::memory_order_relaxed));
         snap.ops += s->ops.load(std::memory_order_relaxed);
+        snap.steals += s->steals.load(std::memory_order_relaxed);
     }
     snap.wall = std::chrono::steady_clock::now() - epoch_;
     return snap;
 }
 
+ActivitySnapshot
+WorkerPool::activity() const
+{
+    const ActivitySnapshot total = activity_total();
+    std::lock_guard<std::mutex> lock(baseline_mutex_);
+    return total - baseline_;
+}
+
 void
 WorkerPool::reset_activity()
 {
-    for (auto &s : stats_) {
-        s->busy_ns.store(0, std::memory_order_relaxed);
-        s->ops.store(0, std::memory_order_relaxed);
-        s->steals.store(0, std::memory_order_relaxed);
-    }
-    epoch_ = std::chrono::steady_clock::now();
+    const ActivitySnapshot total = activity_total();
+    std::lock_guard<std::mutex> lock(baseline_mutex_);
+    baseline_ = total;
 }
 
 std::uint64_t
 WorkerPool::steals() const
 {
-    std::uint64_t total = 0;
-    for (const auto &s : stats_)
-        total += s->steals.load(std::memory_order_relaxed);
-    return total;
+    return activity().steals;
 }
 
 UserWork *

@@ -55,7 +55,15 @@ struct WorkerPoolConfig
     obs::Tracer *tracer = nullptr;
 };
 
-/** Aggregate activity accounting (the paper's Eq. 1/2 counters). */
+/**
+ * Aggregate activity accounting (the paper's Eq. 1/2 counters).
+ *
+ * Snapshots are cumulative-since-construction; an *interval* is the
+ * difference of two snapshots (operator-).  Interval arithmetic is the
+ * only correct way to measure a burst: resetting the underlying
+ * counters while workers run would lose in-flight accumulation and
+ * race on the epoch.
+ */
 struct ActivitySnapshot
 {
     /** Sum over workers of time spent executing useful work. */
@@ -64,9 +72,14 @@ struct ActivitySnapshot
     std::chrono::nanoseconds wall{0};
     /** Analytical flops executed (deterministic activity measure). */
     std::uint64_t ops = 0;
+    /** Tasks stolen from another worker's deque. */
+    std::uint64_t steals = 0;
 
     /** busy / (wall * n_workers), the paper's "activity". */
     double activity(std::size_t n_workers) const;
+
+    /** Interval between two cumulative snapshots (*this - earlier). */
+    ActivitySnapshot operator-(const ActivitySnapshot &earlier) const;
 };
 
 class WorkerPool
@@ -90,6 +103,14 @@ class WorkerPool
     void wait_idle();
 
     /**
+     * Block until @p job (previously submit()ted) has completed.
+     * Unlike wait_idle() this is per-job: other subframes may still be
+     * in flight — the streaming engine's replacement for the global
+     * barrier.
+     */
+    void wait_job(const SubframeJob &job);
+
+    /**
      * NAP control: workers with index >= n park themselves (after
      * finishing their current work item).  Clamped to [1, n_workers].
      */
@@ -98,11 +119,27 @@ class WorkerPool
     std::size_t active_workers() const { return active_workers_.load(); }
     std::size_t n_workers() const { return workers_.size(); }
 
-    /** Activity accounting since construction or the last reset. */
+    /**
+     * Cumulative activity since pool construction (wall measured from
+     * the immutable construction epoch).  Subtract two of these for an
+     * interval measurement.
+     */
+    ActivitySnapshot activity_total() const;
+
+    /** Activity accounting since construction or the last reset
+     *  (activity_total() minus the reset baseline). */
     ActivitySnapshot activity() const;
+
+    /**
+     * Start a new measurement interval.  Implemented as a baseline
+     * snapshot, not a counter wipe: worker counters are monotone, so a
+     * reset can neither lose in-flight accumulation nor race with
+     * activity() readers on a mutable epoch.
+     */
     void reset_activity();
 
-    /** Total tasks stolen from another worker's deque (diagnostics). */
+    /** Tasks stolen from another worker's deque since construction or
+     *  the last reset (diagnostics). */
     std::uint64_t steals() const;
 
   private:
@@ -144,7 +181,12 @@ class WorkerPool
 
     std::atomic<std::size_t> active_workers_;
     std::atomic<bool> stop_{false};
-    std::chrono::steady_clock::time_point epoch_;
+    /** Construction epoch; immutable so activity_total() is race-free. */
+    const std::chrono::steady_clock::time_point epoch_;
+
+    /** Baseline snapshot set by reset_activity(). */
+    mutable std::mutex baseline_mutex_;
+    ActivitySnapshot baseline_;
 };
 
 } // namespace lte::runtime

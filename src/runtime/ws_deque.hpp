@@ -21,13 +21,29 @@
 #include <optional>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace lte::runtime {
 
 template <typename T>
 class WsDeque
 {
   public:
-    WsDeque() : buffer_(kInitialCapacity) {}
+    /** Far above the largest task burst one user creates
+     *  (6 x kMaxLayers demod tasks = 24); power of two for masking. */
+    static constexpr std::size_t kInitialCapacity = 256;
+
+    /**
+     * @param capacity initial ring capacity; MUST be a power of two —
+     *        index() and steal_top() mask with capacity - 1, and a
+     *        non-power-of-two size would silently alias slots.
+     */
+    explicit WsDeque(std::size_t capacity = kInitialCapacity)
+        : buffer_(capacity)
+    {
+        LTE_CHECK(capacity >= 1 && (capacity & (capacity - 1)) == 0,
+                  "WsDeque capacity must be a power of two");
+    }
 
     /** Owner side: push a task at the bottom. */
     void
@@ -80,9 +96,9 @@ class WsDeque
     }
 
   private:
-    /** Far above the largest task burst one user creates
-     *  (6 x kMaxLayers demod tasks = 24); power of two for masking. */
-    static constexpr std::size_t kInitialCapacity = 256;
+    static_assert((kInitialCapacity & (kInitialCapacity - 1)) == 0,
+                  "masking in index()/steal_top() requires a "
+                  "power-of-two capacity");
 
     std::size_t
     index(std::size_t i) const
@@ -93,11 +109,15 @@ class WsDeque
     void
     grow()
     {
+        // Doubling a power of two keeps the mask invariant; the copy
+        // below linearises the (possibly wrapped) ring from head_.
         std::vector<T> bigger(buffer_.size() * 2);
         for (std::size_t i = 0; i < count_; ++i)
             bigger[i] = buffer_[index(i)];
         buffer_.swap(bigger);
         head_ = 0;
+        LTE_ASSERT((buffer_.size() & (buffer_.size() - 1)) == 0,
+                   "grow() broke the power-of-two capacity invariant");
     }
 
     mutable std::mutex mutex_;

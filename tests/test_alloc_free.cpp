@@ -242,6 +242,18 @@ TEST(AllocFree, WorkStealingEngineTracingEnabledDoesNotAllocate)
     expect_zero_alloc_steady_state(EngineKind::kWorkStealing, true);
 }
 
+TEST(AllocFree, StreamingEngineSteadyStateDoesNotAllocate)
+{
+    // The streaming engine's synchronous path reuses the same pooled
+    // jobs and per-job wait; admission bookkeeping is plain counters.
+    expect_zero_alloc_steady_state(EngineKind::kStreaming);
+}
+
+TEST(AllocFree, StreamingEngineTracingEnabledDoesNotAllocate)
+{
+    expect_zero_alloc_steady_state(EngineKind::kStreaming, true);
+}
+
 TEST(AllocFree, CounterSeesAllocations)
 {
     // Sanity-check the harness itself.

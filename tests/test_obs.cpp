@@ -16,6 +16,7 @@
 #include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "workload/paper_model.hpp"
+#include "workload/steady_model.hpp"
 
 namespace {
 
@@ -393,6 +394,46 @@ TEST(ObsIntegration, DisabledEngineHasNoObsState)
     EXPECT_EQ(engine->tracer(), nullptr);
     EXPECT_EQ(engine->subframe_series(), nullptr);
     EXPECT_EQ(engine->metrics(), nullptr);
+}
+
+TEST(ObsIntegration, MetricsWithoutTracingStillCount)
+{
+    // Regression: subframe/user/deadline-miss accounting used to live
+    // inside `if (tracer_)` blocks, so turning tracing off silently
+    // zeroed engine.deadline_misses even when the metrics registry was
+    // wanted.  Metrics are now their own switch.
+    phy::UserParams user;
+    user.prb = 25;
+    user.layers = 2;
+    user.mod = Modulation::k16Qam;
+    for (EngineKind kind :
+         {EngineKind::kSerial, EngineKind::kWorkStealing,
+          EngineKind::kStreaming}) {
+        EngineConfig cfg;
+        cfg.kind = kind;
+        cfg.pool.n_workers = 2;
+        cfg.input.pool_size = 2;
+        cfg.obs.enabled = false;
+        cfg.obs.metrics_enabled = true;
+        cfg.obs.deadline_ms = 1e-6; // every real subframe misses
+        auto engine = make_engine(cfg);
+
+        workload::SteadyModel model(user);
+        engine->run(model, 10);
+
+        EXPECT_EQ(engine->tracer(), nullptr)
+            << engine_kind_name(kind);
+        EXPECT_EQ(engine->subframe_series(), nullptr)
+            << engine_kind_name(kind);
+        ASSERT_NE(engine->metrics(), nullptr) << engine_kind_name(kind);
+        auto &m = *engine->metrics();
+        EXPECT_EQ(m.counter("engine.subframes").value(), 10u)
+            << engine_kind_name(kind);
+        EXPECT_EQ(m.counter("engine.users").value(), 10u)
+            << engine_kind_name(kind);
+        EXPECT_EQ(m.counter("engine.deadline_misses").value(), 10u)
+            << engine_kind_name(kind);
+    }
 }
 
 } // namespace

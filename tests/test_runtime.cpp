@@ -35,6 +35,41 @@ TEST(WsDeque, LifoForOwnerFifoForThief)
     EXPECT_FALSE(dq.steal_top().has_value());
 }
 
+TEST(WsDeque, RejectsNonPowerOfTwoCapacity)
+{
+    // index() and steal_top() mask with capacity - 1; a capacity of 3
+    // would silently alias slots instead of wrapping.
+    EXPECT_THROW(WsDeque<int>(0), std::invalid_argument);
+    EXPECT_THROW(WsDeque<int>(3), std::invalid_argument);
+    EXPECT_THROW(WsDeque<int>(100), std::invalid_argument);
+    EXPECT_NO_THROW(WsDeque<int>(1));
+    EXPECT_NO_THROW(WsDeque<int>(64));
+}
+
+TEST(WsDeque, GrowWithWrappedRingPreservesOrder)
+{
+    // Interleaved steals advance head_, so the ring is wrapped when
+    // the next push triggers grow(); the linearisation copy must keep
+    // both disciplines intact (FIFO for thieves, LIFO for the owner).
+    WsDeque<int> dq(4);
+    for (int i = 0; i < 4; ++i)
+        dq.push_bottom(i);
+    EXPECT_EQ(dq.steal_top().value(), 0); // head_ now non-zero
+    EXPECT_EQ(dq.steal_top().value(), 1);
+    for (int i = 4; i < 10; ++i)
+        dq.push_bottom(i); // grows past capacity with head_ != 0
+    EXPECT_EQ(dq.size(), 8u);
+
+    EXPECT_EQ(dq.steal_top().value(), 2); // oldest survivor
+    EXPECT_EQ(dq.pop_bottom().value(), 9); // newest
+    EXPECT_EQ(dq.steal_top().value(), 3);
+    EXPECT_EQ(dq.pop_bottom().value(), 8);
+    for (int expect : {4, 5, 6, 7})
+        EXPECT_EQ(dq.steal_top().value(), expect);
+    EXPECT_FALSE(dq.steal_top().has_value());
+    EXPECT_FALSE(dq.pop_bottom().has_value());
+}
+
 TEST(WsDeque, ConcurrentStealsLoseNothing)
 {
     WsDeque<int> dq;
@@ -285,6 +320,87 @@ TEST(WorkerPool, EstimatorDrivenNapAdjustsActiveCores)
     bench.run(model, 5);
     // estimate = 2 * 0.001 = 0.002 -> 0.002*6 + 2 -> ceil -> 3.
     EXPECT_EQ(bench.pool().active_workers(), 3u);
+}
+
+TEST(WorkerPool, IntervalSnapshotsAreDeltaBased)
+{
+    // Regression: reset_activity() used to wipe the busy/ops counters
+    // while activity() kept measuring wall time from the construction
+    // epoch, so every interval after the first diluted busy time over
+    // the pool's whole lifetime.  Snapshots are now cumulative and an
+    // interval is the difference of two of them.
+    WorkerPoolConfig cfg;
+    cfg.n_workers = 2;
+    WorkerPool pool(cfg);
+
+    InputGeneratorConfig input_cfg;
+    input_cfg.pool_size = 2;
+    InputGenerator gen(input_cfg);
+    phy::SubframeParams sf;
+    phy::UserParams user;
+    user.prb = 50;
+    user.layers = 2;
+    user.mod = Modulation::k16Qam;
+    sf.users.push_back(user);
+    std::vector<const phy::UserSignal *> signals;
+    gen.signals_for(sf, signals);
+
+    SubframeJob job;
+    job.prepare(sf, signals, phy::ReceiverConfig{});
+    pool.submit(&job);
+    pool.wait_idle();
+    const ActivitySnapshot first = pool.activity();
+    EXPECT_GT(first.ops, 0u);
+    EXPECT_GT(first.busy.count(), 0);
+
+    // A fresh interval starts empty even though the counters kept
+    // their cumulative values.
+    pool.reset_activity();
+    const ActivitySnapshot idle = pool.activity();
+    EXPECT_EQ(idle.ops, 0u);
+    EXPECT_EQ(idle.busy.count(), 0);
+
+    // An identical second burst measures the same analytical ops on
+    // its own, unpolluted by the first interval.
+    job.prepare(sf, signals, phy::ReceiverConfig{});
+    pool.submit(&job);
+    pool.wait_idle();
+    const ActivitySnapshot second = pool.activity();
+    EXPECT_EQ(second.ops, first.ops);
+
+    // The cumulative view spans both bursts, and interval arithmetic
+    // recovers the first one.
+    const ActivitySnapshot total = pool.activity_total();
+    EXPECT_EQ(total.ops, first.ops + second.ops);
+    EXPECT_GE(total.wall.count(), second.wall.count());
+    EXPECT_EQ((total - second).ops, first.ops);
+}
+
+TEST(WorkerPool, WaitJobReturnsWhenThatJobCompletes)
+{
+    WorkerPoolConfig cfg;
+    cfg.n_workers = 2;
+    WorkerPool pool(cfg);
+
+    InputGeneratorConfig input_cfg;
+    input_cfg.pool_size = 2;
+    InputGenerator gen(input_cfg);
+    phy::SubframeParams sf;
+    phy::UserParams user;
+    user.prb = 25;
+    user.layers = 1;
+    user.mod = Modulation::kQpsk;
+    sf.users.push_back(user);
+    std::vector<const phy::UserSignal *> signals;
+    gen.signals_for(sf, signals);
+
+    SubframeJob job;
+    job.prepare(sf, signals, phy::ReceiverConfig{});
+    pool.submit(&job);
+    pool.wait_job(job);
+    EXPECT_LE(job.users_remaining.load(std::memory_order_acquire), 0);
+    EXPECT_EQ(job.results.size(), 1u);
+    EXPECT_NE(job.results[0].checksum, 0u);
 }
 
 TEST(RunRecord, EquivalenceDetectsDifferences)
