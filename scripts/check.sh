@@ -24,6 +24,15 @@ run_preset() {
 }
 
 run_preset release
+
+# Multi-cell sweep: the cell-count-bearing suites honour LTE_CELLS, so
+# the same release binary proves per-cell digest parity at one, two
+# and four cells sharing the pool.
+for cells in 1 2 4; do
+    echo "==> release multi-cell sweep (LTE_CELLS=${cells})"
+    LTE_CELLS="${cells}" ./build/tests/test_multicell
+done
+
 run_preset asan
 # The tsan test preset filters to the concurrency/runtime suites (see
 # CMakePresets.json): pool interleavings, trace-ring export races, the
@@ -40,6 +49,11 @@ for inflight in 1 4; do
         ./build-tsan/tests/test_streaming \
         --gtest_filter='StreamingOverload.*:StreamingParity.*'
 done
+
+# Multi-cell soak under TSan: two cells racing one shared pool through
+# the WRR admission path and the per-cell reap lanes.
+echo "==> tsan multi-cell soak (LTE_CELLS=2)"
+LTE_CELLS=2 ./build-tsan/tests/test_multicell
 
 if [[ "${1:-}" == "--ubsan" ]]; then
     run_preset ubsan

@@ -33,13 +33,13 @@ random_user_signal(const phy::UserParams &params, std::size_t n_antennas,
 RealisticSignal
 realistic_user_signal(const phy::UserParams &params,
                       std::size_t n_antennas, double snr_db, Rng &rng,
-                      bool real_turbo)
+                      bool real_turbo, std::uint32_t cell_id)
 {
     ChannelConfig cfg;
     cfg.n_antennas = n_antennas;
     cfg.snr_db = snr_db;
 
-    tx::TxResult txr = tx::transmit_user(params, rng, real_turbo);
+    tx::TxResult txr = tx::transmit_user(params, rng, real_turbo, cell_id);
     MimoChannel chan(cfg, params.layers, rng);
 
     RealisticSignal out;

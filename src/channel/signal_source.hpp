@@ -33,7 +33,8 @@ struct RealisticSignal
 RealisticSignal realistic_user_signal(const phy::UserParams &params,
                                       std::size_t n_antennas,
                                       double snr_db, Rng &rng,
-                                      bool real_turbo = false);
+                                      bool real_turbo = false,
+                                      std::uint32_t cell_id = 1);
 
 } // namespace lte::channel
 

@@ -61,6 +61,29 @@ class Rng
     bool has_cached_gaussian_ = false;
 };
 
+/**
+ * Canonical per-cell seed derivation: every component that owns a cell
+ * RNG stream (input pools, per-cell parameter models) derives its
+ * effective seed from the master seed through this one function, so
+ * "same master seed + same cell id" yields the same stream no matter
+ * how many cells run beside it or which engine drives them.
+ *
+ * Cell 1 (the single-cell default) maps to the master seed itself,
+ * keeping 1-cell runs bit-identical to the pre-multi-cell engines;
+ * other cells get a splitmix64-style finalised mix.
+ */
+inline std::uint64_t
+cell_stream_seed(std::uint64_t master, std::uint32_t cell_id)
+{
+    if (cell_id <= 1)
+        return master;
+    std::uint64_t z =
+        master ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(cell_id));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace lte
 
 #endif // LTE_COMMON_RNG_HPP

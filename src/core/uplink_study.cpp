@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "mgmt/core_allocator.hpp"
 
 namespace lte::core {
@@ -148,6 +149,67 @@ UplinkStudy::run_strategy_on(mgmt::Strategy strategy,
     outcome.deadline_miss_rate =
         1.0 - outcome.sim.deadline_hit_rate(config_.deadline_periods);
     record_run_metrics(outcome);
+    return outcome;
+}
+
+MultiCellStrategyOutcome
+UplinkStudy::run_strategy_multicell(mgmt::Strategy strategy,
+                                    std::size_t n_cells)
+{
+    LTE_CHECK(n_cells >= 1, "need at least one cell");
+    LTE_CHECK(n_cells <= config_.sim.n_workers,
+              "need at least one worker per cell");
+    LTE_CHECK(config_.power.total_cores / config_.power.domain_size >=
+                  n_cells,
+              "need at least one power domain per cell");
+
+    MultiCellStrategyOutcome outcome;
+    outcome.strategy = strategy;
+    outcome.cells.reserve(n_cells);
+
+    // Equal static slices; the domain slice rounds down to whole
+    // domains so every cell's gating plan stays domain-aligned.
+    const auto n = static_cast<std::uint32_t>(n_cells);
+    StudyConfig cell_cfg = config_;
+    cell_cfg.sim.n_workers = std::max(1u, config_.sim.n_workers / n);
+    cell_cfg.power.total_cores = std::max(
+        config_.power.domain_size,
+        (config_.power.total_cores / n / config_.power.domain_size) *
+            config_.power.domain_size);
+    cell_cfg.power.base_power_w =
+        config_.power.base_power_w / static_cast<double>(n_cells);
+
+    std::vector<std::uint32_t> peak_demand(n_cells, 0);
+    for (std::size_t c = 0; c < n_cells; ++c) {
+        const auto cell_id = static_cast<std::uint32_t>(c + 1);
+        cell_cfg.model.seed =
+            cell_stream_seed(config_.model.seed, cell_id);
+        UplinkStudy cell_study(cell_cfg);
+        cell_study.prepare();
+        outcome.cells.push_back(cell_study.run_strategy(strategy));
+        for (std::uint32_t demand :
+             outcome.cells.back().sim.active_cores)
+            peak_demand[c] = std::max(peak_demand[c], demand);
+        outcome.total_power_w += outcome.cells.back().avg_power_w;
+        outcome.worst_deadline_miss_rate =
+            std::max(outcome.worst_deadline_miss_rate,
+                     outcome.cells.back().deadline_miss_rate);
+    }
+    outcome.total_dynamic_w =
+        outcome.total_power_w - config_.power.base_power_w;
+    outcome.domain_partition = mgmt::partition_domains(
+        peak_demand, config_.power.domain_size,
+        config_.power.total_cores);
+
+    const std::string prefix = std::string("study.multicell.") +
+                               mgmt::strategy_name(strategy);
+    metrics_->counter(prefix + ".runs").add(1);
+    metrics_->gauge(prefix + ".cells")
+        .set(static_cast<double>(n_cells));
+    metrics_->gauge(prefix + ".total_power_w")
+        .set(outcome.total_power_w);
+    metrics_->gauge(prefix + ".worst_deadline_miss_rate")
+        .set(outcome.worst_deadline_miss_rate);
     return outcome;
 }
 

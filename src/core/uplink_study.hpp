@@ -69,6 +69,22 @@ struct StrategyOutcome
     mgmt::GatingStats gating_stats;
 };
 
+/** Aggregates of a sharded multi-cell strategy run (DESIGN.md 3f). */
+struct MultiCellStrategyOutcome
+{
+    mgmt::Strategy strategy = mgmt::Strategy::kNoNap;
+    /** Per-cell outcomes; lane c serves physical cell id c+1. */
+    std::vector<StrategyOutcome> cells;
+    double total_power_w = 0.0;   ///< summed per-cell averages
+    double total_dynamic_w = 0.0; ///< total minus the full base power
+    /** Worst per-cell deadline miss rate (the board is only as
+     *  compliant as its worst sector). */
+    double worst_deadline_miss_rate = 0.0;
+    /** Eq. 6 chip partition from the cells' peak core demands:
+     *  powered cores per cell, multiples of domain_size. */
+    std::vector<std::uint32_t> domain_partition;
+};
+
 class UplinkStudy
 {
   public:
@@ -110,6 +126,19 @@ class UplinkStudy
      */
     StrategyOutcome run_strategy_overloaded(mgmt::Strategy strategy,
                                             double overload_factor);
+
+    /**
+     * Run one strategy on an @p n_cells -way sharded board: every
+     * cell receives an equal slice of the workers, power domains and
+     * base power, runs its own paper input model on a decorrelated
+     * per-cell stream (seed = cell_stream_seed(model.seed, cell_id)),
+     * and is calibrated at its sliced operating point, mirroring the
+     * paper's per-sector dimensioning.  The chip's power domains are
+     * then re-partitioned across the cells from their peak demands
+     * (partition_domains) to show the Eq. 6 apportionment.
+     */
+    MultiCellStrategyOutcome
+    run_strategy_multicell(mgmt::Strategy strategy, std::size_t n_cells);
 
     /**
      * Eq. 6-7: powered-core plan for a simulated run, padded with its

@@ -24,6 +24,26 @@ std::uint32_t discretise_to_domains(std::uint32_t active_cores,
                                     std::uint32_t total_cores);
 
 /**
+ * Partition the chip's power domains across cells from their core
+ * demands (multi-cell Eq. 6).  Each cell asks for
+ * ceil(demand / domain_size) domains (at least one: a served cell can
+ * never be fully powered off, its control channels still arrive every
+ * TTI).  When the requests fit the chip they are granted verbatim;
+ * when they overshoot, the domains are apportioned proportionally to
+ * the requests by largest remainder, still respecting the one-domain
+ * floor per cell.
+ *
+ * @param demands      per-cell active-core demand (Eq. 5 output)
+ * @param domain_size  cores per power domain (paper: 8)
+ * @param total_cores  chip size; must hold >= demands.size() domains
+ * @return per-cell powered core counts (multiples of domain_size),
+ *         index-aligned with @p demands
+ */
+std::vector<std::uint32_t>
+partition_domains(const std::vector<std::uint32_t> &demands,
+                  std::uint32_t domain_size, std::uint32_t total_cores);
+
+/**
  * Observability tallies of gating decisions: every change in the
  * powered-core count is a domain switch event, each of which costs
  * the paper's 15 mW on/off overhead (Eq. 9).

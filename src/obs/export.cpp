@@ -118,12 +118,12 @@ void
 write_subframe_csv(std::ostream &os, const SubframeSeries &series,
                    double deadline_ms)
 {
-    os << "subframe,t_dispatch_ms,t_complete_ms,latency_ms,n_users,ops,"
-          "est_activity,active_workers,deadline_met\n";
+    os << "subframe,cell,t_dispatch_ms,t_complete_ms,latency_ms,n_users,"
+          "ops,est_activity,active_workers,deadline_met\n";
     for (std::size_t i = 0; i < series.size(); ++i) {
         const SubframeSample &s = series.at(i);
         const double latency = s.latency_ms();
-        os << s.subframe_index << ','
+        os << s.subframe_index << ',' << s.cell_id << ','
            << static_cast<double>(s.t_dispatch_ns) / 1e6 << ','
            << static_cast<double>(s.t_complete_ns) / 1e6 << ','
            << latency << ',' << s.n_users << ',' << s.ops << ','

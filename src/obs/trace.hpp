@@ -56,6 +56,35 @@ inline constexpr std::size_t kSpanKindCount = 11;
 /** Short stable name used in exports ("chanest", "demod", ...). */
 const char *span_kind_name(SpanKind kind);
 
+/**
+ * Cell tagging for span arguments: the serving cell rides in the top
+ * 16 bits of the 64-bit payload, leaving 48 bits for the original
+ * value (user id, task index, subframe index).  Single-cell engines
+ * record untagged args (cell field 0), so existing traces and their
+ * consumers are unchanged; the multi-cell engine tags its dispatch /
+ * shed / subframe events so one shared trace can be split by cell.
+ */
+inline constexpr std::uint64_t
+make_cell_arg(std::uint32_t cell_id, std::uint64_t value)
+{
+    return (static_cast<std::uint64_t>(cell_id) << 48) |
+           (value & 0xFFFFFFFFFFFFULL);
+}
+
+/** The cell tag of a span argument (0 = untagged single-cell). */
+inline constexpr std::uint32_t
+arg_cell(std::uint64_t arg)
+{
+    return static_cast<std::uint32_t>(arg >> 48);
+}
+
+/** The value part of a (possibly cell-tagged) span argument. */
+inline constexpr std::uint64_t
+arg_value(std::uint64_t arg)
+{
+    return arg & 0xFFFFFFFFFFFFULL;
+}
+
 /** One recorded span; times are nanoseconds since the tracer epoch. */
 struct TraceEvent
 {
@@ -190,6 +219,8 @@ class Tracer
 struct SubframeSample
 {
     std::uint64_t subframe_index = 0;
+    /** Serving cell (1 for single-cell engines). */
+    std::uint32_t cell_id = 1;
     std::uint64_t t_dispatch_ns = 0; ///< since tracer epoch
     std::uint64_t t_complete_ns = 0;
     std::uint32_t n_users = 0;

@@ -28,6 +28,8 @@ SubframeParams::total_prb() const
 void
 SubframeParams::validate() const
 {
+    LTE_CHECK(cell_id >= 1 && cell_id <= 511,
+              "cell id must be 1..511 (9 scrambler bits)");
     LTE_CHECK(users.size() <= kMaxUsersPerSubframe,
               "at most 10 users per subframe");
     for (const auto &u : users)
@@ -60,6 +62,8 @@ ReceiverConfig::validate() const
 {
     LTE_CHECK(n_antennas >= 1 && n_antennas <= kMaxRxAntennas,
               "antennas must be 1..4");
+    LTE_CHECK(cell_id >= 1 && cell_id <= 511,
+              "cell id must be 1..511 (9 scrambler bits)");
     LTE_CHECK(window_fraction > 0.0 && window_fraction <= 1.0,
               "window fraction must be in (0, 1]");
     LTE_CHECK(default_noise_var > 0.0f, "noise variance must be positive");

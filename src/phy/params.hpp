@@ -53,6 +53,14 @@ struct UserParams
 struct SubframeParams
 {
     std::uint64_t subframe_index = 0;
+    /**
+     * Physical cell identity serving this subframe (1..511; the Gold
+     * scrambler reserves 9 bits).  Cell 1 is the single-cell default:
+     * all sequence derivations (scrambling init, DMRS roots, input
+     * pools) are the identity at cell 1, so single-cell runs are
+     * bit-identical to the pre-multi-cell pipeline.
+     */
+    std::uint32_t cell_id = 1;
     std::vector<UserParams> users;
 
     /** Sum of PRBs over all users. */
@@ -81,6 +89,10 @@ struct ReceiverConfig
 {
     /** Number of receive antennas (paper Sec. III: four). */
     std::size_t n_antennas = 4;
+
+    /** Physical cell identity this receiver serves (1..511); selects
+     *  the descrambling sequence and the expected DMRS roots. */
+    std::uint32_t cell_id = 1;
 
     /**
      * Fraction of the time-domain channel-estimate samples kept by the

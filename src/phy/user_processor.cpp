@@ -103,7 +103,8 @@ UserProcessor::bind(const UserParams &params, const UserSignal *signal)
         const std::size_t m = params_.sc_in_slot(slot);
         for (std::size_t l = 0; l < layers; ++l) {
             dmrs_[slot][l] = arena_.alloc<cf32>(m);
-            user_dmrs_into(params_.id, slot, l, dmrs_[slot][l]);
+            user_dmrs_into(params_.id, slot, l, dmrs_[slot][l],
+                           config_.cell_id);
         }
         channel_[slot] = arena_.alloc<cf32>(antennas * layers * m);
         equalised_[slot] =
@@ -282,7 +283,8 @@ UserProcessor::finish()
 
     // Soft descrambling with the user's Gold sequence (the inverse of
     // the transmitter's bit scrambling).
-    descramble_soft_inplace(llrs_, scrambling_init(params_.id));
+    descramble_soft_inplace(llrs_,
+                            scrambling_init(params_.id, config_.cell_id));
 
     result_.user_id = params_.id;
     result_.noise_var = noise_var_;

@@ -87,24 +87,22 @@ dmrs_for_layer(const CVec &base, std::size_t layer)
 
 CVec
 user_dmrs(std::uint32_t user_id, std::size_t slot, std::size_t m_sc,
-          std::size_t layer)
+          std::size_t layer, std::uint32_t cell_id)
 {
-    const auto root =
-        static_cast<std::uint32_t>(user_id * 7 + slot * 3 + 1);
+    const std::uint32_t root = dmrs_root(user_id, slot, cell_id);
     return dmrs_for_layer(dmrs_base_sequence(m_sc, root), layer);
 }
 
 void
 user_dmrs_into(std::uint32_t user_id, std::size_t slot, std::size_t layer,
-               CfSpan out)
+               CfSpan out, std::uint32_t cell_id)
 {
     const std::size_t m_sc = out.size();
     LTE_CHECK(m_sc >= kScPerPrb && m_sc % kScPerPrb == 0,
               "allocation must be a positive multiple of 12 subcarriers");
     LTE_CHECK(layer < kMaxLayers, "layer out of range");
 
-    const auto root =
-        static_cast<std::uint32_t>(user_id * 7 + slot * 3 + 1);
+    const std::uint32_t root = dmrs_root(user_id, slot, cell_id);
     const std::size_t n_zc = largest_prime_below(m_sc);
     const std::uint32_t q =
         1 + root % static_cast<std::uint32_t>(n_zc - 1);

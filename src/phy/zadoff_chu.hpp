@@ -52,11 +52,15 @@ CVec dmrs_for_layer(const CVec &base, std::size_t layer);
 
 /**
  * The complete layer DMRS a given user transmits in a given slot:
- * base sequence rooted by (user id, slot) with the layer cyclic shift.
- * Transmitter and receiver must use this same convention.
+ * base sequence rooted by (user id, slot, cell id) with the layer
+ * cyclic shift.  Transmitter and receiver must use this same
+ * convention.  The cell term mirrors TS 36.211's cell-dependent group
+ * hopping: distinct cells draw distinct ZC roots, so their reference
+ * sequences are decorrelated; cell 1 contributes nothing, keeping the
+ * single-cell sequences bit-identical to the pre-multi-cell ones.
  */
 CVec user_dmrs(std::uint32_t user_id, std::size_t slot, std::size_t m_sc,
-               std::size_t layer);
+               std::size_t layer, std::uint32_t cell_id = 1);
 
 /**
  * Heap-free variant of user_dmrs(): writes the @p out.size() sequence
@@ -64,7 +68,16 @@ CVec user_dmrs(std::uint32_t user_id, std::size_t slot, std::size_t m_sc,
  * extension and layer phase ramp are all computed in place.
  */
 void user_dmrs_into(std::uint32_t user_id, std::size_t slot,
-                    std::size_t layer, CfSpan out);
+                    std::size_t layer, CfSpan out,
+                    std::uint32_t cell_id = 1);
+
+/** The shared (user, slot, cell) -> ZC root convention. */
+inline std::uint32_t
+dmrs_root(std::uint32_t user_id, std::size_t slot, std::uint32_t cell_id)
+{
+    return static_cast<std::uint32_t>(user_id * 7 + slot * 3 + 1 +
+                                      (cell_id - 1) * 131);
+}
 
 } // namespace lte::phy
 

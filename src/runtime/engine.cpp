@@ -45,6 +45,8 @@ EngineConfig::validate() const
     LTE_CHECK(delta_ms >= 0.0, "delta must be non-negative");
     LTE_CHECK(deadline_ms >= 0.0, "deadline must be non-negative");
     LTE_CHECK(admission_queue >= 1, "need at least one admission slot");
+    LTE_CHECK(receiver.cell_id == input.cell_id,
+              "receiver and input generator must serve the same cell");
     receiver.validate();
     input.validate();
     obs.validate();
@@ -146,6 +148,7 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
     const std::uint64_t t_dispatch = observing ? obs_now_ns() : 0;
 
     outcome_.subframe_index = params.subframe_index;
+    outcome_.cell_id = params.cell_id;
     outcome_.users.resize(params.users.size());
     for (std::size_t u = 0; u < params.users.size(); ++u) {
         const std::uint64_t t_user = tracer_ ? tracer_->now_ns() : 0;
@@ -166,6 +169,7 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
         const std::uint64_t t_complete = obs_now_ns();
         obs::SubframeSample sample;
         sample.subframe_index = params.subframe_index;
+        sample.cell_id = params.cell_id;
         sample.t_dispatch_ns = t_dispatch;
         sample.t_complete_ns = t_complete;
         sample.n_users = static_cast<std::uint32_t>(params.users.size());
@@ -190,6 +194,7 @@ SerialEngine::run(workload::ParameterModel &model,
 {
     using clock = std::chrono::steady_clock;
     RunRecord record;
+    record.cell_id = config_.receiver.cell_id;
     record.subframes.reserve(n_subframes);
     const auto start = clock::now();
 
@@ -297,6 +302,7 @@ WorkStealingEngine::observe_completion(const SubframeJob &job,
 {
     obs::SubframeSample sample;
     sample.subframe_index = job.params.subframe_index;
+    sample.cell_id = job.cell_id;
     sample.t_dispatch_ns = job.t_dispatch_ns;
     sample.t_complete_ns = t_complete_ns;
     sample.n_users = static_cast<std::uint32_t>(job.n_users);
@@ -347,6 +353,7 @@ WorkStealingEngine::process_subframe(const phy::SubframeParams &params)
         observe_completion(*job, obs_now_ns());
 
     outcome_.subframe_index = params.subframe_index;
+    outcome_.cell_id = params.cell_id;
     outcome_.users = job->results; // capacity reuse, scalar payload
     release_job(job);
     return outcome_;
@@ -360,6 +367,7 @@ collect(const SubframeJob &job)
 {
     SubframeOutcome outcome;
     outcome.subframe_index = job.params.subframe_index;
+    outcome.cell_id = job.cell_id;
     outcome.users.assign(job.results.begin(),
                          job.results.begin() +
                              static_cast<std::ptrdiff_t>(job.n_users));
@@ -381,6 +389,7 @@ WorkStealingEngine::run(workload::ParameterModel &model,
     using clock = std::chrono::steady_clock;
 
     RunRecord record;
+    record.cell_id = config_.receiver.cell_id;
     record.subframes.reserve(n_subframes);
 
     std::deque<SubframeJob *> in_flight;

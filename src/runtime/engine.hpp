@@ -85,6 +85,23 @@ enum class ShedPolicy : std::uint8_t
  *  "degrade"). */
 const char *shed_policy_name(ShedPolicy policy);
 
+/**
+ * Admission tallies of one streaming run (also exported as engine.*
+ * counters when metrics are enabled).  Shared by the single-cell
+ * streaming engine and each cell lane of the multi-cell engine; the
+ * per-run invariant is shed + completed == submitted.
+ */
+struct ShedStats
+{
+    std::uint64_t submitted = 0; ///< arrivals offered by the model
+    std::uint64_t admitted = 0;  ///< entered the worker pool
+    std::uint64_t completed = 0; ///< finished processing
+    std::uint64_t shed = 0;      ///< dropped (queue-full + expired)
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_expired = 0;
+    std::uint64_t degraded = 0;  ///< admitted on the degraded chain
+};
+
 /** Unified engine configuration (superset of both engines' needs). */
 struct EngineConfig
 {
@@ -336,18 +353,7 @@ class StreamingEngine : public Engine
     }
     obs::MetricsRegistry *metrics() override { return metrics_.get(); }
 
-    /** Admission tallies of the last run() (also exported as
-     *  engine.* counters when metrics are enabled). */
-    struct ShedStats
-    {
-        std::uint64_t submitted = 0; ///< arrivals offered by the model
-        std::uint64_t admitted = 0;  ///< entered the worker pool
-        std::uint64_t completed = 0; ///< finished processing
-        std::uint64_t shed = 0;      ///< dropped (queue-full + expired)
-        std::uint64_t shed_queue_full = 0;
-        std::uint64_t shed_expired = 0;
-        std::uint64_t degraded = 0;  ///< admitted on the degraded chain
-    };
+    /** Admission tallies of the last run(). */
     const ShedStats &shed_stats() const { return shed_stats_; }
 
   private:

@@ -12,6 +12,8 @@ InputGeneratorConfig::validate() const
     LTE_CHECK(n_antennas >= 1 && n_antennas <= kMaxRxAntennas,
               "antennas must be 1..4");
     LTE_CHECK(pool_size >= 1, "pool must hold at least one data set");
+    LTE_CHECK(cell_id >= 1 && cell_id <= 511,
+              "cell id must be 1..511 (9 scrambler bits)");
 }
 
 InputGenerator::InputGenerator(const InputGeneratorConfig &config)
@@ -25,9 +27,12 @@ InputGenerator::random_signal(const phy::UserParams &user)
 {
     auto &pool = pools_[user.prb];
     if (pool.empty()) {
-        // Derive the pool deterministically from (seed, prb) so the
-        // contents do not depend on request order.
-        Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + user.prb);
+        // Derive the pool deterministically from (seed, cell, prb) so
+        // the contents depend neither on request order nor on which
+        // other cells run beside this one.
+        Rng rng(cell_stream_seed(config_.seed, config_.cell_id) *
+                    0x9e3779b97f4a7c15ULL +
+                user.prb);
         // Signal shape depends only on the PRB split, so generate
         // from canonical single-layer parameters rather than copying
         // the first requester's layers/mod/id — the pool is shared by
@@ -55,11 +60,12 @@ InputGenerator::realistic_signal(const phy::UserParams &user)
                            static_cast<std::uint8_t>(user.mod)};
     auto it = realistic_.find(key);
     if (it == realistic_.end()) {
-        Rng rng(config_.seed * 0x2545f4914f6cdd1dULL + user.id * 131 +
-                user.prb * 7 + user.layers);
+        Rng rng(cell_stream_seed(config_.seed, config_.cell_id) *
+                    0x2545f4914f6cdd1dULL +
+                user.id * 131 + user.prb * 7 + user.layers);
         auto generated = channel::realistic_user_signal(
             user, config_.n_antennas, config_.snr_db, rng,
-            config_.real_turbo);
+            config_.real_turbo, config_.cell_id);
         RealisticEntry entry;
         entry.signal = std::make_unique<phy::UserSignal>(
             std::move(generated.signal));

@@ -38,6 +38,14 @@ struct InputGeneratorConfig
     double snr_db = 30.0;
     bool real_turbo = false;
     std::uint64_t seed = 7;
+    /**
+     * Serving cell (1..511).  The effective pool seed is
+     * cell_stream_seed(seed, cell_id), so each cell owns an
+     * independent deterministic input stream; realistic signals are
+     * additionally transmitted with this cell's scrambler/DMRS.
+     * Cell 1 reproduces the single-cell pools bit-for-bit.
+     */
+    std::uint32_t cell_id = 1;
 
     void validate() const;
 };

@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Multi-cell engine implementation: per-cell admission lanes with a
+ * deficit weighted-round-robin drain into one shared in-flight window
+ * over the shared worker pool.
+ *
+ * Each lane reproduces the single-cell streaming engine's admission
+ * semantics exactly (expiry at the ring head, the half-deadline
+ * degrade mark, drop-newest/drop-oldest on a full ring, lossless
+ * backpressure at deadline 0), so a 1-cell run is step-for-step the
+ * single-cell engine and stays bit-identical to it.  What the
+ * multi-cell engine adds is the arbitration between lanes: admission
+ * order into the shared window follows WRR credits, and completion
+ * waits always target the globally oldest admitted job (smallest
+ * admit_seq across the lanes' executing fronts) so no cell can stall
+ * another's reaping.
+ */
+#include "runtime/multicell.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "phy/op_model.hpp"
+
+namespace lte::runtime {
+
+namespace {
+
+/** Analytical flops of a subframe (op-model activity measure). */
+std::uint64_t
+subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas)
+{
+    std::uint64_t ops = 0;
+    for (const auto &user : params.users)
+        ops += phy::user_task_costs(user, n_antennas).total();
+    return ops;
+}
+
+/** Collect the outcome of a completed job. */
+SubframeOutcome
+collect(const SubframeJob &job)
+{
+    SubframeOutcome outcome;
+    outcome.subframe_index = job.params.subframe_index;
+    outcome.cell_id = job.cell_id;
+    outcome.users.assign(job.results.begin(),
+                         job.results.begin() +
+                             static_cast<std::ptrdiff_t>(job.n_users));
+    return outcome;
+}
+
+bool
+job_done(const SubframeJob &job)
+{
+    return job.users_remaining.load(std::memory_order_acquire) <= 0;
+}
+
+} // namespace
+
+void
+MultiCellConfig::validate() const
+{
+    LTE_CHECK(n_cells >= 1, "need at least one cell");
+    LTE_CHECK(cell_ids.empty() || cell_ids.size() == n_cells,
+              "cell_ids must be empty or name every cell");
+    LTE_CHECK(weights.empty() || weights.size() == n_cells,
+              "weights must be empty or cover every cell");
+    for (std::size_t c = 0; c < n_cells; ++c) {
+        const std::uint32_t id = cell_id_of(c);
+        LTE_CHECK(id >= 1 && id <= 511,
+                  "cell id must be 1..511 (9 scrambler bits)");
+        LTE_CHECK(weight_of(c) >= 1, "WRR weights must be positive");
+        for (std::size_t d = 0; d < c; ++d)
+            LTE_CHECK(cell_id_of(d) != id, "cell ids must be distinct");
+    }
+    engine.validate();
+}
+
+std::uint32_t
+MultiCellConfig::cell_id_of(std::size_t cell) const
+{
+    return cell_ids.empty() ? static_cast<std::uint32_t>(cell + 1)
+                            : cell_ids[cell];
+}
+
+std::uint32_t
+MultiCellConfig::weight_of(std::size_t cell) const
+{
+    return weights.empty() ? 1u : weights[cell];
+}
+
+std::size_t
+MultiCellRunRecord::completed_subframes() const
+{
+    std::size_t n = 0;
+    for (const auto &cell : cells)
+        n += cell.subframes.size();
+    return n;
+}
+
+std::size_t
+MultiCellRunRecord::user_count() const
+{
+    std::size_t n = 0;
+    for (const auto &cell : cells)
+        n += cell.user_count();
+    return n;
+}
+
+MultiCellEngine::MultiCellEngine(const MultiCellConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    config_.engine.kind = EngineKind::kStreaming;
+
+    if (config_.engine.obs.enabled) {
+        tracer_ = std::make_unique<obs::Tracer>(
+            config_.engine.pool.n_workers + 1, config_.engine.obs);
+        series_ = std::make_unique<obs::SubframeSeries>(
+            config_.engine.obs.series_capacity);
+        config_.engine.pool.tracer = tracer_.get();
+    }
+    if (config_.engine.obs.enabled ||
+        config_.engine.obs.metrics_enabled) {
+        metrics_ = std::make_unique<obs::MetricsRegistry>();
+        subframes_counter_ = &metrics_->counter("engine.subframes");
+        users_counter_ = &metrics_->counter("engine.users");
+        deadline_miss_counter_ =
+            &metrics_->counter("engine.deadline_misses");
+        submitted_counter_ = &metrics_->counter("engine.submitted");
+        admitted_counter_ = &metrics_->counter("engine.admitted");
+        completed_counter_ = &metrics_->counter("engine.completed");
+        shed_counter_ = &metrics_->counter("engine.shed");
+        shed_queue_full_counter_ =
+            &metrics_->counter("engine.shed_queue_full");
+        shed_expired_counter_ =
+            &metrics_->counter("engine.shed_expired");
+        degraded_counter_ = &metrics_->counter("engine.degraded");
+    }
+    pool_ = std::make_unique<WorkerPool>(config_.engine.pool);
+
+    cells_.reserve(config_.n_cells);
+    for (std::size_t c = 0; c < config_.n_cells; ++c) {
+        const std::uint32_t id = config_.cell_id_of(c);
+        InputGeneratorConfig input_cfg = config_.engine.input;
+        input_cfg.cell_id = id;
+        auto cell = std::make_unique<CellContext>(input_cfg);
+        cell->cell_id = id;
+        cell->weight = config_.weight_of(c);
+        cell->credits = cell->weight;
+        cell->receiver = config_.engine.receiver;
+        cell->receiver.cell_id = id;
+        if (metrics_) {
+            const std::string prefix =
+                "engine.cell" + std::to_string(id);
+            cell->submitted_counter =
+                &metrics_->counter(prefix + ".submitted");
+            cell->completed_counter =
+                &metrics_->counter(prefix + ".completed");
+            cell->shed_counter = &metrics_->counter(prefix + ".shed");
+            cell->degraded_counter =
+                &metrics_->counter(prefix + ".degraded");
+            cell->deadline_miss_counter =
+                &metrics_->counter(prefix + ".deadline_misses");
+        }
+        cells_.push_back(std::move(cell));
+    }
+}
+
+InputGenerator &
+MultiCellEngine::input(std::size_t cell)
+{
+    LTE_CHECK(cell < cells_.size(), "cell index out of range");
+    return cells_[cell]->input;
+}
+
+std::uint32_t
+MultiCellEngine::cell_id(std::size_t cell) const
+{
+    LTE_CHECK(cell < cells_.size(), "cell index out of range");
+    return cells_[cell]->cell_id;
+}
+
+const ShedStats &
+MultiCellEngine::shed_stats(std::size_t cell) const
+{
+    LTE_CHECK(cell < cells_.size(), "cell index out of range");
+    return cells_[cell]->shed;
+}
+
+void
+MultiCellEngine::set_estimator(
+    std::optional<mgmt::WorkloadEstimator> estimator)
+{
+    for (auto &cell : cells_)
+        cell->estimator = estimator;
+    estimator_ = std::move(estimator);
+}
+
+SubframeJob *
+MultiCellEngine::acquire_job(CellContext &cell)
+{
+    if (cell.free_jobs.empty()) {
+        cell.jobs.push_back(std::make_unique<SubframeJob>());
+        return cell.jobs.back().get();
+    }
+    SubframeJob *job = cell.free_jobs.back();
+    cell.free_jobs.pop_back();
+    return job;
+}
+
+void
+MultiCellEngine::release_job(CellContext &cell, SubframeJob *job)
+{
+    cell.free_jobs.push_back(job);
+}
+
+std::uint64_t
+MultiCellEngine::obs_now_ns() const
+{
+    if (tracer_)
+        return tracer_->now_ns();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+double
+MultiCellEngine::age_ms(const SubframeJob &job,
+                        std::uint64_t now_ns) const
+{
+    return static_cast<double>(now_ns - job.t_arrival_ns) / 1e6;
+}
+
+void
+MultiCellEngine::update_active_workers()
+{
+    const bool proactive =
+        estimator_.has_value() &&
+        (config_.engine.pool.strategy == mgmt::Strategy::kNap ||
+         config_.engine.pool.strategy == mgmt::Strategy::kNapIdle ||
+         config_.engine.pool.strategy == mgmt::Strategy::kPowerGating);
+    if (!proactive)
+        return;
+    // The shared pool serves the sum of the cells' demands (the
+    // multi-cell Eq. 4): each lane's backlog-aware estimate, summed
+    // and clamped to the chip.
+    double total = 0.0;
+    for (const auto &cell : cells_)
+        total += std::max(0.0, cell->last_estimate);
+    total = std::min(1.0, total);
+    pool_->set_active_workers(estimator_->active_cores(
+        total, static_cast<std::uint32_t>(pool_->n_workers()),
+        config_.engine.core_margin));
+}
+
+void
+MultiCellEngine::observe_completion(CellContext &cell,
+                                    const SubframeJob &job,
+                                    std::uint64_t t_complete_ns)
+{
+    ++cell.shed.completed;
+    obs::SubframeSample sample;
+    sample.subframe_index = job.params.subframe_index;
+    sample.cell_id = cell.cell_id;
+    // Latency is admission-to-completion: the deadline clock starts
+    // at the TTI tick, not at pool admission, so queue wait counts.
+    sample.t_dispatch_ns = job.t_arrival_ns;
+    sample.t_complete_ns = t_complete_ns;
+    sample.n_users = static_cast<std::uint32_t>(job.n_users);
+    sample.active_workers =
+        static_cast<std::uint32_t>(pool_->active_workers());
+    sample.est_activity = job.est_activity;
+    sample.ops =
+        subframe_ops(job.params, config_.engine.receiver.n_antennas);
+    if (tracer_) {
+        tracer_->record(dispatch_slot(), obs::SpanKind::kSubframe,
+                        job.t_dispatch_ns, t_complete_ns,
+                        obs::make_cell_arg(cell.cell_id,
+                                           job.params.subframe_index));
+        series_->push(sample);
+    }
+    if (metrics_) {
+        subframes_counter_->add();
+        completed_counter_->add();
+        users_counter_->add(job.n_users);
+        cell.completed_counter->add();
+        if (sample.latency_ms() > config_.engine.obs.deadline_ms) {
+            deadline_miss_counter_->add();
+            cell.deadline_miss_counter->add();
+        }
+    }
+}
+
+void
+MultiCellEngine::observe_shed(CellContext &cell,
+                              std::uint64_t subframe_index, bool expired)
+{
+    ++cell.shed.shed;
+    if (expired)
+        ++cell.shed.shed_expired;
+    else
+        ++cell.shed.shed_queue_full;
+    if (tracer_) {
+        tracer_->record_instant(
+            dispatch_slot(), obs::SpanKind::kShed, obs_now_ns(),
+            obs::make_cell_arg(cell.cell_id, subframe_index));
+    }
+    if (metrics_) {
+        shed_counter_->add();
+        cell.shed_counter->add();
+        (expired ? shed_expired_counter_ : shed_queue_full_counter_)
+            ->add();
+    }
+}
+
+void
+MultiCellEngine::expire_pending(CellContext &cell)
+{
+    if (config_.engine.deadline_ms <= 0.0)
+        return;
+    while (!cell.pending.empty()) {
+        SubframeJob *job = cell.pending.front();
+        if (age_ms(*job, obs_now_ns()) <= config_.engine.deadline_ms)
+            break;
+        // Expired in the queue: nothing useful left to compute.
+        cell.pending.pop_front();
+        --total_pending_;
+        observe_shed(cell, job->params.subframe_index,
+                     /*expired=*/true);
+        release_job(cell, job);
+    }
+}
+
+void
+MultiCellEngine::admit_one(CellContext &cell)
+{
+    SubframeJob *job = cell.pending.front();
+    const std::uint64_t now = obs_now_ns();
+    if (config_.engine.shed_policy == ShedPolicy::kDegrade &&
+        config_.engine.deadline_ms > 0.0 &&
+        age_ms(*job, now) > 0.5 * config_.engine.deadline_ms) {
+        // Over half the budget gone waiting: trade EVM for latency
+        // rather than risk a drop.
+        job->set_degraded(true);
+        ++cell.shed.degraded;
+        if (metrics_) {
+            degraded_counter_->add();
+            cell.degraded_counter->add();
+        }
+    }
+    cell.pending.pop_front();
+    --total_pending_;
+    job->t_dispatch_ns = now;
+    job->admit_seq = admit_seq_++;
+    if (tracer_) {
+        tracer_->record_instant(
+            dispatch_slot(), obs::SpanKind::kDispatch, now,
+            obs::make_cell_arg(cell.cell_id,
+                               job->params.subframe_index));
+    }
+    ++cell.shed.admitted;
+    if (metrics_)
+        admitted_counter_->add();
+    if (job->n_users > 0)
+        pool_->submit(job);
+    // A zero-user job is born complete (users_remaining == 0); it
+    // still flows through executing so reaping preserves order.
+    cell.executing.push_back(job);
+    ++total_executing_;
+}
+
+void
+MultiCellEngine::admit_wrr()
+{
+    while (true) {
+        for (auto &cell : cells_)
+            expire_pending(*cell);
+        if (total_executing_ >= config_.engine.max_in_flight ||
+            total_pending_ == 0)
+            break;
+        bool admitted = false;
+        for (std::size_t k = 0; k < cells_.size(); ++k) {
+            const std::size_t c = (rr_next_ + k) % cells_.size();
+            CellContext &cell = *cells_[c];
+            if (cell.pending.empty() || cell.credits == 0)
+                continue;
+            admit_one(cell);
+            --cell.credits;
+            rr_next_ = (c + 1) % cells_.size();
+            admitted = true;
+            break;
+        }
+        if (!admitted) {
+            // Every backlogged cell spent its round's credits: start
+            // a new WRR round.
+            for (auto &cell : cells_)
+                cell->credits = cell->weight;
+        }
+    }
+}
+
+void
+MultiCellEngine::reap_all(MultiCellRunRecord &record)
+{
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        CellContext &cell = *cells_[c];
+        while (!cell.executing.empty() &&
+               job_done(*cell.executing.front())) {
+            SubframeJob *job = cell.executing.front();
+            cell.executing.pop_front();
+            --total_executing_;
+            observe_completion(cell, *job, obs_now_ns());
+            record.cells[c].subframes.push_back(collect(*job));
+            record.cells[c].total_ops += subframe_ops(
+                job->params, config_.engine.receiver.n_antennas);
+            release_job(cell, job);
+        }
+    }
+}
+
+void
+MultiCellEngine::drain_one(MultiCellRunRecord &record)
+{
+    LTE_ASSERT(total_executing_ > 0,
+               "drain_one() needs an in-flight subframe");
+    // The globally oldest admitted job: smallest admit_seq over the
+    // lanes' executing fronts.  Waiting on it (instead of any one
+    // lane's front) keeps one cell's long subframe from blocking the
+    // reaping of every other cell.
+    CellContext *oldest = nullptr;
+    for (auto &cell : cells_) {
+        if (cell->executing.empty())
+            continue;
+        if (oldest == nullptr ||
+            cell->executing.front()->admit_seq <
+                oldest->executing.front()->admit_seq)
+            oldest = cell.get();
+    }
+    pool_->wait_job(*oldest->executing.front());
+    reap_all(record);
+}
+
+const SubframeOutcome &
+MultiCellEngine::process_subframe(std::size_t cell_index,
+                                  const phy::SubframeParams &params)
+{
+    LTE_CHECK(cell_index < cells_.size(), "cell index out of range");
+    CellContext &cell = *cells_[cell_index];
+    params.validate();
+    LTE_CHECK(params.cell_id == cell.cell_id,
+              "params.cell_id must name the lane's cell");
+    LTE_ASSERT(total_pending_ == 0 && total_executing_ == 0,
+               "process_subframe() may not interleave with run()");
+
+    double estimate = -1.0;
+    if (cell.estimator.has_value()) {
+        estimate = cell.estimator->estimate_subframe(params, 0);
+        cell.last_estimate = estimate;
+        update_active_workers();
+    }
+    cell.input.signals_for(params, cell.signals);
+
+    SubframeJob *job = acquire_job(cell);
+    job->prepare(params, cell.signals, cell.receiver);
+    job->t_arrival_ns = obs_now_ns();
+    job->t_dispatch_ns = job->t_arrival_ns;
+    job->est_activity = estimate;
+    if (tracer_) {
+        tracer_->record_instant(
+            dispatch_slot(), obs::SpanKind::kDispatch,
+            job->t_dispatch_ns,
+            obs::make_cell_arg(cell.cell_id, params.subframe_index));
+    }
+    ++cell.shed.submitted;
+    ++cell.shed.admitted;
+    if (metrics_) {
+        submitted_counter_->add();
+        admitted_counter_->add();
+        cell.submitted_counter->add();
+    }
+    if (job->n_users > 0) {
+        pool_->submit(job);
+        pool_->wait_job(*job);
+    }
+    observe_completion(cell, *job, obs_now_ns());
+
+    outcome_.subframe_index = params.subframe_index;
+    outcome_.cell_id = params.cell_id;
+    outcome_.users = job->results; // capacity reuse, scalar payload
+    release_job(cell, job);
+    return outcome_;
+}
+
+MultiCellRunRecord
+MultiCellEngine::run(const std::vector<workload::ParameterModel *> &models,
+                     std::size_t n_subframes)
+{
+    using clock = std::chrono::steady_clock;
+    LTE_CHECK(models.size() == cells_.size(),
+              "need one parameter model per cell");
+    for (const auto *model : models)
+        LTE_CHECK(model != nullptr, "null parameter model");
+
+    MultiCellRunRecord record;
+    record.cells.resize(cells_.size());
+    record.shed.resize(cells_.size());
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        CellContext &cell = *cells_[c];
+        record.cells[c].cell_id = cell.cell_id;
+        record.cells[c].subframes.reserve(n_subframes);
+        cell.shed = ShedStats{};
+        cell.credits = cell.weight;
+        cell.last_estimate = -1.0;
+    }
+    admit_seq_ = 0;
+    rr_next_ = 0;
+    pool_->reset_activity();
+    const auto run_start = clock::now();
+    auto next_arrival = run_start;
+    const auto delta = std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double, std::milli>(
+            config_.engine.delta_ms));
+
+    for (std::size_t i = 0; i < n_subframes; ++i) {
+        // The shared TTI clock: every cell receives one subframe per
+        // tick whether or not the pipeline kept up (free-running when
+        // delta_ms == 0).
+        if (config_.engine.delta_ms > 0.0) {
+            std::this_thread::sleep_until(next_arrival);
+            next_arrival += delta;
+        }
+        reap_all(record);
+
+        for (auto &cell_ptr : cells_) {
+            CellContext &cell = *cell_ptr;
+            phy::SubframeParams params =
+                models[&cell_ptr - cells_.data()]->next_subframe();
+            params.cell_id = cell.cell_id;
+            params.validate();
+            ++cell.shed.submitted;
+            if (metrics_) {
+                submitted_counter_->add();
+                cell.submitted_counter->add();
+            }
+
+            // Make room in this cell's admission ring.
+            bool admit_arrival = true;
+            if (cell.pending.size() >= config_.engine.admission_queue) {
+                if (config_.engine.deadline_ms == 0.0) {
+                    // Lossless mode: block the arrival source until
+                    // the pipeline frees a slot (backpressure).
+                    while (cell.pending.size() >=
+                           config_.engine.admission_queue) {
+                        admit_wrr();
+                        if (cell.pending.size() <
+                            config_.engine.admission_queue)
+                            break;
+                        drain_one(record);
+                    }
+                } else if (config_.engine.shed_policy ==
+                           ShedPolicy::kDropOldest) {
+                    // The oldest queued subframe is the closest to
+                    // its deadline — sacrifice it for the arrival.
+                    SubframeJob *oldest = cell.pending.front();
+                    cell.pending.pop_front();
+                    --total_pending_;
+                    observe_shed(cell, oldest->params.subframe_index,
+                                 /*expired=*/false);
+                    release_job(cell, oldest);
+                } else {
+                    // kDropNewest / kDegrade: keep the queued work.
+                    observe_shed(cell, params.subframe_index,
+                                 /*expired=*/false);
+                    admit_arrival = false;
+                }
+            }
+
+            if (admit_arrival) {
+                double estimate = -1.0;
+                if (cell.estimator.has_value()) {
+                    estimate = cell.estimator->estimate_subframe(
+                        params,
+                        cell.pending.size() + cell.executing.size());
+                }
+                cell.last_estimate = estimate;
+                cell.input.signals_for(params, cell.signals);
+                SubframeJob *job = acquire_job(cell);
+                job->prepare(params, cell.signals, cell.receiver);
+                job->t_arrival_ns = obs_now_ns();
+                job->est_activity = estimate;
+                cell.pending.push_back(job);
+                ++total_pending_;
+            }
+        }
+        update_active_workers();
+        admit_wrr();
+    }
+
+    // Drain the tail; queued subframes can still expire while the
+    // pipeline catches up.
+    while (total_pending_ > 0 || total_executing_ > 0) {
+        if (total_executing_ > 0)
+            drain_one(record);
+        admit_wrr();
+    }
+
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        const ShedStats &s = cells_[c]->shed;
+        LTE_ASSERT(s.shed + s.completed == s.submitted,
+                   "admission accounting lost a subframe");
+        record.shed[c] = s;
+    }
+
+    const auto snap = pool_->activity();
+    record.wall_seconds =
+        std::chrono::duration<double>(clock::now() - run_start).count();
+    record.activity = snap.activity(pool_->n_workers());
+    record.total_ops = snap.ops;
+    record.steals = pool_->steals();
+    for (auto &cell_record : record.cells)
+        cell_record.wall_seconds = record.wall_seconds;
+    if (metrics_) {
+        metrics_->gauge("engine.activity").set(record.activity);
+        metrics_->gauge("engine.wall_seconds").set(record.wall_seconds);
+        metrics_->counter("engine.steals").add(record.steals);
+        if (tracer_) {
+            metrics_->gauge("engine.trace_dropped")
+                .set(static_cast<double>(tracer_->total_dropped()));
+        }
+    }
+    return record;
+}
+
+} // namespace lte::runtime

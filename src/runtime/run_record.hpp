@@ -27,12 +27,21 @@ struct UserOutcome
 struct SubframeOutcome
 {
     std::uint64_t subframe_index = 0;
+    /** Serving cell (1 for single-cell runs).  Not part of digest()
+     *  or equivalent(): a 1-cell record must compare bit-identical to
+     *  a pre-multi-cell one, and per-cell records are compared against
+     *  single-cell baselines run under a different cell id. */
+    std::uint32_t cell_id = 1;
     std::vector<UserOutcome> users;
 };
 
 /** Full run record: outcomes plus aggregate execution statistics. */
 struct RunRecord
 {
+    /** Serving cell when the record covers exactly one cell (the
+     *  engines' run(); per-cell lanes of a multi-cell run); 0 marks a
+     *  multi-cell aggregate. */
+    std::uint32_t cell_id = 1;
     std::vector<SubframeOutcome> subframes;
 
     double wall_seconds = 0.0;

@@ -50,6 +50,7 @@ collect(const SubframeJob &job)
 {
     SubframeOutcome outcome;
     outcome.subframe_index = job.params.subframe_index;
+    outcome.cell_id = job.cell_id;
     outcome.users.assign(job.results.begin(),
                          job.results.begin() +
                              static_cast<std::ptrdiff_t>(job.n_users));
@@ -166,6 +167,7 @@ StreamingEngine::observe_completion(const SubframeJob &job,
     ++shed_stats_.completed;
     obs::SubframeSample sample;
     sample.subframe_index = job.params.subframe_index;
+    sample.cell_id = job.cell_id;
     // Latency is admission-to-completion: the deadline clock starts at
     // the TTI tick, not at pool admission, so queue wait counts.
     sample.t_dispatch_ns = job.t_arrival_ns;
@@ -306,6 +308,7 @@ StreamingEngine::process_subframe(const phy::SubframeParams &params)
     observe_completion(*job, obs_now_ns());
 
     outcome_.subframe_index = params.subframe_index;
+    outcome_.cell_id = params.cell_id;
     outcome_.users = job->results; // capacity reuse, scalar payload
     release_job(job);
     return outcome_;
@@ -318,6 +321,7 @@ StreamingEngine::run(workload::ParameterModel &model,
     using clock = std::chrono::steady_clock;
 
     RunRecord record;
+    record.cell_id = config_.receiver.cell_id;
     record.subframes.reserve(n_subframes);
     shed_stats_ = ShedStats{};
     pool_->reset_activity();

@@ -77,6 +77,9 @@ struct UserWork
     /** Analytical flop counts, for deterministic activity accounting. */
     phy::UserTaskCosts costs{};
     SubframeJob *parent = nullptr;
+    /** Serving cell of the parent job (copied at prepare() so worker
+     *  threads can tag their spans without touching the job). */
+    std::uint32_t cell_id = 1;
     std::size_t result_slot = 0;
     std::atomic<std::int32_t> chanest_remaining{0};
     std::atomic<std::int32_t> demod_remaining{0};
@@ -104,6 +107,12 @@ struct Task
 struct SubframeJob
 {
     phy::SubframeParams params;
+    /** Serving cell (mirrors params.cell_id; 1 for single-cell runs). */
+    std::uint32_t cell_id = 1;
+    /** Global admission order stamped by the multi-cell engine: the
+     *  position in the shared in-flight window, used to find the
+     *  globally oldest executing job across the per-cell lanes. */
+    std::uint64_t admit_seq = 0;
     /** Pooled per-user work states; only the first n_users are live. */
     std::vector<std::unique_ptr<UserWork>> users;
     std::size_t n_users = 0;
@@ -133,13 +142,16 @@ struct SubframeJob
             const phy::ReceiverConfig &receiver)
     {
         params = subframe;
+        cell_id = subframe.cell_id;
         n_users = subframe.users.size();
         degraded = false;
         while (users.size() < n_users)
             users.push_back(std::make_unique<UserWork>(receiver));
         results.resize(n_users);
-        for (std::size_t u = 0; u < n_users; ++u)
+        for (std::size_t u = 0; u < n_users; ++u) {
             users[u]->reset(subframe.users[u], signals[u], this, u);
+            users[u]->cell_id = subframe.cell_id;
+        }
     }
 
     /**

@@ -29,7 +29,8 @@ data_symbol_position(std::size_t data_symbol)
  */
 std::vector<std::uint8_t>
 on_air_bits(const phy::UserParams &params,
-            const std::vector<std::uint8_t> &framed, bool real_turbo)
+            const std::vector<std::uint8_t> &framed, bool real_turbo,
+            std::uint32_t cell_id)
 {
     const std::size_t capacity = phy::capacity_bits(params);
     std::vector<std::uint8_t> air;
@@ -43,14 +44,15 @@ on_air_bits(const phy::UserParams &params,
                   "turbo output exceeds allocation capacity");
         air.resize(capacity, 0);
     }
-    return phy::scramble(air, phy::scrambling_init(params.id));
+    return phy::scramble(air, phy::scrambling_init(params.id, cell_id));
 }
 
 } // namespace
 
 TxResult
 transmit_user_payload(const phy::UserParams &params,
-                      std::vector<std::uint8_t> payload, bool real_turbo)
+                      std::vector<std::uint8_t> payload, bool real_turbo,
+                      std::uint32_t cell_id)
 {
     params.validate();
     const std::size_t bps = bits_per_symbol(params.mod);
@@ -58,7 +60,7 @@ transmit_user_payload(const phy::UserParams &params,
     const std::vector<std::uint8_t> framed =
         phy::crc24_attach(std::move(payload));
     const std::vector<std::uint8_t> air =
-        on_air_bits(params, framed, real_turbo);
+        on_air_bits(params, framed, real_turbo, cell_id);
 
     TxResult result;
     result.payload_bits = framed;
@@ -78,7 +80,7 @@ transmit_user_payload(const phy::UserParams &params,
 
             // DMRS at the reference position.
             slots[kRefSymbolIndex] =
-                phy::user_dmrs(params.id, slot, m_sc, layer);
+                phy::user_dmrs(params.id, slot, m_sc, layer, cell_id);
 
             for (std::size_t ds = 0; ds < kDataSymbolsPerSlot; ++ds) {
                 const std::vector<std::uint8_t> chunk(
@@ -104,7 +106,8 @@ transmit_user_payload(const phy::UserParams &params,
 }
 
 TxResult
-transmit_user(const phy::UserParams &params, Rng &rng, bool real_turbo)
+transmit_user(const phy::UserParams &params, Rng &rng, bool real_turbo,
+              std::uint32_t cell_id)
 {
     const std::size_t capacity = phy::capacity_bits(params);
     const std::size_t payload_len =
@@ -112,7 +115,8 @@ transmit_user(const phy::UserParams &params, Rng &rng, bool real_turbo)
     std::vector<std::uint8_t> payload(payload_len);
     for (auto &b : payload)
         b = static_cast<std::uint8_t>(rng.next_u64() & 1);
-    return transmit_user_payload(params, std::move(payload), real_turbo);
+    return transmit_user_payload(params, std::move(payload), real_turbo,
+                                 cell_id);
 }
 
 } // namespace lte::tx

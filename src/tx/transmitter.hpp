@@ -58,9 +58,13 @@ struct TxResult
  * @param rng         payload bit source
  * @param real_turbo  encode with the real turbo code (must match the
  *                    receiver's ReceiverConfig::use_real_turbo)
+ * @param cell_id     serving cell (1..511); selects the scrambling
+ *                    sequence and DMRS roots and must match the
+ *                    receiver's ReceiverConfig::cell_id
  */
 TxResult transmit_user(const phy::UserParams &params, Rng &rng,
-                       bool real_turbo = false);
+                       bool real_turbo = false,
+                       std::uint32_t cell_id = 1);
 
 /**
  * Build the transmit grid for a caller-supplied payload (pass-through
@@ -69,7 +73,8 @@ TxResult transmit_user(const phy::UserParams &params, Rng &rng,
  */
 TxResult transmit_user_payload(const phy::UserParams &params,
                                std::vector<std::uint8_t> payload,
-                               bool real_turbo = false);
+                               bool real_turbo = false,
+                               std::uint32_t cell_id = 1);
 
 } // namespace lte::tx
 

@@ -23,6 +23,7 @@
 #include <new>
 
 #include "runtime/engine.hpp"
+#include "runtime/multicell.hpp"
 
 namespace {
 
@@ -252,6 +253,74 @@ TEST(AllocFree, StreamingEngineSteadyStateDoesNotAllocate)
 TEST(AllocFree, StreamingEngineTracingEnabledDoesNotAllocate)
 {
     expect_zero_alloc_steady_state(EngineKind::kStreaming, true);
+}
+
+void
+expect_zero_alloc_multicell(bool tracing)
+{
+    // The multi-cell engine must preserve the guarantee with several
+    // lanes sharing the pool: per-cell job pools, signal vectors and
+    // cell-tagged counters all reach their high-water mark during
+    // warm-up.
+    MultiCellConfig cfg;
+    cfg.n_cells = 2;
+    cfg.engine.kind = EngineKind::kStreaming;
+    cfg.engine.pool.n_workers = 3;
+    cfg.engine.pool.strategy = mgmt::Strategy::kNoNap;
+    cfg.engine.input.pool_size = 4;
+    cfg.engine.obs.enabled = tracing;
+    MultiCellEngine engine(cfg);
+
+    phy::SubframeParams sf = steady_subframe();
+    std::uint64_t warm_checksum[2] = {0, 0};
+    for (int i = 0; i < 8; ++i) {
+        for (std::size_t lane = 0; lane < 2; ++lane) {
+            sf.cell_id = engine.cell_id(lane);
+            const SubframeOutcome &outcome =
+                engine.process_subframe(lane, sf);
+            warm_checksum[lane] = outcome.users.front().checksum;
+        }
+    }
+
+    const std::size_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    std::uint64_t checksum[2] = {0, 0};
+    for (int i = 0; i < 20; ++i) {
+        for (std::size_t lane = 0; lane < 2; ++lane) {
+            sf.cell_id = engine.cell_id(lane);
+            const SubframeOutcome &outcome =
+                engine.process_subframe(lane, sf);
+            checksum[lane] = outcome.users.front().checksum;
+        }
+    }
+    const std::size_t after =
+        g_alloc_count.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "multi-cell engine allocated " << (after - before)
+        << " times during 40 steady-state subframes";
+    for (std::size_t lane = 0; lane < 2; ++lane) {
+        EXPECT_NE(checksum[lane], 0u);
+        EXPECT_EQ(checksum[lane], warm_checksum[lane]);
+    }
+    // Different cells really computed different things.
+    EXPECT_NE(checksum[0], checksum[1]);
+    if (tracing) {
+        ASSERT_NE(engine.tracer(), nullptr);
+        EXPECT_GT(engine.tracer()->total_recorded(), 0u);
+        ASSERT_NE(engine.subframe_series(), nullptr);
+        EXPECT_EQ(engine.subframe_series()->size(), 56u);
+    }
+}
+
+TEST(AllocFree, MultiCellEngineSteadyStateDoesNotAllocate)
+{
+    expect_zero_alloc_multicell(false);
+}
+
+TEST(AllocFree, MultiCellEngineTracingEnabledDoesNotAllocate)
+{
+    expect_zero_alloc_multicell(true);
 }
 
 TEST(AllocFree, CounterSeesAllocations)

@@ -16,6 +16,7 @@
 #include "phy/scfdma.hpp"
 #include "phy/scrambler.hpp"
 #include "phy/user_processor.hpp"
+#include "phy/zadoff_chu.hpp"
 #include "tx/transmitter.hpp"
 
 namespace lte::phy {
@@ -95,6 +96,56 @@ TEST(Scrambler, DifferentUsersGetDifferentSequences)
     const auto bits = random_bits(200, 4);
     EXPECT_NE(scramble(bits, scrambling_init(1)),
               scramble(bits, scrambling_init(2)));
+}
+
+TEST(Scrambler, DifferentCellsGetDecorrelatedSequences)
+{
+    // The default cell is cell 1, so single-cell call sites keep
+    // their pre-multi-cell sequences bit-for-bit.
+    EXPECT_EQ(scrambling_init(5), scrambling_init(5, 1));
+    EXPECT_NE(scrambling_init(5, 1), scrambling_init(5, 2));
+
+    // Same user, two cells: the scrambling sequences differ in
+    // roughly half their positions (Gold decorrelation).
+    const auto zeros = std::vector<std::uint8_t>(2000, 0);
+    const auto c1 = scramble(zeros, scrambling_init(5, 1));
+    const auto c2 = scramble(zeros, scrambling_init(5, 2));
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < zeros.size(); ++i)
+        diff += c1[i] != c2[i];
+    EXPECT_GT(diff, 800u);
+    EXPECT_LT(diff, 1200u);
+}
+
+TEST(ZadoffChu, DifferentCellsGetDecorrelatedDmrs)
+{
+    const std::size_t m_sc = 120;
+    // Cell 1 is the identity: same sequence as the pre-multi-cell
+    // default-argument call.
+    const auto base = user_dmrs(3, 0, m_sc, 0);
+    const auto cell1 = user_dmrs(3, 0, m_sc, 0, 1);
+    ASSERT_EQ(base.size(), cell1.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base[i].real(), cell1[i].real());
+        EXPECT_EQ(base[i].imag(), cell1[i].imag());
+    }
+
+    // Cell 2 uses a different ZC root: low normalized
+    // cross-correlation against cell 1 (inter-cell pilot
+    // contamination stays bounded).
+    const auto cell2 = user_dmrs(3, 0, m_sc, 0, 2);
+    cf32 acc{0.0f, 0.0f};
+    for (std::size_t i = 0; i < m_sc; ++i)
+        acc += cell1[i] * std::conj(cell2[i]);
+    const double xcorr =
+        std::abs(acc) / static_cast<double>(m_sc);
+    EXPECT_LT(xcorr, 0.5);
+    // Sanity: self-correlation is 1 (constant-modulus sequence).
+    cf32 self{0.0f, 0.0f};
+    for (std::size_t i = 0; i < m_sc; ++i)
+        self += cell1[i] * std::conj(cell1[i]);
+    EXPECT_NEAR(std::abs(self) / static_cast<double>(m_sc), 1.0,
+                1e-5);
 }
 
 // --------------------------------------------------------- SC-FDMA

@@ -316,6 +316,7 @@ TEST(Export, SubframeCsvHasDeadlineColumn)
     fast.n_users = 3;
     SubframeSample slow;
     slow.subframe_index = 1;
+    slow.cell_id = 7;
     slow.t_complete_ns = 9'000'000; // 9 ms
     series.push(fast);
     series.push(slow);
@@ -329,6 +330,9 @@ TEST(Export, SubframeCsvHasDeadlineColumn)
     std::getline(lines, row0);
     std::getline(lines, row1);
     EXPECT_NE(header.find("deadline_met"), std::string::npos);
+    EXPECT_NE(header.find("subframe,cell,"), std::string::npos);
+    EXPECT_EQ(row0.rfind("0,1,", 0), 0u); // default cell 1
+    EXPECT_EQ(row1.rfind("1,7,", 0), 0u); // tagged cell
     EXPECT_EQ(row0.back(), '1'); // 1 ms <= 3 ms
     EXPECT_EQ(row1.back(), '0'); // 9 ms > 3 ms
 }
