@@ -55,6 +55,17 @@ done
 echo "==> tsan multi-cell soak (LTE_CELLS=2)"
 LTE_CELLS=2 ./build-tsan/tests/test_multicell
 
+# Continuation-graph sweep: the task-graph suite honours LTE_WORKERS.
+# The 1-worker leg is the no-blocking-joins proof — a single worker
+# must drain every continuation (including the 48-task tail fan-out)
+# from its own deque; any reintroduced stage wait deadlocks it.  The
+# 8-worker leg maximises stealing pressure on the final-decrement
+# continuation enqueues under TSan.
+for workers in 1 8; do
+    echo "==> tsan task-graph sweep (LTE_WORKERS=${workers})"
+    LTE_WORKERS="${workers}" ./build-tsan/tests/test_task_graph
+done
+
 if [[ "${1:-}" == "--ubsan" ]]; then
     run_preset ubsan
 fi

@@ -4,8 +4,32 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "phy/op_model.hpp"
 
 namespace lte::mgmt {
+
+namespace {
+
+/**
+ * Degraded-to-full analytical cost ratio of one user.  The ratio uses
+ * the paper's four-antenna receiver — the same configuration the
+ * calibration slopes are measured on, so scaling a slope by it stays
+ * consistent with Eq. 3's units.
+ */
+double
+degraded_cost_ratio(const phy::UserParams &user)
+{
+    constexpr std::size_t kCalibrationAntennas = 4;
+    const auto full =
+        phy::user_task_costs(user, kCalibrationAntennas, false).total();
+    if (full == 0)
+        return 1.0;
+    const auto degraded =
+        phy::user_task_costs(user, kCalibrationAntennas, true).total();
+    return static_cast<double>(degraded) / static_cast<double>(full);
+}
+
+} // namespace
 
 std::size_t
 CalibrationTable::index(std::uint32_t layers, Modulation mod)
@@ -85,10 +109,42 @@ WorkloadEstimator::estimate_subframe(
 }
 
 double
+WorkloadEstimator::estimate_user(const phy::UserParams &user,
+                                 bool degraded) const
+{
+    const double base = estimate_user(user);
+    return degraded ? base * degraded_cost_ratio(user) : base;
+}
+
+double
 WorkloadEstimator::estimate_subframe(const phy::SubframeParams &subframe,
                                      std::size_t backlog) const
 {
     const double base = estimate_subframe(subframe);
+    if (backlog == 0)
+        return base;
+    const double boosted = std::clamp(
+        base * (1.0 + static_cast<double>(backlog)), 0.0, 1.0);
+    if (boosted > base)
+        ++stats_.backlog_boosts;
+    return boosted;
+}
+
+double
+WorkloadEstimator::estimate_subframe(const phy::SubframeParams &subframe,
+                                     std::size_t backlog,
+                                     bool degraded) const
+{
+    if (!degraded)
+        return estimate_subframe(subframe, backlog);
+    double activity = 0.0;
+    for (const auto &user : subframe.users)
+        activity += estimate_user(user, /*degraded=*/true);
+    ++stats_.subframe_estimates;
+    ++stats_.degraded_estimates;
+    if (activity > 1.0)
+        ++stats_.saturated_estimates;
+    const double base = std::clamp(activity, 0.0, 1.0);
     if (backlog == 0)
         return base;
     const double boosted = std::clamp(

@@ -77,6 +77,9 @@ struct EstimatorStats
     /** Estimates raised above the single-subframe Eq. 4 value because
      *  the streaming engine reported a non-empty backlog. */
     std::uint64_t backlog_boosts = 0;
+    /** Estimates made under the degraded (MRC / no-turbo) cost model
+     *  after an admission controller flipped a queued subframe. */
+    std::uint64_t degraded_estimates = 0;
 };
 
 /** Implements Eqs. 3-5 of the paper. */
@@ -87,6 +90,18 @@ class WorkloadEstimator
 
     /** Eq. 3: estimated activity contribution of one user. */
     double estimate_user(const phy::UserParams &user) const;
+
+    /**
+     * Eq. 3 under the degraded receive chain: the calibrated slope is
+     * scaled by the op model's degraded-to-full cost ratio for this
+     * user's configuration (per-layer MRC weights instead of the MMSE
+     * solve).  The slopes themselves are fitted on the full chain —
+     * degradation is an admission-time decision, far too rare to
+     * calibrate separately — so the analytical ratio is how a planned
+     * degrade reaches Eq. 4 before the cheap subframe executes.
+     */
+    double estimate_user(const phy::UserParams &user,
+                         bool degraded) const;
 
     /** Eq. 4: estimated activity of a subframe, clamped to [0, 1]. */
     double estimate_subframe(const phy::SubframeParams &subframe) const;
@@ -101,6 +116,15 @@ class WorkloadEstimator
      */
     double estimate_subframe(const phy::SubframeParams &subframe,
                              std::size_t backlog) const;
+
+    /**
+     * Backlog-aware Eq. 4 for a subframe the admission controller
+     * plans to run on the degraded chain: per-user estimates use the
+     * degraded cost ratio (see estimate_user(user, degraded)).  With
+     * degraded == false this is exactly the two-argument overload.
+     */
+    double estimate_subframe(const phy::SubframeParams &subframe,
+                             std::size_t backlog, bool degraded) const;
 
     /**
      * Eq. 5: active cores = estimated activity x max_cores + margin

@@ -16,6 +16,8 @@ span_category(SpanKind kind)
       case SpanKind::kWeights:
       case SpanKind::kDemod:
       case SpanKind::kTail:
+      case SpanKind::kTailCb:
+      case SpanKind::kTailReduce:
       case SpanKind::kUser:
         return "phy";
       case SpanKind::kSteal:

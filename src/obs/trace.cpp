@@ -21,6 +21,8 @@ span_kind_name(SpanKind kind)
       case SpanKind::kSubframe: return "subframe";
       case SpanKind::kDispatch: return "dispatch";
       case SpanKind::kShed: return "shed";
+      case SpanKind::kTailCb: return "tail_cb";
+      case SpanKind::kTailReduce: return "tail_reduce";
     }
     return "?";
 }

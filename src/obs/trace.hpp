@@ -38,9 +38,9 @@ namespace lte::obs {
 enum class SpanKind : std::uint8_t
 {
     kChanEst,  ///< one channel-estimation task (antenna x layer)
-    kWeights,  ///< combiner-weight join (sequential in the user thread)
+    kWeights,  ///< combiner-weight join (a continuation task)
     kDemod,    ///< one demodulation task (data symbol x layer)
-    kTail,     ///< sequential per-user tail (descramble..CRC)
+    kTail,     ///< legacy whole-user tail (descramble..CRC, serial)
     kUser,     ///< a whole user's chain (serial engine)
     kSteal,    ///< instant: a task was stolen (arg = victim worker)
     kNap,      ///< proactively deactivated worker sleeping (Sec. V-B)
@@ -48,10 +48,12 @@ enum class SpanKind : std::uint8_t
     kSubframe, ///< dispatch-to-completion of one subframe
     kDispatch, ///< instant: a subframe entered the pool
     kShed,     ///< instant: admission controller dropped a subframe
+    kTailCb,   ///< one per-codeblock tail task (arg = codeblock)
+    kTailReduce, ///< CRC/EVM reduce closing a user (arg = user id)
 };
 
 /** Number of distinct span kinds (for fixed-size per-kind tallies). */
-inline constexpr std::size_t kSpanKindCount = 11;
+inline constexpr std::size_t kSpanKindCount = 13;
 
 /** Short stable name used in exports ("chanest", "demod", ...). */
 const char *span_kind_name(SpanKind kind);

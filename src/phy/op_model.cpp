@@ -32,6 +32,17 @@ weights_slot_ops(std::size_t m, std::size_t antennas, std::size_t layers)
     return m * (gram + load + inv + mul);
 }
 
+/** Degraded-mode combiner weights for one slot: per-layer MRC
+ *  (matched filter normalised by the layer's channel energy). */
+std::uint64_t
+mrc_weights_slot_ops(std::size_t m, std::size_t antennas,
+                     std::size_t layers)
+{
+    const std::uint64_t norm = antennas * kCplxMacFlops;
+    const std::uint64_t scale = antennas * kCplxMulFlops;
+    return m * layers * (norm + scale + 4);
+}
+
 /** One (data symbol, layer) demodulation task in one slot. */
 std::uint64_t
 demod_slot_ops(std::size_t m, std::size_t antennas)
@@ -43,7 +54,8 @@ demod_slot_ops(std::size_t m, std::size_t antennas)
     return combine + bias + ifft + scale;
 }
 
-/** Tail processing for one slot and layer (6 data symbols). */
+/** Per-codeblock tail work for one slot and layer (6 data symbols):
+ *  deinterleave, demap, descramble, harden. */
 std::uint64_t
 tail_slot_layer_ops(std::size_t m, Modulation mod)
 {
@@ -55,14 +67,37 @@ tail_slot_layer_ops(std::size_t m, Modulation mod)
         2 * levels * 3 +             // per-axis distance evaluations
         bps * levels +               // per-bit minima
         2 * levels * 3 +             // EVM nearest-level search
-        bps * 4;                     // decode + CRC per produced bit
+        bps * 2;                     // descramble + harden per bit
     return kDataSymbolsPerSlot * m * per_symbol;
 }
 
 } // namespace
 
+std::size_t
+tail_codeblock_count(const UserParams &params)
+{
+    const std::size_t bps = bits_per_symbol(params.mod);
+    const std::size_t blocks_per_slot =
+        params.layers * kDataSymbolsPerSlot;
+    std::size_t count = 0;
+    std::size_t cb_bits = 0;
+    for (std::size_t b = 0; b < kSlotsPerSubframe * blocks_per_slot;
+         ++b) {
+        const std::size_t block_bits =
+            params.sc_in_slot(b / blocks_per_slot) * bps;
+        if (count > 0 && cb_bits + block_bits <= kTailCodeblockBits) {
+            cb_bits += block_bits;
+        } else {
+            ++count;
+            cb_bits = block_bits;
+        }
+    }
+    return count;
+}
+
 UserTaskCosts
-user_task_costs(const UserParams &params, std::size_t n_antennas)
+user_task_costs(const UserParams &params, std::size_t n_antennas,
+                bool degraded)
 {
     params.validate();
     UserTaskCosts costs;
@@ -70,15 +105,27 @@ user_task_costs(const UserParams &params, std::size_t n_antennas)
         static_cast<std::uint32_t>(n_antennas * params.layers);
     costs.n_demod_tasks =
         static_cast<std::uint32_t>(kDataSymbolsPerSlot * params.layers);
+    costs.n_tail_tasks =
+        static_cast<std::uint32_t>(tail_codeblock_count(params));
 
+    std::uint64_t tail_cb_total = 0;
     for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
         const std::size_t m = params.sc_in_slot(slot);
         costs.chanest_task += chanest_slot_ops(m);
-        costs.weights += weights_slot_ops(m, n_antennas, params.layers);
+        costs.weights +=
+            degraded ? mrc_weights_slot_ops(m, n_antennas, params.layers)
+                     : weights_slot_ops(m, n_antennas, params.layers);
         costs.demod_task += demod_slot_ops(m, n_antennas);
         for (std::size_t l = 0; l < params.layers; ++l)
-            costs.tail += tail_slot_layer_ops(m, params.mod);
+            tail_cb_total += tail_slot_layer_ops(m, params.mod);
     }
+    // CRC + checksum over the produced bits close the user in the
+    // reduce continuation; the split keeps the aggregate identity
+    // tail == tail_task * n_tail_tasks + tail_reduce exact.
+    costs.tail = tail_cb_total + 2 * capacity_bits(params);
+    costs.tail_task = tail_cb_total / costs.n_tail_tasks;
+    costs.tail_reduce =
+        costs.tail - costs.tail_task * costs.n_tail_tasks;
     return costs;
 }
 

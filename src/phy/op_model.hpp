@@ -21,6 +21,22 @@
 
 namespace lte::phy {
 
+/**
+ * Greedy codeblock target for the parallel tail: consecutive
+ * (slot, layer, data-symbol) blocks of the canonical codeword are
+ * packed into codeblocks of at most this many soft bits (the LTE
+ * turbo-codeblock ceiling), one tail task per codeblock.  A single
+ * symbol block wider than the target becomes its own codeblock, so
+ * the minimum granularity is one data symbol.
+ */
+inline constexpr std::size_t kTailCodeblockBits = 6144;
+
+/**
+ * Number of tail codeblocks the greedy segmentation produces for this
+ * user (UserProcessor::n_tail_tasks() in pass-through mode).
+ */
+std::size_t tail_codeblock_count(const UserParams &params);
+
 /** Flop counts for one user's subframe processing, per task kind. */
 struct UserTaskCosts
 {
@@ -30,11 +46,21 @@ struct UserTaskCosts
     std::uint64_t weights = 0;
     /** One (data-symbol, layer) demodulation task (both slots). */
     std::uint64_t demod_task = 0;
-    /** The sequential tail: deinterleave, demap, decode, CRC. */
+    /**
+     * The whole tail (deinterleave, demap, descramble, harden, CRC).
+     * Kept as the aggregate for user-granularity consumers (the DAG
+     * simulator charges the tail to one node); the runtime splits it
+     * as tail == tail_task * n_tail_tasks + tail_reduce exactly.
+     */
     std::uint64_t tail = 0;
+    /** One per-codeblock tail task (deint/demap/descramble/harden). */
+    std::uint64_t tail_task = 0;
+    /** The CRC/EVM reduce continuation closing the user. */
+    std::uint64_t tail_reduce = 0;
 
     std::uint32_t n_chanest_tasks = 0;
     std::uint32_t n_demod_tasks = 0;
+    std::uint32_t n_tail_tasks = 0;
 
     /** Total flops for the user's subframe. */
     std::uint64_t
@@ -45,9 +71,15 @@ struct UserTaskCosts
     }
 };
 
-/** Compute the cost model for one user. */
+/**
+ * Compute the cost model for one user.  @p degraded selects the
+ * load-shed receive chain (per-layer MRC weights instead of the MMSE
+ * solve; the tail is unchanged — the pass-through decode is what the
+ * model charges in both modes).
+ */
 UserTaskCosts user_task_costs(const UserParams &params,
-                              std::size_t n_antennas);
+                              std::size_t n_antennas,
+                              bool degraded = false);
 
 } // namespace lte::phy
 

@@ -1,8 +1,119 @@
 #include "phy/scrambler.hpp"
 
+#include <array>
+#include <bit>
+
 #include "common/check.hpp"
 
 namespace lte::phy {
+
+namespace {
+
+constexpr int kStateBits = 31;
+
+/** GF(2) state-transition matrix of one LFSR: row i is the mask of
+ *  current-state bits whose parity gives next-state bit i. */
+struct StepMatrix
+{
+    std::array<std::uint32_t, kStateBits> rows;
+};
+
+/** One advance(): bit i <- bit i+1 (shift), bit 30 <- parity of the
+ *  feedback taps. */
+StepMatrix
+one_step(std::uint32_t taps)
+{
+    StepMatrix m{};
+    for (int i = 0; i + 1 < kStateBits; ++i)
+        m.rows[i] = 1u << (i + 1);
+    m.rows[kStateBits - 1] = taps;
+    return m;
+}
+
+std::uint32_t
+apply(const StepMatrix &m, std::uint32_t state)
+{
+    std::uint32_t out = 0;
+    for (int i = 0; i < kStateBits; ++i)
+        out |= static_cast<std::uint32_t>(
+                   std::popcount(m.rows[i] & state) & 1)
+               << i;
+    return out;
+}
+
+/** m∘m: row i of the square is the XOR of m's rows selected by row i. */
+StepMatrix
+square(const StepMatrix &m)
+{
+    StepMatrix sq{};
+    for (int i = 0; i < kStateBits; ++i) {
+        std::uint32_t row = 0;
+        std::uint32_t sel = m.rows[i];
+        while (sel != 0) {
+            row ^= m.rows[std::countr_zero(sel)];
+            sel &= sel - 1;
+        }
+        sq.rows[i] = row;
+    }
+    return sq;
+}
+
+/** Jump matrices for 2^k steps, k = 0..kJumpLevels-1.  2^40 sequence
+ *  bits is orders of magnitude past any codeword offset. */
+constexpr int kJumpLevels = 40;
+
+struct JumpTable
+{
+    std::array<StepMatrix, kJumpLevels> pow2;
+};
+
+JumpTable
+make_jump_table(std::uint32_t taps)
+{
+    JumpTable t{};
+    t.pow2[0] = one_step(taps);
+    for (int k = 1; k < kJumpLevels; ++k)
+        t.pow2[k] = square(t.pow2[k - 1]);
+    return t;
+}
+
+// x1(n+31) = x1(n+3) + x1(n);  x2(n+31) = x2(n+3) + x2(n+2)
+//            + x2(n+1) + x2(n)                          (mod 2)
+const JumpTable &
+x1_jumps()
+{
+    static const JumpTable t = make_jump_table((1u << 3) | 1u);
+    return t;
+}
+
+const JumpTable &
+x2_jumps()
+{
+    static const JumpTable t = make_jump_table(0xFu);
+    return t;
+}
+
+} // namespace
+
+void
+GoldStream::skip(std::size_t n)
+{
+    // Below ~2 matrix hops the plain steps win.
+    if (n < 64) {
+        while (n-- > 0)
+            advance();
+        return;
+    }
+    LTE_CHECK((n >> kJumpLevels) == 0, "skip distance out of range");
+    const JumpTable &j1 = x1_jumps();
+    const JumpTable &j2 = x2_jumps();
+    for (int k = 0; k < kJumpLevels && (n >> k) != 0; ++k) {
+        if ((n >> k) & 1u) {
+            x1_ = apply(j1.pow2[k], x1_);
+            x2_ = apply(j2.pow2[k], x2_);
+        }
+    }
+}
 
 std::vector<std::uint8_t>
 gold_sequence(std::uint32_t c_init, std::size_t length)
@@ -36,7 +147,15 @@ scramble(const std::vector<std::uint8_t> &bits, std::uint32_t c_init)
 void
 descramble_soft_inplace(LlrSpan llrs, std::uint32_t c_init)
 {
+    descramble_soft_inplace(llrs, c_init, 0);
+}
+
+void
+descramble_soft_inplace(LlrSpan llrs, std::uint32_t c_init,
+                        std::size_t skip_bits)
+{
     GoldStream stream(c_init);
+    stream.skip(skip_bits);
     for (Llr &v : llrs) {
         if (stream.next())
             v = -v;

@@ -28,8 +28,7 @@ class GoldStream
     explicit GoldStream(std::uint32_t c_init)
         : x1_(1u), x2_(c_init & 0x7FFFFFFFu)
     {
-        for (int i = 0; i < kNc; ++i)
-            advance();
+        skip(kNc);
     }
 
     /** The next sequence bit c(n). */
@@ -41,6 +40,17 @@ class GoldStream
         advance();
         return bit;
     }
+
+    /**
+     * Skip the next @p n sequence bits in O(log n): both LFSRs jump
+     * via precomputed GF(2) state-transition matrices for power-of-two
+     * step counts, so fast-forwarding to a codeword offset costs a few
+     * hundred word operations regardless of the offset.  This is what
+     * lets per-codeblock tail tasks descramble their own slice
+     * independently — with T codeblocks a linear skip would make the
+     * tail O(bits x T) in aggregate and dominate the whole receiver.
+     */
+    void skip(std::size_t n);
 
   private:
     static constexpr int kNc = 1600;
@@ -88,6 +98,14 @@ std::vector<Llr> descramble_soft(const std::vector<Llr> &llrs,
 
 /** Heap-free in-place soft descrambling. */
 void descramble_soft_inplace(LlrSpan llrs, std::uint32_t c_init);
+
+/**
+ * Heap-free in-place soft descrambling of a codeword slice starting
+ * @p skip_bits into the sequence: @p llrs holds positions
+ * [skip_bits, skip_bits + llrs.size()) of the full codeword.
+ */
+void descramble_soft_inplace(LlrSpan llrs, std::uint32_t c_init,
+                             std::size_t skip_bits);
 
 } // namespace lte::phy
 

@@ -11,6 +11,7 @@
 #include "phy/interleaver.hpp"
 #include "phy/kernel_scratch.hpp"
 #include "phy/modulation.hpp"
+#include "phy/op_model.hpp"
 #include "phy/scrambler.hpp"
 #include "phy/turbo.hpp"
 #include "phy/zadoff_chu.hpp"
@@ -79,8 +80,6 @@ UserProcessor::bind(const UserParams &params, const UserSignal *signal)
     const std::size_t layers = params_.layers;
     const std::size_t antennas = config_.n_antennas;
     const std::size_t cap = capacity_bits(params_);
-    const std::size_t max_m =
-        std::max(params_.sc_in_slot(0), params_.sc_in_slot(1));
 
     // Size the arena for this binding.  reserve() grows only past the
     // high-water mark, so a steady workload stops allocating after the
@@ -95,7 +94,6 @@ UserProcessor::bind(const UserParams &params, const UserSignal *signal)
         bytes += Workspace::required<std::size_t>(m);                // perm
     }
     bytes += Workspace::required<Llr>(cap);
-    bytes += Workspace::required<cf32>(max_m); // deinterleave scratch
     arena_.reserve(bytes);
 
     // Carve all views, then precompute the per-slot constants.
@@ -113,7 +111,39 @@ UserProcessor::bind(const UserParams &params, const UserSignal *signal)
         interleave_permutation_into(m, kInterleaverColumns, perm_[slot]);
     }
     llrs_ = arena_.alloc<Llr>(cap);
-    deint_ = arena_.alloc<cf32>(max_m);
+
+    // Segment the canonical codeword into tail codeblocks: greedy
+    // packing of consecutive (slot, layer, data-symbol) blocks up to
+    // kTailCodeblockBits each.  clear() keeps the vector's capacity,
+    // so re-binding stops allocating once the largest user shape has
+    // been seen (≤ kMaxTailTasks entries either way).
+    codeblocks_.clear();
+    const std::size_t bps = bits_per_symbol(params_.mod);
+    const std::size_t blocks_per_slot = layers * kDataSymbolsPerSlot;
+    std::size_t bit_off = 0;
+    for (std::size_t b = 0; b < kSlotsPerSubframe * blocks_per_slot;
+         ++b) {
+        const std::size_t block_bits =
+            params_.sc_in_slot(b / blocks_per_slot) * bps;
+        if (!codeblocks_.empty() &&
+            codeblocks_.back().n_bits + block_bits <=
+                kTailCodeblockBits) {
+            codeblocks_.back().n_blocks += 1;
+            codeblocks_.back().n_bits += block_bits;
+        } else {
+            codeblocks_.push_back(
+                {static_cast<std::uint32_t>(b), 1, bit_off, block_bits});
+        }
+        bit_off += block_bits;
+    }
+    LTE_ASSERT(bit_off == cap, "codeblock segmentation bit mismatch");
+    LTE_ASSERT(codeblocks_.size() == tail_codeblock_count(params_),
+               "segmentation disagrees with the op model");
+
+    // Size the decoded-bit storage up front so pass-through tail tasks
+    // write disjoint slices without a resize (capacity reused across
+    // binds; real-turbo mode replaces the vector in its single task).
+    result_.bits.resize(cap);
 
     task_noise_.fill(0.0f);
     noise_var_ = 0.0f;
@@ -251,47 +281,71 @@ UserProcessor::demod_one(std::size_t slot, std::size_t data_symbol,
         v *= scale;
 }
 
-const UserResult &
-UserProcessor::finish()
+std::size_t
+UserProcessor::n_tail_tasks() const
+{
+    // The real turbo decoder consumes the whole codeword, so the tail
+    // stays one task regardless of the degraded flag (which may flip
+    // between bind() and execution without changing the task count).
+    return config_.use_real_turbo ? 1 : codeblocks_.size();
+}
+
+void
+UserProcessor::run_tail_task(std::size_t task_index)
 {
     LTE_CHECK(bound_, "processor is not bound to a subframe");
+    LTE_CHECK(task_index < n_tail_tasks(), "task index out of range");
+
+    // Real-turbo mode: the single task covers every block.
+    std::size_t first_block = 0;
+    std::size_t n_blocks =
+        kSlotsPerSubframe * params_.layers * kDataSymbolsPerSlot;
+    std::size_t bit_offset = 0;
+    std::size_t n_bits = llrs_.size();
+    if (!config_.use_real_turbo) {
+        const CodeblockSlice &cb = codeblocks_[task_index];
+        first_block = cb.first_block;
+        n_blocks = cb.n_blocks;
+        bit_offset = cb.bit_offset;
+        n_bits = cb.n_bits;
+    }
+
     // Canonical framing order (mirrored by the transmitter):
     // slot -> layer -> data symbol -> sample.
     const std::size_t bps = bits_per_symbol(params_.mod);
-    std::size_t off = 0;
+    const std::size_t blocks_per_slot =
+        params_.layers * kDataSymbolsPerSlot;
     double evm_acc = 0.0;
     std::size_t evm_n = 0;
-
-    for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
+    std::size_t off = bit_offset;
+    for (std::size_t b = first_block; b < first_block + n_blocks; ++b) {
+        const std::size_t slot = b / blocks_per_slot;
+        const std::size_t rem = b % blocks_per_slot;
+        const std::size_t layer = rem / kDataSymbolsPerSlot;
+        const std::size_t ds = rem % kDataSymbolsPerSlot;
         const std::size_t m = params_.sc_in_slot(slot);
-        const CfSpan deint = deint_.first(m);
-        for (std::size_t layer = 0; layer < params_.layers; ++layer) {
-            for (std::size_t ds = 0; ds < kDataSymbolsPerSlot; ++ds) {
-                deinterleave_into(equalised_slice(slot, layer, ds),
-                                  perm_[slot], deint);
-                demodulate_soft_into(deint, params_.mod, noise_var_,
-                                     llrs_.subspan(off, m * bps));
-                off += m * bps;
-                for (const cf32 &y : deint) {
-                    evm_acc += nearest_point_distance2(y, params_.mod);
-                    ++evm_n;
-                }
-            }
+        const CfSpan deint = kernel_scratch().first(m);
+        deinterleave_into(equalised_slice(slot, layer, ds),
+                          perm_[slot], deint);
+        demodulate_soft_into(deint, params_.mod, noise_var_,
+                             llrs_.subspan(off, m * bps));
+        off += m * bps;
+        for (const cf32 &y : deint) {
+            evm_acc += nearest_point_distance2(y, params_.mod);
+            ++evm_n;
         }
     }
-    LTE_ASSERT(off == llrs_.size(), "LLR count mismatch");
+    LTE_ASSERT(off == bit_offset + n_bits,
+               "codeblock LLR count mismatch");
+    evm_acc_[task_index] = evm_acc;
+    evm_n_[task_index] = evm_n;
 
-    // Soft descrambling with the user's Gold sequence (the inverse of
-    // the transmitter's bit scrambling).
-    descramble_soft_inplace(llrs_,
-                            scrambling_init(params_.id, config_.cell_id));
-
-    result_.user_id = params_.id;
-    result_.noise_var = noise_var_;
-    result_.evm_rms =
-        evm_n > 0 ? std::sqrt(static_cast<float>(
-                        evm_acc / static_cast<double>(evm_n)))
-                  : 0.0f;
+    // Soft descrambling of just this slice: each task fast-forwards
+    // its own Gold stream to the slice offset (the inverse of the
+    // transmitter's bit scrambling).
+    descramble_soft_inplace(
+        llrs_.subspan(bit_offset, n_bits),
+        scrambling_init(params_.id, config_.cell_id), bit_offset);
 
     if (config_.use_real_turbo && !degraded_) {
         // Cold path (off by default): the decoder allocates internally.
@@ -302,13 +356,43 @@ UserProcessor::finish()
                 static_cast<std::ptrdiff_t>(turbo_encoded_length(k)));
         result_.bits = turbo_decode(coded, k);
     } else {
-        // resize() reuses the vector's capacity across binds.
-        result_.bits.resize(llrs_.size());
-        turbo_passthrough_into(llrs_, result_.bits);
+        turbo_passthrough_into(
+            LlrView(llrs_).subspan(bit_offset, n_bits),
+            BitSpan(result_.bits).subspan(bit_offset, n_bits));
     }
+}
+
+const UserResult &
+UserProcessor::finish_reduce()
+{
+    LTE_CHECK(bound_, "processor is not bound to a subframe");
+    // Fold the per-codeblock EVM partials in canonical order so the
+    // sum does not depend on which worker ran which tail task.
+    double evm_acc = 0.0;
+    std::size_t evm_n = 0;
+    for (std::size_t t = 0; t < n_tail_tasks(); ++t) {
+        evm_acc += evm_acc_[t];
+        evm_n += evm_n_[t];
+    }
+
+    result_.user_id = params_.id;
+    result_.noise_var = noise_var_;
+    result_.evm_rms =
+        evm_n > 0 ? std::sqrt(static_cast<float>(
+                        evm_acc / static_cast<double>(evm_n)))
+                  : 0.0f;
     result_.crc_ok = crc24_check(result_.bits);
     result_.checksum = bit_checksum(result_.bits);
     return result_;
+}
+
+const UserResult &
+UserProcessor::finish()
+{
+    LTE_CHECK(bound_, "processor is not bound to a subframe");
+    for (std::size_t t = 0; t < n_tail_tasks(); ++t)
+        run_tail_task(t);
+    return finish_reduce();
 }
 
 const UserResult &

@@ -10,14 +10,14 @@
  *   join:    combiner-weight computation (single task)
  *   stage 2: 6 x n_layers demodulation tasks (each handles the same
  *            data-symbol index in both slots: antenna combining + IFFT)
- *   tail:    deinterleave, soft demap, descramble, turbo
- *            (pass-through by default), CRC — sequential in the
- *            user thread
+ *   tail:    per-codeblock tasks (deinterleave, soft demap,
+ *            descramble, turbo pass-through) over disjoint LLR/bit
+ *            slices, closed by a CRC/EVM reduce
  *
  * Tasks within one stage touch disjoint state, so the stages may be
  * executed concurrently by different worker threads provided the
- * caller joins between stages (the work-stealing runtime does; the
- * serial engine simply calls process_all()).
+ * caller orders the stages (the work-stealing runtime chains them via
+ * continuations; the serial engine simply calls process_all()).
  *
  * Memory model: a processor is a long-lived object that is re-bound
  * to a new (params, signal) pair every subframe via bind().  All
@@ -132,9 +132,34 @@ class UserProcessor
     void run_demod_task(std::size_t task_index);
 
     /**
-     * Tail: deinterleave, demap, decode, CRC; requires all stage-2
+     * Number of parallel tail tasks: greedy ≤ kTailCodeblockBits
+     * codeblocks of the canonical codeword (op_model's
+     * tail_codeblock_count), except in real-turbo mode where the
+     * decoder consumes the whole codeword and the tail stays one task.
+     */
+    std::size_t n_tail_tasks() const;
+
+    /**
+     * Tail task: deinterleave, soft-demap, descramble and harden one
+     * codeblock into its disjoint LLR/bit slices, accumulating that
+     * codeblock's EVM partial; requires all stage-2 tasks complete.
+     * Tasks with distinct indices may run concurrently (scratch comes
+     * from the per-thread kernel_scratch()).
+     */
+    void run_tail_task(std::size_t task_index);
+
+    /**
+     * Reduce: fold the per-codeblock EVM partials in canonical order,
+     * CRC-check and checksum the decoded bits; requires all tail
      * tasks complete.  The returned reference (into a reused member)
-     * stays valid until the next bind() or finish().
+     * stays valid until the next bind().
+     */
+    const UserResult &finish_reduce();
+
+    /**
+     * Tail convenience: run every tail task in order, then reduce —
+     * the same decomposition the parallel runtime executes, so serial
+     * and parallel outputs are bit-identical.
      */
     const UserResult &finish();
 
@@ -187,8 +212,29 @@ class UserProcessor
     std::array<std::span<std::size_t>, kSlotsPerSubframe> perm_;
     /** Soft bits for the whole subframe (capacity_bits of them). */
     LlrSpan llrs_;
-    /** Deinterleave output scratch, one symbol wide. */
-    CfSpan deint_;
+
+    /**
+     * One tail codeblock: a run of consecutive (slot, layer,
+     * data-symbol) blocks of the canonical codeword and the LLR/bit
+     * slice they produce.  Built at bind() (capacity reused across
+     * binds); slices are disjoint, so tail tasks never share state.
+     */
+    struct CodeblockSlice
+    {
+        std::uint32_t first_block = 0;
+        std::uint32_t n_blocks = 0;
+        std::size_t bit_offset = 0;
+        std::size_t n_bits = 0;
+    };
+    std::vector<CodeblockSlice> codeblocks_;
+
+    /** Upper bound on codeblocks: one per (slot, layer, data symbol). */
+    static constexpr std::size_t kMaxTailTasks =
+        kSlotsPerSubframe * kMaxLayers * kDataSymbolsPerSlot;
+    /** Per-codeblock EVM partials, folded by finish_reduce() in
+     *  canonical order so the sum is schedule-independent. */
+    std::array<double, kMaxTailTasks> evm_acc_{};
+    std::array<std::size_t, kMaxTailTasks> evm_n_{};
 
     /** Noise-variance estimates from each chanest task. */
     std::array<float,

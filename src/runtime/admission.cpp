@@ -1,0 +1,28 @@
+#include "runtime/admission.hpp"
+
+#include "phy/op_model.hpp"
+
+namespace lte::runtime::admission {
+
+std::uint64_t
+subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas)
+{
+    std::uint64_t ops = 0;
+    for (const auto &user : params.users)
+        ops += phy::user_task_costs(user, n_antennas).total();
+    return ops;
+}
+
+SubframeOutcome
+collect(const SubframeJob &job)
+{
+    SubframeOutcome outcome;
+    outcome.subframe_index = job.params.subframe_index;
+    outcome.cell_id = job.cell_id;
+    outcome.users.assign(job.results.begin(),
+                         job.results.begin() +
+                             static_cast<std::ptrdiff_t>(job.n_users));
+    return outcome;
+}
+
+} // namespace lte::runtime::admission

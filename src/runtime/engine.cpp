@@ -52,19 +52,9 @@ EngineConfig::validate() const
     obs.validate();
 }
 
-namespace {
-
-/** Analytical flops of a subframe (op-model activity measure). */
-std::uint64_t
-subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas)
-{
-    std::uint64_t ops = 0;
-    for (const auto &user : params.users)
-        ops += phy::user_task_costs(user, n_antennas).total();
-    return ops;
-}
-
-} // namespace
+using admission::collect;
+using admission::job_done;
+using admission::subframe_ops;
 
 std::unique_ptr<Engine>
 make_engine(const EngineConfig &config)
@@ -259,24 +249,6 @@ WorkStealingEngine::set_estimator(
     estimator_ = std::move(estimator);
 }
 
-SubframeJob *
-WorkStealingEngine::acquire_job()
-{
-    if (free_jobs_.empty()) {
-        jobs_.push_back(std::make_unique<SubframeJob>());
-        return jobs_.back().get();
-    }
-    SubframeJob *job = free_jobs_.back();
-    free_jobs_.pop_back();
-    return job;
-}
-
-void
-WorkStealingEngine::release_job(SubframeJob *job)
-{
-    free_jobs_.push_back(job);
-}
-
 double
 WorkStealingEngine::apply_estimator(const phy::SubframeParams &params)
 {
@@ -331,7 +303,7 @@ WorkStealingEngine::process_subframe(const phy::SubframeParams &params)
     input_.signals_for(params, signals_);
     const double estimate = apply_estimator(params);
 
-    SubframeJob *job = acquire_job();
+    SubframeJob *job = job_pool_.acquire();
     job->prepare(params, signals_, config_.receiver);
     const bool observing = tracer_ || metrics_;
     if (observing) {
@@ -355,32 +327,9 @@ WorkStealingEngine::process_subframe(const phy::SubframeParams &params)
     outcome_.subframe_index = params.subframe_index;
     outcome_.cell_id = params.cell_id;
     outcome_.users = job->results; // capacity reuse, scalar payload
-    release_job(job);
+    job_pool_.release(job);
     return outcome_;
 }
-
-namespace {
-
-/** Collect the outcome of a completed job. */
-SubframeOutcome
-collect(const SubframeJob &job)
-{
-    SubframeOutcome outcome;
-    outcome.subframe_index = job.params.subframe_index;
-    outcome.cell_id = job.cell_id;
-    outcome.users.assign(job.results.begin(),
-                         job.results.begin() +
-                             static_cast<std::ptrdiff_t>(job.n_users));
-    return outcome;
-}
-
-bool
-job_done(const SubframeJob &job)
-{
-    return job.users_remaining.load(std::memory_order_acquire) <= 0;
-}
-
-} // namespace
 
 RunRecord
 WorkStealingEngine::run(workload::ParameterModel &model,
@@ -409,7 +358,7 @@ WorkStealingEngine::run(workload::ParameterModel &model,
                     observe_completion(*in_flight.front(),
                                        obs_now_ns());
                 record.subframes.push_back(collect(*in_flight.front()));
-                release_job(in_flight.front());
+                job_pool_.release(in_flight.front());
                 in_flight.pop_front();
             } else {
                 std::this_thread::yield();
@@ -421,7 +370,7 @@ WorkStealingEngine::run(workload::ParameterModel &model,
         const double estimate = apply_estimator(params);
 
         input_.signals_for(params, signals_);
-        SubframeJob *job = acquire_job();
+        SubframeJob *job = job_pool_.acquire();
         job->prepare(params, signals_, config_.receiver);
 
         // DELTA pacing (paper Sec. IV-B.3).
@@ -446,7 +395,7 @@ WorkStealingEngine::run(workload::ParameterModel &model,
             if (observing)
                 observe_completion(*job, job->t_dispatch_ns);
             record.subframes.push_back(collect(*job));
-            release_job(job);
+            job_pool_.release(job);
         } else {
             pool_->submit(job);
             in_flight.push_back(job);
@@ -461,7 +410,7 @@ WorkStealingEngine::run(workload::ParameterModel &model,
         if (observing)
             observe_completion(*in_flight.front(), obs_now_ns());
         record.subframes.push_back(collect(*in_flight.front()));
-        release_job(in_flight.front());
+        job_pool_.release(in_flight.front());
         in_flight.pop_front();
     }
 

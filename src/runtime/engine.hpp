@@ -40,6 +40,7 @@
 #include "obs/trace.hpp"
 #include "phy/params.hpp"
 #include "phy/user_processor.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/input_generator.hpp"
 #include "runtime/run_record.hpp"
 #include "runtime/task.hpp"
@@ -279,9 +280,6 @@ class WorkStealingEngine : public Engine
     WorkerPool &pool() { return *pool_; }
 
   private:
-    /** Fetch a warm job from the pool (grow-only free list). */
-    SubframeJob *acquire_job();
-    void release_job(SubframeJob *job);
     /** Eq. 5 core deactivation; returns the Eq. 4 estimate (-1 when
      *  no estimator applies). */
     double apply_estimator(const phy::SubframeParams &params);
@@ -300,8 +298,7 @@ class WorkStealingEngine : public Engine
     std::optional<mgmt::WorkloadEstimator> estimator_;
 
     /** Pooled jobs; at most max_in_flight + 1 ever exist. */
-    std::vector<std::unique_ptr<SubframeJob>> jobs_;
-    std::vector<SubframeJob *> free_jobs_;
+    admission::JobPool job_pool_;
     std::vector<const phy::UserSignal *> signals_;
     SubframeOutcome outcome_;
 
@@ -357,11 +354,10 @@ class StreamingEngine : public Engine
     const ShedStats &shed_stats() const { return shed_stats_; }
 
   private:
-    SubframeJob *acquire_job();
-    void release_job(SubframeJob *job);
-    /** Eq. 4/5 with backlog awareness (queued + executing jobs). */
+    /** Eq. 4/5 with backlog awareness (queued + executing jobs) and,
+     *  on degrade flips, the degraded chain's cheaper cost model. */
     double apply_estimator(const phy::SubframeParams &params,
-                           std::size_t backlog);
+                           std::size_t backlog, bool degraded = false);
     std::size_t dispatch_slot() const { return config_.pool.n_workers; }
     std::uint64_t obs_now_ns() const;
     /** Age of a prepared-but-unfinished job in milliseconds. */
@@ -386,8 +382,7 @@ class StreamingEngine : public Engine
 
     /** Pooled jobs; at most admission_queue + max_in_flight + 1 ever
      *  exist. */
-    std::vector<std::unique_ptr<SubframeJob>> jobs_;
-    std::vector<SubframeJob *> free_jobs_;
+    admission::JobPool job_pool_;
     std::vector<const phy::UserSignal *> signals_;
     SubframeOutcome outcome_;
 

@@ -192,8 +192,7 @@ class MultiCellEngine
 
         /** Pooled jobs; at most admission_queue + max_in_flight + 1
          *  per cell ever exist. */
-        std::vector<std::unique_ptr<SubframeJob>> jobs;
-        std::vector<SubframeJob *> free_jobs;
+        admission::JobPool job_pool;
         /** Prepared subframes waiting for a shared in-flight slot. */
         std::deque<SubframeJob *> pending;
         /** This cell's submitted jobs, oldest first. */
@@ -214,8 +213,6 @@ class MultiCellEngine
         obs::Counter *deadline_miss_counter = nullptr;
     };
 
-    SubframeJob *acquire_job(CellContext &cell);
-    void release_job(CellContext &cell, SubframeJob *job);
     std::size_t dispatch_slot() const
     {
         return config_.engine.pool.n_workers;

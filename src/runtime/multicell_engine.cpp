@@ -28,38 +28,9 @@
 
 namespace lte::runtime {
 
-namespace {
-
-/** Analytical flops of a subframe (op-model activity measure). */
-std::uint64_t
-subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas)
-{
-    std::uint64_t ops = 0;
-    for (const auto &user : params.users)
-        ops += phy::user_task_costs(user, n_antennas).total();
-    return ops;
-}
-
-/** Collect the outcome of a completed job. */
-SubframeOutcome
-collect(const SubframeJob &job)
-{
-    SubframeOutcome outcome;
-    outcome.subframe_index = job.params.subframe_index;
-    outcome.cell_id = job.cell_id;
-    outcome.users.assign(job.results.begin(),
-                         job.results.begin() +
-                             static_cast<std::ptrdiff_t>(job.n_users));
-    return outcome;
-}
-
-bool
-job_done(const SubframeJob &job)
-{
-    return job.users_remaining.load(std::memory_order_acquire) <= 0;
-}
-
-} // namespace
+using admission::collect;
+using admission::job_done;
+using admission::subframe_ops;
 
 void
 MultiCellConfig::validate() const
@@ -201,24 +172,6 @@ MultiCellEngine::set_estimator(
     estimator_ = std::move(estimator);
 }
 
-SubframeJob *
-MultiCellEngine::acquire_job(CellContext &cell)
-{
-    if (cell.free_jobs.empty()) {
-        cell.jobs.push_back(std::make_unique<SubframeJob>());
-        return cell.jobs.back().get();
-    }
-    SubframeJob *job = cell.free_jobs.back();
-    cell.free_jobs.pop_back();
-    return job;
-}
-
-void
-MultiCellEngine::release_job(CellContext &cell, SubframeJob *job)
-{
-    cell.free_jobs.push_back(job);
-}
-
 std::uint64_t
 MultiCellEngine::obs_now_ns() const
 {
@@ -333,7 +286,7 @@ MultiCellEngine::expire_pending(CellContext &cell)
         --total_pending_;
         observe_shed(cell, job->params.subframe_index,
                      /*expired=*/true);
-        release_job(cell, job);
+        cell.job_pool.release(job);
     }
 }
 
@@ -352,6 +305,18 @@ MultiCellEngine::admit_one(CellContext &cell)
         if (metrics_) {
             degraded_counter_->add();
             cell.degraded_counter->add();
+        }
+        if (cell.estimator.has_value()) {
+            // The planned work just got cheaper; refresh this lane's
+            // Eq. 4 estimate under the degraded cost model so the
+            // shared pool's core count tracks real demand.
+            const double estimate = cell.estimator->estimate_subframe(
+                job->params,
+                cell.pending.size() + cell.executing.size(),
+                /*degraded=*/true);
+            cell.last_estimate = estimate;
+            job->est_activity = estimate;
+            update_active_workers();
         }
     }
     cell.pending.pop_front();
@@ -419,7 +384,7 @@ MultiCellEngine::reap_all(MultiCellRunRecord &record)
             record.cells[c].subframes.push_back(collect(*job));
             record.cells[c].total_ops += subframe_ops(
                 job->params, config_.engine.receiver.n_antennas);
-            release_job(cell, job);
+            cell.job_pool.release(job);
         }
     }
 }
@@ -466,7 +431,7 @@ MultiCellEngine::process_subframe(std::size_t cell_index,
     }
     cell.input.signals_for(params, cell.signals);
 
-    SubframeJob *job = acquire_job(cell);
+    SubframeJob *job = cell.job_pool.acquire();
     job->prepare(params, cell.signals, cell.receiver);
     job->t_arrival_ns = obs_now_ns();
     job->t_dispatch_ns = job->t_arrival_ns;
@@ -493,7 +458,7 @@ MultiCellEngine::process_subframe(std::size_t cell_index,
     outcome_.subframe_index = params.subframe_index;
     outcome_.cell_id = params.cell_id;
     outcome_.users = job->results; // capacity reuse, scalar payload
-    release_job(cell, job);
+    cell.job_pool.release(job);
     return outcome_;
 }
 
@@ -572,7 +537,7 @@ MultiCellEngine::run(const std::vector<workload::ParameterModel *> &models,
                     --total_pending_;
                     observe_shed(cell, oldest->params.subframe_index,
                                  /*expired=*/false);
-                    release_job(cell, oldest);
+                    cell.job_pool.release(oldest);
                 } else {
                     // kDropNewest / kDegrade: keep the queued work.
                     observe_shed(cell, params.subframe_index,
@@ -590,7 +555,7 @@ MultiCellEngine::run(const std::vector<workload::ParameterModel *> &models,
                 }
                 cell.last_estimate = estimate;
                 cell.input.signals_for(params, cell.signals);
-                SubframeJob *job = acquire_job(cell);
+                SubframeJob *job = cell.job_pool.acquire();
                 job->prepare(params, cell.signals, cell.receiver);
                 job->t_arrival_ns = obs_now_ns();
                 job->est_activity = estimate;

@@ -32,38 +32,9 @@
 
 namespace lte::runtime {
 
-namespace {
-
-/** Analytical flops of a subframe (op-model activity measure). */
-std::uint64_t
-subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas)
-{
-    std::uint64_t ops = 0;
-    for (const auto &user : params.users)
-        ops += phy::user_task_costs(user, n_antennas).total();
-    return ops;
-}
-
-/** Collect the outcome of a completed job. */
-SubframeOutcome
-collect(const SubframeJob &job)
-{
-    SubframeOutcome outcome;
-    outcome.subframe_index = job.params.subframe_index;
-    outcome.cell_id = job.cell_id;
-    outcome.users.assign(job.results.begin(),
-                         job.results.begin() +
-                             static_cast<std::ptrdiff_t>(job.n_users));
-    return outcome;
-}
-
-bool
-job_done(const SubframeJob &job)
-{
-    return job.users_remaining.load(std::memory_order_acquire) <= 0;
-}
-
-} // namespace
+using admission::collect;
+using admission::job_done;
+using admission::subframe_ops;
 
 StreamingEngine::StreamingEngine(const EngineConfig &config)
     : config_(config), input_(config.input)
@@ -104,24 +75,6 @@ StreamingEngine::set_estimator(
     estimator_ = std::move(estimator);
 }
 
-SubframeJob *
-StreamingEngine::acquire_job()
-{
-    if (free_jobs_.empty()) {
-        jobs_.push_back(std::make_unique<SubframeJob>());
-        return jobs_.back().get();
-    }
-    SubframeJob *job = free_jobs_.back();
-    free_jobs_.pop_back();
-    return job;
-}
-
-void
-StreamingEngine::release_job(SubframeJob *job)
-{
-    free_jobs_.push_back(job);
-}
-
 std::uint64_t
 StreamingEngine::obs_now_ns() const
 {
@@ -142,7 +95,7 @@ StreamingEngine::age_ms(const SubframeJob &job,
 
 double
 StreamingEngine::apply_estimator(const phy::SubframeParams &params,
-                                 std::size_t backlog)
+                                 std::size_t backlog, bool degraded)
 {
     const bool proactive =
         estimator_.has_value() &&
@@ -152,8 +105,12 @@ StreamingEngine::apply_estimator(const phy::SubframeParams &params,
     if (!proactive)
         return -1.0;
     // Backlog-aware Eq. 4: resident subframes still demand cores, so
-    // the streaming engine must not power down under a queue.
-    const double estimate = estimator_->estimate_subframe(params, backlog);
+    // the streaming engine must not power down under a queue.  On a
+    // degrade flip the same equation is re-evaluated under the
+    // degraded chain's op-model cost ratio, so the controller does
+    // not keep cores awake for MMSE work the flip just cancelled.
+    const double estimate =
+        estimator_->estimate_subframe(params, backlog, degraded);
     pool_->set_active_workers(estimator_->active_cores(
         estimate, static_cast<std::uint32_t>(pool_->n_workers()),
         config_.core_margin));
@@ -222,7 +179,7 @@ StreamingEngine::admit_pending()
             // Expired in the queue: nothing useful left to compute.
             pending_.pop_front();
             observe_shed(job->params.subframe_index, /*expired=*/true);
-            release_job(job);
+            job_pool_.release(job);
             continue;
         }
         if (executing_.size() >= config_.max_in_flight)
@@ -236,6 +193,13 @@ StreamingEngine::admit_pending()
             ++shed_stats_.degraded;
             if (metrics_)
                 degraded_counter_->add();
+            // The planned work just got cheaper; let Eq. 4/5 see the
+            // degraded cost before this job hits the pool.
+            const double estimate = apply_estimator(
+                job->params, pending_.size() + executing_.size(),
+                /*degraded=*/true);
+            if (estimate >= 0.0)
+                job->est_activity = estimate;
         }
         pending_.pop_front();
         job->t_dispatch_ns = now;
@@ -263,7 +227,7 @@ StreamingEngine::reap_completed(RunRecord &record)
         executing_.pop_front();
         observe_completion(*job, obs_now_ns());
         record.subframes.push_back(collect(*job));
-        release_job(job);
+        job_pool_.release(job);
     }
 }
 
@@ -285,7 +249,7 @@ StreamingEngine::process_subframe(const phy::SubframeParams &params)
     input_.signals_for(params, signals_);
     const double estimate = apply_estimator(params, 0);
 
-    SubframeJob *job = acquire_job();
+    SubframeJob *job = job_pool_.acquire();
     job->prepare(params, signals_, config_.receiver);
     job->t_arrival_ns = obs_now_ns();
     job->t_dispatch_ns = job->t_arrival_ns;
@@ -310,7 +274,7 @@ StreamingEngine::process_subframe(const phy::SubframeParams &params)
     outcome_.subframe_index = params.subframe_index;
     outcome_.cell_id = params.cell_id;
     outcome_.users = job->results; // capacity reuse, scalar payload
-    release_job(job);
+    job_pool_.release(job);
     return outcome_;
 }
 
@@ -365,7 +329,7 @@ StreamingEngine::run(workload::ParameterModel &model,
                 pending_.pop_front();
                 observe_shed(oldest->params.subframe_index,
                              /*expired=*/false);
-                release_job(oldest);
+                job_pool_.release(oldest);
             } else {
                 // kDropNewest / kDegrade: keep the queued work.  For
                 // kDegrade this is what lets jobs age toward the
@@ -380,7 +344,7 @@ StreamingEngine::run(workload::ParameterModel &model,
             const double estimate = apply_estimator(
                 params, pending_.size() + executing_.size());
             input_.signals_for(params, signals_);
-            SubframeJob *job = acquire_job();
+            SubframeJob *job = job_pool_.acquire();
             job->prepare(params, signals_, config_.receiver);
             job->t_arrival_ns = obs_now_ns();
             job->est_activity = estimate;

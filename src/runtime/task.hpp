@@ -1,8 +1,14 @@
 /**
  * @file
- * Runtime task plumbing: per-user work state, the two stealable task
- * kinds (channel estimation, demodulation), and the per-subframe job
- * that owns everything (paper Sec. IV-C).
+ * Runtime task plumbing: per-user work state, the stealable task
+ * kinds of the continuation graph (channel estimation, the weight
+ * join, demodulation, the per-codeblock tail and its reduce), and the
+ * per-subframe job that owns everything (paper Sec. IV-C).
+ *
+ * Stage transitions are continuation-driven: each stage counter is
+ * decremented by the worker that finishes a task, and the final
+ * decrement enqueues the next stage instead of releasing a blocked
+ * "user thread" — no worker ever waits inside a user.
  *
  * Memory model: UserWork and SubframeJob are long-lived pooled objects
  * that are re-bound every subframe via reset()/prepare().  The heavy
@@ -29,8 +35,9 @@ struct SubframeJob;
 
 /**
  * Work state for one user in one subframe.  The worker that dequeues
- * this from the global queue becomes the "user thread"; stage
- * counters track tasks stolen by other workers.
+ * this from the global queue seeds the chanest fan-out; from then on
+ * the stage counters drive the continuation graph and any worker may
+ * run any stage.
  */
 struct UserWork
 {
@@ -61,7 +68,7 @@ struct UserWork
     {
         proc.bind(params, signal);
         proc.set_degraded(degraded);
-        costs = phy::user_task_costs(params, n_antennas);
+        refresh_costs(degraded);
         parent = parent_job;
         result_slot = slot;
         chanest_remaining.store(
@@ -70,6 +77,28 @@ struct UserWork
         demod_remaining.store(
             static_cast<std::int32_t>(proc.n_demod_tasks()),
             std::memory_order_relaxed);
+        tail_remaining.store(
+            static_cast<std::int32_t>(proc.n_tail_tasks()),
+            std::memory_order_relaxed);
+    }
+
+    /**
+     * Recompute the analytical costs for the current binding (called
+     * from reset() and on degrade flips, which change the weight-join
+     * cost).  Real-turbo mode folds the whole parallel tail into the
+     * processor's single tail task, so the per-task cost follows.
+     */
+    void
+    refresh_costs(bool degraded_mode)
+    {
+        costs = phy::user_task_costs(proc.params(), n_antennas,
+                                     degraded_mode);
+        const auto n_tail =
+            static_cast<std::uint32_t>(proc.n_tail_tasks());
+        if (n_tail != costs.n_tail_tasks) {
+            costs.tail_task = costs.tail - costs.tail_reduce;
+            costs.n_tail_tasks = n_tail;
+        }
     }
 
     phy::UserProcessor proc;
@@ -83,12 +112,27 @@ struct UserWork
     std::size_t result_slot = 0;
     std::atomic<std::int32_t> chanest_remaining{0};
     std::atomic<std::int32_t> demod_remaining{0};
+    std::atomic<std::int32_t> tail_remaining{0};
 };
 
-/** A stealable unit of work. */
+/**
+ * A stealable unit of work: one node of the continuation graph.
+ *
+ *   kChanEst ×(antennas·layers) → kWeights → kDemod ×(6·layers)
+ *     → kTailCb ×(codeblocks) → kTailReduce
+ *
+ * The join nodes (kWeights, kTailReduce) are enqueued by whichever
+ * worker performs the final decrement of the preceding stage counter.
+ */
 struct Task
 {
-    enum class Kind : std::uint8_t { kChanEst, kDemod };
+    enum class Kind : std::uint8_t {
+        kChanEst,
+        kWeights,
+        kDemod,
+        kTailCb,
+        kTailReduce
+    };
 
     UserWork *work = nullptr;
     Kind kind = Kind::kChanEst;
@@ -163,8 +207,12 @@ struct SubframeJob
     set_degraded(bool value)
     {
         degraded = value;
-        for (std::size_t u = 0; u < n_users; ++u)
+        for (std::size_t u = 0; u < n_users; ++u) {
             users[u]->proc.set_degraded(value);
+            // Keep the accounted costs honest: the degraded chain
+            // swaps the MMSE solve for per-layer MRC weights.
+            users[u]->refresh_costs(value);
+        }
     }
 };
 

@@ -167,20 +167,66 @@ WorkerPool::trace(std::size_t wid, obs::SpanKind kind,
 void
 WorkerPool::execute_task(std::size_t wid, const Task &task)
 {
+    // Continuation dispatch: the worker that performs the final
+    // acq_rel decrement of a stage counter observes every sibling's
+    // writes and enqueues the next graph node into its own deque
+    // (LIFO keeps the user's data hot; thieves take it if this worker
+    // is busy).  No stage ever waits.
     const auto start = std::chrono::steady_clock::now();
     UserWork *work = task.work;
-    if (task.kind == Task::Kind::kChanEst) {
+    auto &deque = *deques_[wid];
+    switch (task.kind) {
+      case Task::Kind::kChanEst: {
         work->proc.run_chanest_task(task.index);
         const auto end = std::chrono::steady_clock::now();
         account(wid, start, end, work->costs.chanest_task);
         trace(wid, obs::SpanKind::kChanEst, start, end, task.index);
-        work->chanest_remaining.fetch_sub(1, std::memory_order_release);
-    } else {
+        if (work->chanest_remaining.fetch_sub(
+                1, std::memory_order_acq_rel) == 1)
+            deque.push_bottom(Task{work, Task::Kind::kWeights, 0});
+        break;
+      }
+      case Task::Kind::kWeights: {
+        work->proc.compute_weights();
+        const auto end = std::chrono::steady_clock::now();
+        account(wid, start, end, work->costs.weights);
+        trace(wid, obs::SpanKind::kWeights, start, end,
+              work->proc.params().id);
+        const auto n_demod = work->proc.n_demod_tasks();
+        for (std::size_t t = 0; t < n_demod; ++t) {
+            deque.push_bottom(Task{work, Task::Kind::kDemod,
+                                   static_cast<std::uint32_t>(t)});
+        }
+        break;
+      }
+      case Task::Kind::kDemod: {
         work->proc.run_demod_task(task.index);
         const auto end = std::chrono::steady_clock::now();
         account(wid, start, end, work->costs.demod_task);
         trace(wid, obs::SpanKind::kDemod, start, end, task.index);
-        work->demod_remaining.fetch_sub(1, std::memory_order_release);
+        if (work->demod_remaining.fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+            const auto n_tail = work->proc.n_tail_tasks();
+            for (std::size_t t = 0; t < n_tail; ++t) {
+                deque.push_bottom(Task{work, Task::Kind::kTailCb,
+                                       static_cast<std::uint32_t>(t)});
+            }
+        }
+        break;
+      }
+      case Task::Kind::kTailCb: {
+        work->proc.run_tail_task(task.index);
+        const auto end = std::chrono::steady_clock::now();
+        account(wid, start, end, work->costs.tail_task);
+        trace(wid, obs::SpanKind::kTailCb, start, end, task.index);
+        if (work->tail_remaining.fetch_sub(
+                1, std::memory_order_acq_rel) == 1)
+            deque.push_bottom(Task{work, Task::Kind::kTailReduce, 0});
+        break;
+      }
+      case Task::Kind::kTailReduce:
+        finish_user(wid, work);
+        break;
     }
 }
 
@@ -215,49 +261,17 @@ WorkerPool::try_help(std::size_t wid)
 }
 
 void
-WorkerPool::run_user(std::size_t wid, UserWork *work)
+WorkerPool::start_user(std::size_t wid, UserWork *work)
 {
+    // Seed stage 1 (one task per (antenna, layer)) and return to the
+    // scheduling loop; the continuation graph drives everything else.
     auto &deque = *deques_[wid];
-
-    // Stage 1: channel estimation, one task per (antenna, layer).
     const auto n_chanest = work->proc.n_chanest_tasks();
     for (std::size_t t = 0; t < n_chanest; ++t) {
         deque.push_bottom(
             Task{work, Task::Kind::kChanEst,
                  static_cast<std::uint32_t>(t)});
     }
-    while (work->chanest_remaining.load(std::memory_order_acquire) > 0) {
-        if (auto task = deque.pop_bottom())
-            execute_task(wid, *task);
-        else if (!try_help(wid))
-            std::this_thread::yield();
-    }
-
-    // Join: combiner weights (sequential in the user thread).
-    {
-        const auto start = std::chrono::steady_clock::now();
-        work->proc.compute_weights();
-        const auto end = std::chrono::steady_clock::now();
-        account(wid, start, end, work->costs.weights);
-        trace(wid, obs::SpanKind::kWeights, start, end,
-              work->proc.params().id);
-    }
-
-    // Stage 2: demodulation, one task per (data symbol, layer).
-    const auto n_demod = work->proc.n_demod_tasks();
-    for (std::size_t t = 0; t < n_demod; ++t) {
-        deque.push_bottom(
-            Task{work, Task::Kind::kDemod,
-                 static_cast<std::uint32_t>(t)});
-    }
-    while (work->demod_remaining.load(std::memory_order_acquire) > 0) {
-        if (auto task = deque.pop_bottom())
-            execute_task(wid, *task);
-        else if (!try_help(wid))
-            std::this_thread::yield();
-    }
-
-    finish_user(wid, work);
 }
 
 void
@@ -266,15 +280,15 @@ WorkerPool::finish_user(std::size_t wid, UserWork *work)
     const auto start = std::chrono::steady_clock::now();
     // Only the scalar outcome leaves the worker; the decoded bits stay
     // in the processor's reused storage (no payload copy, no alloc).
-    const phy::UserResult &result = work->proc.finish();
+    const phy::UserResult &result = work->proc.finish_reduce();
     UserOutcome &out = work->parent->results[work->result_slot];
     out.user_id = result.user_id;
     out.checksum = result.checksum;
     out.crc_ok = result.crc_ok;
     out.evm_rms = result.evm_rms;
     const auto end = std::chrono::steady_clock::now();
-    account(wid, start, end, work->costs.tail);
-    trace(wid, obs::SpanKind::kTail, start, end, result.user_id);
+    account(wid, start, end, work->costs.tail_reduce);
+    trace(wid, obs::SpanKind::kTailReduce, start, end, result.user_id);
 
     if (work->parent->users_remaining.fetch_sub(
             1, std::memory_order_acq_rel) == 1) {
@@ -307,7 +321,7 @@ WorkerPool::worker_main(std::size_t wid)
         // Paper order: the global user queue is checked before
         // stealing so a fresh subframe is picked up promptly.
         if (UserWork *work = try_pop_global()) {
-            run_user(wid, work);
+            start_user(wid, work);
             continue;
         }
         if (try_help(wid))

@@ -6,10 +6,12 @@
  * Each worker owns a task deque.  The scheduling loop follows the
  * paper exactly: check the global user queue first (a new subframe
  * beats stealing), then the local deque, then steal from a random
- * victim.  A worker that dequeues a user becomes that user's "user
- * thread": it creates the channel-estimation tasks, helps drain them,
- * performs the combiner-weight join, creates the demodulation tasks,
- * and runs the sequential tail.
+ * victim.  A worker that dequeues a user seeds its channel-estimation
+ * fan-out and moves on; every later stage is continuation-driven —
+ * the worker that performs the final decrement of a stage counter
+ * enqueues the next node (weight join, demod fan-out, per-codeblock
+ * tail fan-out, CRC/EVM reduce), so no worker ever blocks inside a
+ * user and a heavy user's tail spreads across the whole pool.
  *
  * Core-deactivation strategies are emulated functionally: NAP-style
  * deactivation parks workers above the active-core watermark (they
@@ -153,8 +155,12 @@ class WorkerPool
     void worker_main(std::size_t wid);
     UserWork *try_pop_global();
     bool try_help(std::size_t wid);
-    void run_user(std::size_t wid, UserWork *work);
+    /** Seed a user's chanest fan-out into @p wid's deque (no join —
+     *  the continuation graph takes over from there). */
+    void start_user(std::size_t wid, UserWork *work);
     void execute_task(std::size_t wid, const Task &task);
+    /** The kTailReduce node: fold the user, publish its outcome and
+     *  signal job completion on the last user. */
     void finish_user(std::size_t wid, UserWork *work);
     void account(std::size_t wid,
                  std::chrono::steady_clock::time_point start,

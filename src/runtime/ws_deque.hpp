@@ -29,9 +29,12 @@ template <typename T>
 class WsDeque
 {
   public:
-    /** Far above the largest task burst one user creates
-     *  (6 x kMaxLayers demod tasks = 24); power of two for masking. */
-    static constexpr std::size_t kInitialCapacity = 256;
+    /** Far above the largest task burst one user creates (the tail
+     *  fan-out: up to 2 slots x kMaxLayers x 6 data symbols = 48
+     *  codeblock tasks pushed by one final demod decrement), with
+     *  headroom for several users' bursts landing in one deque;
+     *  power of two for masking. */
+    static constexpr std::size_t kInitialCapacity = 1024;
 
     /**
      * @param capacity initial ring capacity; MUST be a power of two —

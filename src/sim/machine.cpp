@@ -257,9 +257,15 @@ Machine::handle_dispatch(double t, workload::ParameterModel &model)
                            config_.cycles_per_op;
         dag.tail_cycles = static_cast<double>(costs.tail) *
                           config_.cycles_per_op;
+        dag.tail_task_cycles = static_cast<double>(costs.tail_task) *
+                               config_.cycles_per_op;
+        dag.reduce_cycles = static_cast<double>(costs.tail_reduce) *
+                            config_.cycles_per_op;
         dag.chanest_left = costs.n_chanest_tasks;
         dag.demod_total = costs.n_demod_tasks;
         dag.demod_left = costs.n_demod_tasks;
+        dag.tail_total = costs.n_tail_tasks;
+        dag.tail_left = costs.n_tail_tasks;
         dag.dispatch_time = t;
         dag.in_use = true;
         ++active_dags_;
@@ -293,10 +299,28 @@ Machine::complete_stage(double t, const SimTask &task)
         break;
       case 2:
         LTE_ASSERT(dag.demod_left > 0, "demod underflow");
-        if (--dag.demod_left == 0)
-            ready_.push_back(SimTask{dag.tail_cycles, task.dag, 3});
+        if (--dag.demod_left == 0) {
+            if (config_.split_tail) {
+                // Continuation-graph tail: one task per codeblock,
+                // folded by a reduce — the runtime's real fan-out.
+                for (std::uint32_t i = 0; i < dag.tail_total; ++i)
+                    ready_.push_back(
+                        SimTask{dag.tail_task_cycles, task.dag, 3});
+            } else {
+                ready_.push_back(SimTask{dag.tail_cycles, task.dag, 3});
+            }
+        }
         break;
       case 3:
+        if (config_.split_tail) {
+            LTE_ASSERT(dag.tail_left > 0, "tail underflow");
+            if (--dag.tail_left == 0)
+                ready_.push_back(
+                    SimTask{dag.reduce_cycles, task.dag, 4});
+            break;
+        }
+        [[fallthrough]];
+      case 4:
         dag.in_use = false;
         result_.user_latency.push_back(
             (t - dag.dispatch_time) / config_.delta_s);

@@ -65,10 +65,14 @@ class Machine
         double chanest_cycles = 0.0;
         double weights_cycles = 0.0;
         double demod_cycles = 0.0;
-        double tail_cycles = 0.0;
+        double tail_cycles = 0.0; ///< whole tail (monolithic mode)
+        double tail_task_cycles = 0.0; ///< one codeblock (split mode)
+        double reduce_cycles = 0.0;
         std::uint32_t chanest_left = 0;
         std::uint32_t demod_total = 0;
         std::uint32_t demod_left = 0;
+        std::uint32_t tail_total = 0;
+        std::uint32_t tail_left = 0;
         bool in_use = false;
     };
 
@@ -76,7 +80,9 @@ class Machine
     {
         double cycles = 0.0;
         std::uint32_t dag = 0;
-        std::uint8_t stage = 0; ///< 0 chanest, 1 weights, 2 demod, 3 tail
+        /** 0 chanest, 1 weights, 2 demod, 3 tail (monolithic or one
+         *  codeblock), 4 reduce (split-tail mode only). */
+        std::uint8_t stage = 0;
     };
 
     struct Event

@@ -48,6 +48,13 @@ struct SimConfig
     /** Over-provisioning margin of Eq. 5. */
     std::uint32_t core_margin = 2;
 
+    /** Model the runtime's continuation-graph tail: the per-user tail
+     *  expands into op_model's n_tail_tasks per-codeblock tasks plus a
+     *  reduce task, as the work-stealing runtime executes it.  false
+     *  reproduces the pre-refactor monolithic tail (one serial task
+     *  per user) for before/after scheduling studies. */
+    bool split_tail = true;
+
     // --- DVFS extension (the paper's future-work direction) ---
     /** Scale clock frequency per subframe from the workload estimate
      *  instead of (or in addition to) gating cores. */

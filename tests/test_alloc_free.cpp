@@ -139,8 +139,11 @@ operator delete[](void *p, const std::nothrow_t &) noexcept
 namespace lte::runtime {
 namespace {
 
-/** A fixed mixed subframe: three users of different shapes, including
- *  a non-5-smooth allocation (prb=7 -> Bluestein FFT sizes). */
+/** A fixed mixed subframe: four users of different shapes, including
+ *  a non-5-smooth allocation (prb=7 -> Bluestein FFT sizes) and a
+ *  200-PRB 4-layer 64QAM user whose tail splits into the maximal 48
+ *  codeblock tasks — the parallel tail fan-out must stay inside
+ *  preallocated deque/LLR capacity on every engine. */
 phy::SubframeParams
 steady_subframe()
 {
@@ -167,6 +170,13 @@ steady_subframe()
     c.layers = 4;
     c.mod = Modulation::k64Qam;
     sf.users.push_back(c);
+
+    phy::UserParams d;
+    d.id = 3;
+    d.prb = 200;
+    d.layers = 4;
+    d.mod = Modulation::k64Qam;
+    sf.users.push_back(d);
     return sf;
 }
 
