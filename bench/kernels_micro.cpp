@@ -247,6 +247,56 @@ BM_TurboDecode(benchmark::State &state)
 }
 BENCHMARK(BM_TurboDecode)->Arg(256);
 
+/**
+ * The workspace decoder at a fixed 6-iteration budget (crc_poly = 0,
+ * so no early termination skews the comparison).  `simd` toggles
+ * force_scalar: the ratio of the two medians at k = 6144 is the
+ * SIMD-trellis speedup the PR 7 acceptance tracks (>= 4x).
+ */
+void
+turbo_decode_block_bench(benchmark::State &state, bool simd)
+{
+    Rng rng(8);
+    const std::size_t k = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> info(k);
+    for (auto &b : info)
+        b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+    const auto coded = phy::turbo_encode(info);
+    std::vector<Llr> llrs(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+        llrs[i] = (coded[i] ? -2.0f : 2.0f) +
+                  static_cast<float>(rng.next_gaussian());
+    }
+    const phy::QppInterleaver &pi = phy::qpp_interleaver(k);
+    phy::TurboDecoderConfig cfg;
+    cfg.iterations = 6;
+    cfg.force_scalar = !simd;
+    phy::TurboWorkspace ws;
+    ws.reserve(k);
+    std::vector<std::uint8_t> bits(k);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(phy::turbo_decode_block_into(
+            llrs, k, pi, cfg, 0, ws, BitSpan(bits.data(), k)));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(k));
+}
+
+void
+BM_TurboDecodeSimd(benchmark::State &state)
+{
+    turbo_decode_block_bench(state, true);
+}
+BENCHMARK(BM_TurboDecodeSimd)->Arg(1024)->Arg(6144);
+
+void
+BM_TurboDecodeScalar(benchmark::State &state)
+{
+    turbo_decode_block_bench(state, false);
+}
+BENCHMARK(BM_TurboDecodeScalar)->Arg(1024)->Arg(6144);
+
 void
 BM_GoldSequence(benchmark::State &state)
 {

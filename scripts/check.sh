@@ -25,6 +25,20 @@ run_preset() {
 
 run_preset release
 
+# Real-decode leg: the whole task-graph suite again with the
+# max-log-MAP decoder on (LTE_REAL_TURBO=1) — per-codeblock decode
+# tasks fan out across the pool and the digest must stay bit-identical
+# to the serial engine, on top of the suite's SIMD/scalar parity.
+echo "==> release real-turbo leg (LTE_REAL_TURBO=1)"
+LTE_REAL_TURBO=1 ./build/tests/test_task_graph
+
+# Turbo micro-bench smoke: prove the decode benches (both twins) run;
+# real measurements use longer repetitions (see README).
+echo "==> turbo micro-bench smoke"
+./build/bench/kernels_micro \
+    --benchmark_filter='TurboDecode(Simd|Scalar)' \
+    --benchmark_min_time=0.05
+
 # Multi-cell sweep: the cell-count-bearing suites honour LTE_CELLS, so
 # the same release binary proves per-cell digest parity at one, two
 # and four cells sharing the pool.
@@ -65,6 +79,12 @@ for workers in 1 8; do
     echo "==> tsan task-graph sweep (LTE_WORKERS=${workers})"
     LTE_WORKERS="${workers}" ./build-tsan/tests/test_task_graph
 done
+
+# Real-decode under TSan: workers race per-codeblock decode tasks and
+# per-thread turbo workspaces while CRC early termination varies the
+# per-task runtimes.
+echo "==> tsan real-turbo leg (LTE_REAL_TURBO=1)"
+LTE_REAL_TURBO=1 ./build-tsan/tests/test_task_graph
 
 if [[ "${1:-}" == "--ubsan" ]]; then
     run_preset ubsan

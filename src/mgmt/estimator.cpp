@@ -10,24 +10,10 @@ namespace lte::mgmt {
 
 namespace {
 
-/**
- * Degraded-to-full analytical cost ratio of one user.  The ratio uses
- * the paper's four-antenna receiver — the same configuration the
- * calibration slopes are measured on, so scaling a slope by it stays
- * consistent with Eq. 3's units.
- */
-double
-degraded_cost_ratio(const phy::UserParams &user)
-{
-    constexpr std::size_t kCalibrationAntennas = 4;
-    const auto full =
-        phy::user_task_costs(user, kCalibrationAntennas, false).total();
-    if (full == 0)
-        return 1.0;
-    const auto degraded =
-        phy::user_task_costs(user, kCalibrationAntennas, true).total();
-    return static_cast<double>(degraded) / static_cast<double>(full);
-}
+/** The paper's four-antenna receiver — the same configuration the
+ *  calibration slopes are measured on, so cost ratios computed with it
+ *  stay consistent with Eq. 3's units. */
+constexpr std::size_t kCalibrationAntennas = 4;
 
 } // namespace
 
@@ -109,11 +95,50 @@ WorkloadEstimator::estimate_subframe(
 }
 
 double
+WorkloadEstimator::shed_cost_ratio(const phy::UserParams &user,
+                                   phy::DegradeLevel level) const
+{
+    if (level == phy::DegradeLevel::kNone)
+        return 1.0;
+    // The baseline is the chain the slopes are calibrated on: with
+    // real-turbo pricing that includes the full-budget decode stage,
+    // so shrinking the iteration budget shows up as a ratio < 1 even
+    // before the MRC weight saving.
+    phy::DecodeModel full;
+    if (decode_pricing_.real_turbo) {
+        full.real_turbo = true;
+        full.iterations = decode_pricing_.iterations;
+    }
+    const auto base =
+        phy::user_task_costs(user, kCalibrationAntennas, false, full)
+            .total();
+    if (base == 0)
+        return 1.0;
+    phy::DecodeModel shed = full;
+    if (shed.real_turbo) {
+        shed.iterations = level == phy::DegradeLevel::kBypass
+                              ? 0
+                              : decode_pricing_.reduced_iterations;
+    }
+    const auto degraded =
+        phy::user_task_costs(user, kCalibrationAntennas, true, shed)
+            .total();
+    return static_cast<double>(degraded) / static_cast<double>(base);
+}
+
+double
+WorkloadEstimator::estimate_user(const phy::UserParams &user,
+                                 phy::DegradeLevel level) const
+{
+    return estimate_user(user) * shed_cost_ratio(user, level);
+}
+
+double
 WorkloadEstimator::estimate_user(const phy::UserParams &user,
                                  bool degraded) const
 {
-    const double base = estimate_user(user);
-    return degraded ? base * degraded_cost_ratio(user) : base;
+    return estimate_user(user, degraded ? phy::DegradeLevel::kBypass
+                                        : phy::DegradeLevel::kNone);
 }
 
 double
@@ -133,13 +158,13 @@ WorkloadEstimator::estimate_subframe(const phy::SubframeParams &subframe,
 double
 WorkloadEstimator::estimate_subframe(const phy::SubframeParams &subframe,
                                      std::size_t backlog,
-                                     bool degraded) const
+                                     phy::DegradeLevel level) const
 {
-    if (!degraded)
+    if (level == phy::DegradeLevel::kNone)
         return estimate_subframe(subframe, backlog);
     double activity = 0.0;
     for (const auto &user : subframe.users)
-        activity += estimate_user(user, /*degraded=*/true);
+        activity += estimate_user(user, level);
     ++stats_.subframe_estimates;
     ++stats_.degraded_estimates;
     if (activity > 1.0)
@@ -152,6 +177,16 @@ WorkloadEstimator::estimate_subframe(const phy::SubframeParams &subframe,
     if (boosted > base)
         ++stats_.backlog_boosts;
     return boosted;
+}
+
+double
+WorkloadEstimator::estimate_subframe(const phy::SubframeParams &subframe,
+                                     std::size_t backlog,
+                                     bool degraded) const
+{
+    return estimate_subframe(subframe, backlog,
+                             degraded ? phy::DegradeLevel::kBypass
+                                      : phy::DegradeLevel::kNone);
 }
 
 std::uint32_t

@@ -77,10 +77,34 @@ struct EstimatorStats
     /** Estimates raised above the single-subframe Eq. 4 value because
      *  the streaming engine reported a non-empty backlog. */
     std::uint64_t backlog_boosts = 0;
-    /** Estimates made under the degraded (MRC / no-turbo) cost model
-     *  after an admission controller flipped a queued subframe. */
+    /** Estimates made under a degraded cost model (any shed-ladder
+     *  level) after an admission controller flipped a queued subframe. */
     std::uint64_t degraded_estimates = 0;
 };
+
+/**
+ * How the estimator prices the turbo decode stage.  Mirrors the
+ * receiver configuration (use_real_turbo and the iteration budgets) so
+ * the analytical shed-ladder cost ratios are computed against the same
+ * chain the calibration slopes were fitted on.  The default prices the
+ * pass-through pipeline (no decode tasks).
+ */
+struct DecodePricing
+{
+    bool real_turbo = false;
+    /** Full-chain iteration budget (ReceiverConfig::turbo_iterations). */
+    std::uint32_t iterations = 6;
+    /** Budget under DegradeLevel::kReducedIterations. */
+    std::uint32_t reduced_iterations = 2;
+};
+
+/** The pricing a receiver configuration implies. */
+inline DecodePricing
+decode_pricing_for(const phy::ReceiverConfig &config)
+{
+    return DecodePricing{config.use_real_turbo, config.turbo_iterations,
+                         config.turbo_reduced_iterations};
+}
 
 /** Implements Eqs. 3-5 of the paper. */
 class WorkloadEstimator
@@ -102,6 +126,15 @@ class WorkloadEstimator
      */
     double estimate_user(const phy::UserParams &user,
                          bool degraded) const;
+
+    /**
+     * Eq. 3 at a shed-ladder level: the calibrated slope is scaled by
+     * the op model's level-to-full cost ratio under the configured
+     * decode pricing (kReducedIterations prices MRC weights plus the
+     * reduced decode budget, kBypass the hard-decision bypass).
+     */
+    double estimate_user(const phy::UserParams &user,
+                         phy::DegradeLevel level) const;
 
     /** Eq. 4: estimated activity of a subframe, clamped to [0, 1]. */
     double estimate_subframe(const phy::SubframeParams &subframe) const;
@@ -127,6 +160,24 @@ class WorkloadEstimator
                              std::size_t backlog, bool degraded) const;
 
     /**
+     * Backlog-aware Eq. 4 at a shed-ladder level (see
+     * estimate_user(user, level)).  kNone is exactly the two-argument
+     * overload; the bool overload maps true to kBypass.
+     */
+    double estimate_subframe(const phy::SubframeParams &subframe,
+                             std::size_t backlog,
+                             phy::DegradeLevel level) const;
+
+    /** Price the decode stage into the shed-ladder cost ratios (set
+     *  from the engine's receiver configuration). */
+    void
+    set_decode_pricing(const DecodePricing &pricing)
+    {
+        decode_pricing_ = pricing;
+    }
+    const DecodePricing &decode_pricing() const { return decode_pricing_; }
+
+    /**
      * Eq. 5: active cores = estimated activity x max_cores + margin
      * (margin defaults to the paper's two-core over-provisioning),
      * clamped to [max(1, margin), max_cores].  The floor never drops
@@ -145,7 +196,12 @@ class WorkloadEstimator
     void reset_stats() { stats_ = EstimatorStats{}; }
 
   private:
+    /** Level-to-full analytical cost ratio of one user. */
+    double shed_cost_ratio(const phy::UserParams &user,
+                           phy::DegradeLevel level) const;
+
     CalibrationTable table_;
+    DecodePricing decode_pricing_;
     mutable EstimatorStats stats_;
 };
 

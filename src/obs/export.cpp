@@ -18,6 +18,7 @@ span_category(SpanKind kind)
       case SpanKind::kTail:
       case SpanKind::kTailCb:
       case SpanKind::kTailReduce:
+      case SpanKind::kDecodeCb:
       case SpanKind::kUser:
         return "phy";
       case SpanKind::kSteal:

@@ -23,6 +23,7 @@ span_kind_name(SpanKind kind)
       case SpanKind::kShed: return "shed";
       case SpanKind::kTailCb: return "tail_cb";
       case SpanKind::kTailReduce: return "tail_reduce";
+      case SpanKind::kDecodeCb: return "decode_cb";
     }
     return "?";
 }

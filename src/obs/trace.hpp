@@ -50,10 +50,11 @@ enum class SpanKind : std::uint8_t
     kShed,     ///< instant: admission controller dropped a subframe
     kTailCb,   ///< one per-codeblock tail task (arg = codeblock)
     kTailReduce, ///< CRC/EVM reduce closing a user (arg = user id)
+    kDecodeCb, ///< one per-codeblock turbo decode (arg = code block)
 };
 
 /** Number of distinct span kinds (for fixed-size per-kind tallies). */
-inline constexpr std::size_t kSpanKindCount = 13;
+inline constexpr std::size_t kSpanKindCount = 14;
 
 /** Short stable name used in exports ("chanest", "demod", ...). */
 const char *span_kind_name(SpanKind kind);

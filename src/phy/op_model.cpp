@@ -2,6 +2,7 @@
 
 #include "fft/fft.hpp"
 #include "matrix/cmat.hpp"
+#include "phy/turbo.hpp"
 
 namespace lte::phy {
 
@@ -71,6 +72,25 @@ tail_slot_layer_ops(std::size_t m, Modulation mod)
     return kDataSymbolsPerSlot * m * per_symbol;
 }
 
+/**
+ * One max-log-MAP decode task over a k-bit code block.  A full
+ * iteration runs two constituent passes — alpha recursion, fused
+ * beta/LLR recursion, each touching all 8 trellis states per step —
+ * plus the per-bit stream work (a-priori add, extrinsic update,
+ * interleaver gather/scatter, decision + CRC check).  Zero iterations
+ * is the degraded bypass: hard-decide and CRC the systematic bits.
+ */
+std::uint64_t
+decode_block_ops(std::size_t k, std::uint32_t iterations)
+{
+    if (iterations == 0)
+        return 2 * k;
+    const std::uint64_t map_pass =
+        static_cast<std::uint64_t>(k) * 8 * (6 + 6 + 4);
+    const std::uint64_t streams = 9 * static_cast<std::uint64_t>(k);
+    return iterations * (2 * map_pass + streams);
+}
+
 } // namespace
 
 std::size_t
@@ -97,7 +117,7 @@ tail_codeblock_count(const UserParams &params)
 
 UserTaskCosts
 user_task_costs(const UserParams &params, std::size_t n_antennas,
-                bool degraded)
+                bool degraded, const DecodeModel &decode)
 {
     params.validate();
     UserTaskCosts costs;
@@ -126,6 +146,14 @@ user_task_costs(const UserParams &params, std::size_t n_antennas,
     costs.tail_task = tail_cb_total / costs.n_tail_tasks;
     costs.tail_reduce =
         costs.tail - costs.tail_task * costs.n_tail_tasks;
+    if (decode.real_turbo) {
+        const TurboSegmentation seg =
+            turbo_segment(capacity_bits(params));
+        costs.n_decode_tasks =
+            static_cast<std::uint32_t>(seg.n_blocks);
+        costs.decode_task =
+            decode_block_ops(seg.block_info_bits, decode.iterations);
+    }
     return costs;
 }
 

@@ -37,6 +37,20 @@ inline constexpr std::size_t kTailCodeblockBits = 6144;
  */
 std::size_t tail_codeblock_count(const UserParams &params);
 
+/**
+ * What the model charges for the decode stage (real turbo only).
+ * Pass-through mode keeps the default: no decode tasks, decode cost
+ * folded into the tail's harden term as before.
+ */
+struct DecodeModel
+{
+    /** Real turbo decoder on (adds per-codeblock decode tasks). */
+    bool real_turbo = false;
+    /** Max-log-MAP iteration budget per codeblock; 0 charges only the
+     *  degraded hard-decision bypass. */
+    std::uint32_t iterations = 0;
+};
+
 /** Flop counts for one user's subframe processing, per task kind. */
 struct UserTaskCosts
 {
@@ -57,29 +71,68 @@ struct UserTaskCosts
     std::uint64_t tail_task = 0;
     /** The CRC/EVM reduce continuation closing the user. */
     std::uint64_t tail_reduce = 0;
+    /** One per-codeblock max-log-MAP decode task (real turbo; the
+     *  iteration budget of the DecodeModel is priced in). */
+    std::uint64_t decode_task = 0;
 
     std::uint32_t n_chanest_tasks = 0;
     std::uint32_t n_demod_tasks = 0;
     std::uint32_t n_tail_tasks = 0;
+    /** Turbo code blocks (0 in pass-through mode). */
+    std::uint32_t n_decode_tasks = 0;
 
     /** Total flops for the user's subframe. */
     std::uint64_t
     total() const
     {
         return chanest_task * n_chanest_tasks + weights +
-               demod_task * n_demod_tasks + tail;
+               demod_task * n_demod_tasks + tail +
+               decode_task * n_decode_tasks;
     }
 };
 
 /**
  * Compute the cost model for one user.  @p degraded selects the
  * load-shed receive chain (per-layer MRC weights instead of the MMSE
- * solve; the tail is unchanged — the pass-through decode is what the
- * model charges in both modes).
+ * solve).  @p decode prices the real-turbo decode stage: with
+ * real_turbo set, every LTE code block of the user's allocation
+ * (turbo_segment) is charged one decode task whose cost grows
+ * linearly with the iteration budget — at 0 iterations only the
+ * bypass harden.  The default DecodeModel reproduces the historical
+ * pass-through charge exactly.
  */
 UserTaskCosts user_task_costs(const UserParams &params,
                               std::size_t n_antennas,
-                              bool degraded = false);
+                              bool degraded = false,
+                              const DecodeModel &decode = {});
+
+/**
+ * The DecodeModel a receiver configuration implies at a shed-ladder
+ * level: pass-through receivers price no decode stage; real-turbo
+ * receivers price the full budget at kNone, the reduced budget at
+ * kReducedIterations and the bypass at kBypass.
+ */
+inline DecodeModel
+decode_model(const ReceiverConfig &config,
+             DegradeLevel level = DegradeLevel::kNone)
+{
+    DecodeModel decode;
+    if (config.use_real_turbo) {
+        decode.real_turbo = true;
+        switch (level) {
+          case DegradeLevel::kNone:
+            decode.iterations = config.turbo_iterations;
+            break;
+          case DegradeLevel::kReducedIterations:
+            decode.iterations = config.turbo_reduced_iterations;
+            break;
+          case DegradeLevel::kBypass:
+            decode.iterations = 0;
+            break;
+        }
+    }
+    return decode;
+}
 
 } // namespace lte::phy
 

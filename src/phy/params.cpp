@@ -67,6 +67,10 @@ ReceiverConfig::validate() const
     LTE_CHECK(window_fraction > 0.0 && window_fraction <= 1.0,
               "window fraction must be in (0, 1]");
     LTE_CHECK(default_noise_var > 0.0f, "noise variance must be positive");
+    LTE_CHECK(turbo_iterations >= 1, "need at least one turbo iteration");
+    LTE_CHECK(turbo_reduced_iterations >= 1 &&
+                  turbo_reduced_iterations <= turbo_iterations,
+              "reduced iteration budget must be 1..turbo_iterations");
 }
 
 } // namespace lte::phy

@@ -84,6 +84,23 @@ std::size_t capacity_bits(const UserParams &params);
  */
 std::size_t turbo_info_bits(std::size_t capacity);
 
+/**
+ * How far a user's processing chain is degraded under deadline
+ * pressure (the admission controllers' shed ladder, ordered by
+ * increasing severity).  kReducedIterations swaps the MMSE solve for
+ * MRC weights and caps the turbo decoder at the reduced iteration
+ * budget; kBypass additionally skips decoding entirely (hard-decided
+ * systematic bits) — the pre-ladder "degraded" behaviour, kept as the
+ * last resort.  In pass-through mode (no real turbo) the two levels
+ * coincide.
+ */
+enum class DegradeLevel : std::uint8_t
+{
+    kNone = 0,
+    kReducedIterations = 1,
+    kBypass = 2,
+};
+
 /** Receiver-side static configuration. */
 struct ReceiverConfig
 {
@@ -105,6 +122,13 @@ struct ReceiverConfig
 
     /** Run the real turbo decoder instead of the paper's pass-through. */
     bool use_real_turbo = false;
+
+    /** Per-codeblock max-log-MAP iteration budget (real turbo only;
+     *  CRC early termination usually stops well short of it). */
+    std::uint32_t turbo_iterations = 6;
+
+    /** Iteration budget under DegradeLevel::kReducedIterations. */
+    std::uint32_t turbo_reduced_iterations = 2;
 
     void validate() const;
 };

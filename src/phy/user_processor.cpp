@@ -140,10 +140,23 @@ UserProcessor::bind(const UserParams &params, const UserSignal *signal)
     LTE_ASSERT(codeblocks_.size() == tail_codeblock_count(params_),
                "segmentation disagrees with the op model");
 
-    // Size the decoded-bit storage up front so pass-through tail tasks
-    // write disjoint slices without a resize (capacity reused across
-    // binds; real-turbo mode replaces the vector in its single task).
-    result_.bits.resize(cap);
+    // Size the decoded-bit storage up front so tail/decode tasks write
+    // disjoint slices without a resize (capacity reused across binds).
+    // Real-turbo mode fixes the framing at the transport-block size of
+    // the LTE segmentation here, at bind time, so a degrade flip
+    // between bind and execution can never change the bit count.
+    if (config_.use_real_turbo) {
+        seg_ = turbo_segment(cap);
+        LTE_ASSERT(seg_.n_blocks <= kMaxTurboCodeblocks,
+                   "segmentation exceeds the codeblock ceiling");
+        turbo_pi_ = &qpp_interleaver(seg_.block_info_bits);
+        result_.bits.resize(seg_.tb_bits());
+    } else {
+        seg_ = TurboSegmentation{};
+        turbo_pi_ = nullptr;
+        result_.bits.resize(cap);
+    }
+    cb_iterations_.fill(0);
 
     task_noise_.fill(0.0f);
     noise_var_ = 0.0f;
@@ -224,7 +237,7 @@ UserProcessor::compute_weights()
     for (std::size_t slot = 0; slot < kSlotsPerSubframe; ++slot) {
         const ChannelView view{channel_[slot].data(), config_.n_antennas,
                                params_.layers, params_.sc_in_slot(slot)};
-        if (degraded_)
+        if (degrade_ != DegradeLevel::kNone)
             compute_mrc_weights_into(view, noise_var_, weights_[slot]);
         else
             compute_combiner_weights_into(view, noise_var_,
@@ -284,10 +297,7 @@ UserProcessor::demod_one(std::size_t slot, std::size_t data_symbol,
 std::size_t
 UserProcessor::n_tail_tasks() const
 {
-    // The real turbo decoder consumes the whole codeword, so the tail
-    // stays one task regardless of the degraded flag (which may flip
-    // between bind() and execution without changing the task count).
-    return config_.use_real_turbo ? 1 : codeblocks_.size();
+    return codeblocks_.size();
 }
 
 void
@@ -296,19 +306,11 @@ UserProcessor::run_tail_task(std::size_t task_index)
     LTE_CHECK(bound_, "processor is not bound to a subframe");
     LTE_CHECK(task_index < n_tail_tasks(), "task index out of range");
 
-    // Real-turbo mode: the single task covers every block.
-    std::size_t first_block = 0;
-    std::size_t n_blocks =
-        kSlotsPerSubframe * params_.layers * kDataSymbolsPerSlot;
-    std::size_t bit_offset = 0;
-    std::size_t n_bits = llrs_.size();
-    if (!config_.use_real_turbo) {
-        const CodeblockSlice &cb = codeblocks_[task_index];
-        first_block = cb.first_block;
-        n_blocks = cb.n_blocks;
-        bit_offset = cb.bit_offset;
-        n_bits = cb.n_bits;
-    }
+    const CodeblockSlice &cb = codeblocks_[task_index];
+    const std::size_t first_block = cb.first_block;
+    const std::size_t n_blocks = cb.n_blocks;
+    const std::size_t bit_offset = cb.bit_offset;
+    const std::size_t n_bits = cb.n_bits;
 
     // Canonical framing order (mirrored by the transmitter):
     // slot -> layer -> data symbol -> sample.
@@ -347,19 +349,56 @@ UserProcessor::run_tail_task(std::size_t task_index)
         llrs_.subspan(bit_offset, n_bits),
         scrambling_init(params_.id, config_.cell_id), bit_offset);
 
-    if (config_.use_real_turbo && !degraded_) {
-        // Cold path (off by default): the decoder allocates internally.
-        const std::size_t k = turbo_info_bits(capacity_bits(params_));
-        const std::vector<Llr> coded(
-            llrs_.begin(),
-            llrs_.begin() +
-                static_cast<std::ptrdiff_t>(turbo_encoded_length(k)));
-        result_.bits = turbo_decode(coded, k);
-    } else {
+    // Pass-through mode hardens the slice here; real-turbo mode leaves
+    // the soft codeword for the per-codeblock decode stage.
+    if (!config_.use_real_turbo) {
         turbo_passthrough_into(
             LlrView(llrs_).subspan(bit_offset, n_bits),
             BitSpan(result_.bits).subspan(bit_offset, n_bits));
     }
+}
+
+std::size_t
+UserProcessor::n_decode_tasks() const
+{
+    return config_.use_real_turbo ? seg_.n_blocks : 0;
+}
+
+void
+UserProcessor::run_decode_task(std::size_t block)
+{
+    LTE_CHECK(bound_, "processor is not bound to a subframe");
+    LTE_CHECK(block < n_decode_tasks(), "decode block out of range");
+
+    const std::size_t k = seg_.block_info_bits;
+    const LlrView coded = LlrView(llrs_).subspan(
+        block * seg_.block_coded_bits(), seg_.block_coded_bits());
+
+    TurboDecoderConfig cfg;
+    cfg.iterations = config_.turbo_iterations;
+    if (degrade_ == DegradeLevel::kReducedIterations)
+        cfg.iterations = config_.turbo_reduced_iterations;
+    else if (degrade_ == DegradeLevel::kBypass)
+        cfg.iterations = 0;
+
+    // Segmented blocks each end in CRC-24B; a lone block *is* the
+    // transport block, whose CRC-24A doubles as the stop condition.
+    const std::uint32_t crc_poly =
+        seg_.n_blocks > 1 ? kCrc24BPoly : kCrc24APoly;
+
+    // Decode the full K bits (incl. any CRC-24B) into per-thread
+    // scratch, then keep only the transport-block payload in this
+    // block's disjoint slice of the result.
+    TurboWorkspace &ws = turbo_scratch();
+    ws.reserve(k);
+    const TurboDecodeResult res = turbo_decode_block_into(
+        coded, k, *turbo_pi_, cfg, crc_poly, ws,
+        BitSpan(ws.bits.data(), k));
+    const std::size_t data = seg_.block_data_bits();
+    std::copy_n(ws.bits.data(), data,
+                result_.bits.begin() +
+                    static_cast<std::ptrdiff_t>(block * data));
+    cb_iterations_[block] = res.iterations_run;
 }
 
 const UserResult &
@@ -381,6 +420,12 @@ UserProcessor::finish_reduce()
         evm_n > 0 ? std::sqrt(static_cast<float>(
                         evm_acc / static_cast<double>(evm_n)))
                   : 0.0f;
+    // In every mode result_.bits ends with the transport block's
+    // CRC-24A, so the one check below flags the CRC consistently
+    // across pass-through, full decode and the degraded ladder.
+    result_.decode_iterations = 0;
+    for (std::size_t b = 0; b < n_decode_tasks(); ++b)
+        result_.decode_iterations += cb_iterations_[b];
     result_.crc_ok = crc24_check(result_.bits);
     result_.checksum = bit_checksum(result_.bits);
     return result_;
@@ -392,6 +437,8 @@ UserProcessor::finish()
     LTE_CHECK(bound_, "processor is not bound to a subframe");
     for (std::size_t t = 0; t < n_tail_tasks(); ++t)
         run_tail_task(t);
+    for (std::size_t b = 0; b < n_decode_tasks(); ++b)
+        run_decode_task(b);
     return finish_reduce();
 }
 

@@ -13,6 +13,10 @@
  *   tail:    per-codeblock tasks (deinterleave, soft demap,
  *            descramble, turbo pass-through) over disjoint LLR/bit
  *            slices, closed by a CRC/EVM reduce
+ *   decode:  (real-turbo mode only) one max-log-MAP decode task per
+ *            LTE code block (turbo_segment), each reading its own
+ *            descrambled LLR slice and writing its own transport-block
+ *            slice, between the tail tasks and the reduce
  *
  * Tasks within one stage touch disjoint state, so the stages may be
  * executed concurrently by different worker threads provided the
@@ -38,6 +42,7 @@
 #include "common/workspace.hpp"
 #include "phy/combiner.hpp"
 #include "phy/params.hpp"
+#include "phy/turbo.hpp"
 
 namespace lte::phy {
 
@@ -64,10 +69,22 @@ struct UserSignal
 struct UserResult
 {
     std::uint32_t user_id = 0;
-    /** Decoded payload bits (CRC included). */
+    /**
+     * Decoded transport-block bits (CRC-24A included).  In
+     * pass-through mode this is the whole hardened codeword
+     * (capacity_bits); in real-turbo mode it is the transport block of
+     * the LTE segmentation (turbo_segment(..).tb_bits(), per-block
+     * CRC-24B stripped) — the *same* length whether the decode ran at
+     * full budget, reduced iterations or the degraded bypass, so a
+     * mid-stream degrade flip never changes the framing.
+     */
     std::vector<std::uint8_t> bits;
     /** Transport-block CRC-24A check outcome. */
     bool crc_ok = false;
+    /** Total max-log-MAP iterations spent across the user's code
+     *  blocks (0 in pass-through mode and under the bypass; CRC early
+     *  termination makes this observably less than the budget). */
+    std::uint32_t decode_iterations = 0;
     /** RMS error-vector magnitude over all data symbols (linear). */
     float evm_rms = 0.0f;
     /** Noise variance used for demapping. */
@@ -134,8 +151,9 @@ class UserProcessor
     /**
      * Number of parallel tail tasks: greedy ≤ kTailCodeblockBits
      * codeblocks of the canonical codeword (op_model's
-     * tail_codeblock_count), except in real-turbo mode where the
-     * decoder consumes the whole codeword and the tail stays one task.
+     * tail_codeblock_count) in every mode — in real-turbo mode the
+     * tail tasks produce the descrambled soft codeword and the decode
+     * stage below consumes it.
      */
     std::size_t n_tail_tasks() const;
 
@@ -147,6 +165,26 @@ class UserProcessor
      * from the per-thread kernel_scratch()).
      */
     void run_tail_task(std::size_t task_index);
+
+    /**
+     * Number of parallel decode tasks: the LTE code blocks of the
+     * allocation in real-turbo mode, 0 in pass-through mode.  Stable
+     * across degrade flips (a degraded decode task is the cheap
+     * bypass, not a missing task), so join counters loaded at bind
+     * time stay valid.
+     */
+    std::size_t n_decode_tasks() const;
+
+    /**
+     * Decode task: max-log-MAP decode of one code block from its
+     * descrambled LLR slice into its disjoint transport-block slice
+     * of the result (CRC-24B stripped for segmented blocks), with CRC
+     * early termination and the degrade ladder's iteration budget;
+     * requires all tail tasks complete.  Tasks with distinct indices
+     * may run concurrently (decoder state comes from the per-thread
+     * turbo_scratch()).
+     */
+    void run_decode_task(std::size_t block);
 
     /**
      * Reduce: fold the per-codeblock EVM partials in canonical order,
@@ -167,16 +205,28 @@ class UserProcessor
     const UserResult &process_all();
 
     /**
-     * Degraded-quality mode (streaming-engine load shedding): combiner
-     * weights fall back from MMSE to per-layer MRC and the real turbo
-     * decoder (when configured) is skipped in favour of the
-     * pass-through.  Takes effect at the next compute_weights()/
-     * finish(); cleared by every bind-time reset.
+     * Degrade ladder (admission-controller load shedding): at
+     * kReducedIterations the combiner weights fall back from MMSE to
+     * per-layer MRC and the decoder runs at the reduced iteration
+     * budget; kBypass additionally hard-decides the systematic bits
+     * instead of decoding.  Takes effect at the next
+     * compute_weights()/decode; cleared by every bind-time reset.
+     * Neither level changes any task count or the result framing.
      */
-    void set_degraded(bool degraded) { degraded_ = degraded; }
-    bool degraded() const { return degraded_; }
+    void set_degrade(DegradeLevel level) { degrade_ = level; }
+    DegradeLevel degrade() const { return degrade_; }
+
+    /** Legacy boolean view of the ladder: true = full bypass. */
+    void
+    set_degraded(bool degraded)
+    {
+        degrade_ =
+            degraded ? DegradeLevel::kBypass : DegradeLevel::kNone;
+    }
+    bool degraded() const { return degrade_ != DegradeLevel::kNone; }
 
     const UserParams &params() const { return params_; }
+    const ReceiverConfig &config() const { return config_; }
 
     /** Workspace high-water mark in bytes (observability/tests). */
     std::size_t workspace_bytes() const { return arena_.capacity(); }
@@ -197,7 +247,7 @@ class UserProcessor
     ReceiverConfig config_;
     const UserSignal *signal_ = nullptr;
     bool bound_ = false;
-    bool degraded_ = false;
+    DegradeLevel degrade_ = DegradeLevel::kNone;
 
     /** Bump arena backing every per-subframe span below. */
     Workspace arena_;
@@ -227,6 +277,17 @@ class UserProcessor
         std::size_t n_bits = 0;
     };
     std::vector<CodeblockSlice> codeblocks_;
+
+    /** Real-turbo code-block segmentation of the bound allocation
+     *  (meaningful only when config_.use_real_turbo). */
+    TurboSegmentation seg_{};
+    /** Interleaver for seg_.block_info_bits, resolved at bind() from
+     *  the process-wide cache (stable reference, zero-alloc lookup). */
+    const QppInterleaver *turbo_pi_ = nullptr;
+    /** Iterations each decode task actually ran (early termination),
+     *  folded into result_.decode_iterations by finish_reduce() in
+     *  canonical order. */
+    std::array<std::uint32_t, kMaxTurboCodeblocks> cb_iterations_{};
 
     /** Upper bound on codeblocks: one per (slot, layer, data symbol). */
     static constexpr std::size_t kMaxTailTasks =

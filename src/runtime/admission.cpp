@@ -5,11 +5,13 @@
 namespace lte::runtime::admission {
 
 std::uint64_t
-subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas)
+subframe_ops(const phy::SubframeParams &params, std::size_t n_antennas,
+             const phy::DecodeModel &decode)
 {
     std::uint64_t ops = 0;
     for (const auto &user : params.users)
-        ops += phy::user_task_costs(user, n_antennas).total();
+        ops += phy::user_task_costs(user, n_antennas, false, decode)
+                   .total();
     return ops;
 }
 

@@ -24,15 +24,22 @@
 #include <memory>
 #include <vector>
 
+#include "phy/op_model.hpp"
 #include "phy/params.hpp"
 #include "runtime/run_record.hpp"
 #include "runtime/task.hpp"
 
 namespace lte::runtime::admission {
 
-/** Analytical flops of a subframe (op-model activity measure). */
+/**
+ * Analytical flops of a subframe (op-model activity measure).
+ * @p decode prices the real-turbo decode stage so decode-heavy
+ * subframes are admitted at their true cost; the default keeps the
+ * historical pass-through charge.
+ */
 std::uint64_t subframe_ops(const phy::SubframeParams &params,
-                           std::size_t n_antennas);
+                           std::size_t n_antennas,
+                           const phy::DecodeModel &decode = {});
 
 /**
  * True once the job's last user finished its tail reduce.  acquire

@@ -45,6 +45,9 @@ EngineConfig::validate() const
     LTE_CHECK(delta_ms >= 0.0, "delta must be non-negative");
     LTE_CHECK(deadline_ms >= 0.0, "deadline must be non-negative");
     LTE_CHECK(admission_queue >= 1, "need at least one admission slot");
+    LTE_CHECK(degrade_bypass_fraction >= 0.5 &&
+                  degrade_bypass_fraction <= 1.0,
+              "bypass fraction must be in [0.5, 1]");
     LTE_CHECK(receiver.cell_id == input.cell_id,
               "receiver and input generator must serve the same cell");
     receiver.validate();
@@ -149,6 +152,7 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
         out.checksum = result.checksum;
         out.crc_ok = result.crc_ok;
         out.evm_rms = result.evm_rms;
+        out.decode_iterations = result.decode_iterations;
         if (tracer_) {
             tracer_->record(0, obs::SpanKind::kUser, t_user,
                             tracer_->now_ns(), result.user_id);
@@ -164,7 +168,9 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
         sample.t_complete_ns = t_complete;
         sample.n_users = static_cast<std::uint32_t>(params.users.size());
         sample.active_workers = 1;
-        sample.ops = subframe_ops(params, config_.receiver.n_antennas);
+        sample.ops =
+            subframe_ops(params, config_.receiver.n_antennas,
+                         phy::decode_model(config_.receiver));
         if (tracer_) {
             tracer_->record(0, obs::SpanKind::kSubframe, t_dispatch,
                             t_complete, params.subframe_index);
@@ -247,6 +253,10 @@ WorkStealingEngine::set_estimator(
     std::optional<mgmt::WorkloadEstimator> estimator)
 {
     estimator_ = std::move(estimator);
+    if (estimator_) {
+        estimator_->set_decode_pricing(
+            mgmt::decode_pricing_for(config_.receiver));
+    }
 }
 
 double
@@ -281,7 +291,9 @@ WorkStealingEngine::observe_completion(const SubframeJob &job,
     sample.active_workers =
         static_cast<std::uint32_t>(pool_->active_workers());
     sample.est_activity = job.est_activity;
-    sample.ops = subframe_ops(job.params, config_.receiver.n_antennas);
+    sample.ops = subframe_ops(
+        job.params, config_.receiver.n_antennas,
+        phy::decode_model(config_.receiver, job.degrade_level));
     if (tracer_) {
         tracer_->record(dispatch_slot(), obs::SpanKind::kSubframe,
                         job.t_dispatch_ns, t_complete_ns,

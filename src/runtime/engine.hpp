@@ -76,9 +76,13 @@ enum class ShedPolicy : std::uint8_t
      *  queued one is the likeliest to miss its deadline anyway). */
     kDropOldest,
     /** Like kDropOldest, but additionally process subframes that have
-     *  consumed over half their deadline budget with the degraded
-     *  receive chain (MRC combining, no turbo) to shorten the queue
-     *  instead of dropping further subframes. */
+     *  consumed over half their deadline budget with a degraded
+     *  receive chain to shorten the queue instead of dropping further
+     *  subframes.  Real-turbo receivers climb a ladder: MRC combining
+     *  plus a reduced decode iteration budget first, and the full
+     *  decode bypass only past degrade_bypass_fraction of the
+     *  deadline; pass-through receivers go straight to the bypass
+     *  (the two levels coincide in output there). */
     kDegrade,
 };
 
@@ -131,6 +135,13 @@ struct EngineConfig
     std::size_t admission_queue = 8;
     /** Streaming engine only: reaction to overload. */
     ShedPolicy shed_policy = ShedPolicy::kDropNewest;
+    /**
+     * ShedPolicy::kDegrade with a real-turbo receiver: fraction of the
+     * deadline past which a queued subframe is degraded all the way to
+     * the decode bypass instead of the reduced iteration budget (must
+     * be in [0.5, 1]; the ladder's first step fires at half).
+     */
+    double degrade_bypass_fraction = 0.75;
     /**
      * Observability: when obs.enabled the engine owns a span tracer
      * (one ring per worker plus the dispatch thread), a per-subframe
@@ -355,9 +366,11 @@ class StreamingEngine : public Engine
 
   private:
     /** Eq. 4/5 with backlog awareness (queued + executing jobs) and,
-     *  on degrade flips, the degraded chain's cheaper cost model. */
-    double apply_estimator(const phy::SubframeParams &params,
-                           std::size_t backlog, bool degraded = false);
+     *  on degrade flips, the shed level's cheaper cost model. */
+    double
+    apply_estimator(const phy::SubframeParams &params,
+                    std::size_t backlog,
+                    phy::DegradeLevel level = phy::DegradeLevel::kNone);
     std::size_t dispatch_slot() const { return config_.pool.n_workers; }
     std::uint64_t obs_now_ns() const;
     /** Age of a prepared-but-unfinished job in milliseconds. */

@@ -167,6 +167,10 @@ void
 MultiCellEngine::set_estimator(
     std::optional<mgmt::WorkloadEstimator> estimator)
 {
+    if (estimator.has_value()) {
+        estimator->set_decode_pricing(
+            mgmt::decode_pricing_for(config_.engine.receiver));
+    }
     for (auto &cell : cells_)
         cell->estimator = estimator;
     estimator_ = std::move(estimator);
@@ -229,8 +233,9 @@ MultiCellEngine::observe_completion(CellContext &cell,
     sample.active_workers =
         static_cast<std::uint32_t>(pool_->active_workers());
     sample.est_activity = job.est_activity;
-    sample.ops =
-        subframe_ops(job.params, config_.engine.receiver.n_antennas);
+    sample.ops = subframe_ops(
+        job.params, config_.engine.receiver.n_antennas,
+        phy::decode_model(config_.engine.receiver, job.degrade_level));
     if (tracer_) {
         tracer_->record(dispatch_slot(), obs::SpanKind::kSubframe,
                         job.t_dispatch_ns, t_complete_ns,
@@ -295,12 +300,23 @@ MultiCellEngine::admit_one(CellContext &cell)
 {
     SubframeJob *job = cell.pending.front();
     const std::uint64_t now = obs_now_ns();
+    const double age = age_ms(*job, now);
     if (config_.engine.shed_policy == ShedPolicy::kDegrade &&
         config_.engine.deadline_ms > 0.0 &&
-        age_ms(*job, now) > 0.5 * config_.engine.deadline_ms) {
+        age > 0.5 * config_.engine.deadline_ms) {
         // Over half the budget gone waiting: trade EVM for latency
-        // rather than risk a drop.
-        job->set_degraded(true);
+        // rather than risk a drop.  Same shed ladder as the
+        // single-cell streaming engine: real-turbo lanes reduce the
+        // decode budget first and bypass only past the fraction;
+        // pass-through lanes go straight to the bypass.
+        const bool bypass =
+            !config_.engine.receiver.use_real_turbo ||
+            age > config_.engine.degrade_bypass_fraction *
+                      config_.engine.deadline_ms;
+        const phy::DegradeLevel level =
+            bypass ? phy::DegradeLevel::kBypass
+                   : phy::DegradeLevel::kReducedIterations;
+        job->set_degrade(level);
         ++cell.shed.degraded;
         if (metrics_) {
             degraded_counter_->add();
@@ -308,12 +324,11 @@ MultiCellEngine::admit_one(CellContext &cell)
         }
         if (cell.estimator.has_value()) {
             // The planned work just got cheaper; refresh this lane's
-            // Eq. 4 estimate under the degraded cost model so the
+            // Eq. 4 estimate under the shed level's cost model so the
             // shared pool's core count tracks real demand.
             const double estimate = cell.estimator->estimate_subframe(
                 job->params,
-                cell.pending.size() + cell.executing.size(),
-                /*degraded=*/true);
+                cell.pending.size() + cell.executing.size(), level);
             cell.last_estimate = estimate;
             job->est_activity = estimate;
             update_active_workers();
@@ -383,7 +398,9 @@ MultiCellEngine::reap_all(MultiCellRunRecord &record)
             observe_completion(cell, *job, obs_now_ns());
             record.cells[c].subframes.push_back(collect(*job));
             record.cells[c].total_ops += subframe_ops(
-                job->params, config_.engine.receiver.n_antennas);
+                job->params, config_.engine.receiver.n_antennas,
+                phy::decode_model(config_.engine.receiver,
+                                  job->degrade_level));
             cell.job_pool.release(job);
         }
     }

@@ -21,6 +21,11 @@ struct UserOutcome
     std::uint64_t checksum = 0;
     bool crc_ok = false;
     float evm_rms = 0.0f;
+    /** Max-log-MAP iterations summed over the user's code blocks
+     *  (real-turbo mode; 0 otherwise).  Not part of digest() or
+     *  equivalent(): early termination depends on channel noise, not
+     *  on scheduling, but the field is observability, not payload. */
+    std::uint32_t decode_iterations = 0;
 };
 
 /** Outcome of one subframe. */

@@ -73,6 +73,10 @@ StreamingEngine::set_estimator(
     std::optional<mgmt::WorkloadEstimator> estimator)
 {
     estimator_ = std::move(estimator);
+    if (estimator_) {
+        estimator_->set_decode_pricing(
+            mgmt::decode_pricing_for(config_.receiver));
+    }
 }
 
 std::uint64_t
@@ -95,7 +99,8 @@ StreamingEngine::age_ms(const SubframeJob &job,
 
 double
 StreamingEngine::apply_estimator(const phy::SubframeParams &params,
-                                 std::size_t backlog, bool degraded)
+                                 std::size_t backlog,
+                                 phy::DegradeLevel level)
 {
     const bool proactive =
         estimator_.has_value() &&
@@ -106,11 +111,11 @@ StreamingEngine::apply_estimator(const phy::SubframeParams &params,
         return -1.0;
     // Backlog-aware Eq. 4: resident subframes still demand cores, so
     // the streaming engine must not power down under a queue.  On a
-    // degrade flip the same equation is re-evaluated under the
-    // degraded chain's op-model cost ratio, so the controller does
-    // not keep cores awake for MMSE work the flip just cancelled.
+    // degrade flip the same equation is re-evaluated under the shed
+    // level's op-model cost ratio, so the controller does not keep
+    // cores awake for MMSE or decode work the flip just cancelled.
     const double estimate =
-        estimator_->estimate_subframe(params, backlog, degraded);
+        estimator_->estimate_subframe(params, backlog, level);
     pool_->set_active_workers(estimator_->active_cores(
         estimate, static_cast<std::uint32_t>(pool_->n_workers()),
         config_.core_margin));
@@ -133,7 +138,9 @@ StreamingEngine::observe_completion(const SubframeJob &job,
     sample.active_workers =
         static_cast<std::uint32_t>(pool_->active_workers());
     sample.est_activity = job.est_activity;
-    sample.ops = subframe_ops(job.params, config_.receiver.n_antennas);
+    sample.ops = subframe_ops(
+        job.params, config_.receiver.n_antennas,
+        phy::decode_model(config_.receiver, job.degrade_level));
     if (tracer_) {
         tracer_->record(dispatch_slot(), obs::SpanKind::kSubframe,
                         job.t_dispatch_ns, t_complete_ns,
@@ -188,16 +195,27 @@ StreamingEngine::admit_pending()
             config_.deadline_ms > 0.0 &&
             age > 0.5 * config_.deadline_ms) {
             // Over half the budget gone waiting: trade EVM for
-            // latency rather than risk a drop.
-            job->set_degraded(true);
+            // latency rather than risk a drop.  Real-turbo receivers
+            // climb the shed ladder — reduced decode iterations
+            // first, the full bypass only past the bypass fraction;
+            // pass-through receivers jump straight to the bypass
+            // (both levels produce the same output there).
+            const bool bypass =
+                !config_.receiver.use_real_turbo ||
+                age > config_.degrade_bypass_fraction *
+                          config_.deadline_ms;
+            const phy::DegradeLevel level =
+                bypass ? phy::DegradeLevel::kBypass
+                       : phy::DegradeLevel::kReducedIterations;
+            job->set_degrade(level);
             ++shed_stats_.degraded;
             if (metrics_)
                 degraded_counter_->add();
             // The planned work just got cheaper; let Eq. 4/5 see the
-            // degraded cost before this job hits the pool.
+            // shed level's cost before this job hits the pool.
             const double estimate = apply_estimator(
                 job->params, pending_.size() + executing_.size(),
-                /*degraded=*/true);
+                level);
             if (estimate >= 0.0)
                 job->est_activity = estimate;
         }

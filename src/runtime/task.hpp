@@ -2,8 +2,9 @@
  * @file
  * Runtime task plumbing: per-user work state, the stealable task
  * kinds of the continuation graph (channel estimation, the weight
- * join, demodulation, the per-codeblock tail and its reduce), and the
- * per-subframe job that owns everything (paper Sec. IV-C).
+ * join, demodulation, the per-codeblock tail, the per-codeblock
+ * turbo decode and the reduce), and the per-subframe job that owns
+ * everything (paper Sec. IV-C).
  *
  * Stage transitions are continuation-driven: each stage counter is
  * decremented by the worker that finishes a task, and the final
@@ -64,11 +65,11 @@ struct UserWork
     void
     reset(const phy::UserParams &params, const phy::UserSignal *signal,
           SubframeJob *parent_job, std::size_t slot,
-          bool degraded = false)
+          phy::DegradeLevel level = phy::DegradeLevel::kNone)
     {
         proc.bind(params, signal);
-        proc.set_degraded(degraded);
-        refresh_costs(degraded);
+        proc.set_degrade(level);
+        refresh_costs(level);
         parent = parent_job;
         result_slot = slot;
         chanest_remaining.store(
@@ -80,25 +81,24 @@ struct UserWork
         tail_remaining.store(
             static_cast<std::int32_t>(proc.n_tail_tasks()),
             std::memory_order_relaxed);
+        decode_remaining.store(
+            static_cast<std::int32_t>(proc.n_decode_tasks()),
+            std::memory_order_relaxed);
     }
 
     /**
      * Recompute the analytical costs for the current binding (called
      * from reset() and on degrade flips, which change the weight-join
-     * cost).  Real-turbo mode folds the whole parallel tail into the
-     * processor's single tail task, so the per-task cost follows.
+     * cost and the decode iteration budget — but never a task count,
+     * so the stage counters loaded at reset() stay valid).
      */
     void
-    refresh_costs(bool degraded_mode)
+    refresh_costs(phy::DegradeLevel level)
     {
-        costs = phy::user_task_costs(proc.params(), n_antennas,
-                                     degraded_mode);
-        const auto n_tail =
-            static_cast<std::uint32_t>(proc.n_tail_tasks());
-        if (n_tail != costs.n_tail_tasks) {
-            costs.tail_task = costs.tail - costs.tail_reduce;
-            costs.n_tail_tasks = n_tail;
-        }
+        costs = phy::user_task_costs(
+            proc.params(), n_antennas,
+            level != phy::DegradeLevel::kNone,
+            phy::decode_model(proc.config(), level));
     }
 
     phy::UserProcessor proc;
@@ -113,16 +113,20 @@ struct UserWork
     std::atomic<std::int32_t> chanest_remaining{0};
     std::atomic<std::int32_t> demod_remaining{0};
     std::atomic<std::int32_t> tail_remaining{0};
+    std::atomic<std::int32_t> decode_remaining{0};
 };
 
 /**
  * A stealable unit of work: one node of the continuation graph.
  *
  *   kChanEst ×(antennas·layers) → kWeights → kDemod ×(6·layers)
- *     → kTailCb ×(codeblocks) → kTailReduce
+ *     → kTailCb ×(codeblocks) [→ kDecodeCb ×(turbo blocks)]
+ *     → kTailReduce
  *
  * The join nodes (kWeights, kTailReduce) are enqueued by whichever
  * worker performs the final decrement of the preceding stage counter.
+ * The decode stage exists only in real-turbo mode; it fans the heavy
+ * max-log-MAP work across the pool, one task per LTE code block.
  */
 struct Task
 {
@@ -131,6 +135,7 @@ struct Task
         kWeights,
         kDemod,
         kTailCb,
+        kDecodeCb,
         kTailReduce
     };
 
@@ -172,7 +177,9 @@ struct SubframeJob
     std::uint64_t t_arrival_ns = 0;
     std::uint64_t t_dispatch_ns = 0;
     double est_activity = -1.0;
-    /** Processed with the degraded (MRC / no-turbo) receive chain. */
+    /** Shed ladder level the job runs at (see phy::DegradeLevel). */
+    phy::DegradeLevel degrade_level = phy::DegradeLevel::kNone;
+    /** Processed with a degraded receive chain (any ladder level). */
     bool degraded = false;
 
     /**
@@ -188,6 +195,7 @@ struct SubframeJob
         params = subframe;
         cell_id = subframe.cell_id;
         n_users = subframe.users.size();
+        degrade_level = phy::DegradeLevel::kNone;
         degraded = false;
         while (users.size() < n_users)
             users.push_back(std::make_unique<UserWork>(receiver));
@@ -199,20 +207,32 @@ struct SubframeJob
     }
 
     /**
-     * Switch every pooled user processor of this (prepared, not yet
-     * submitted) job to the degraded receive chain — the streaming
-     * admission controller's "degrade" shed action.
+     * Move every pooled user processor of this (prepared, not yet
+     * submitted) job to a level of the shed ladder — the admission
+     * controllers' "degrade" action.  Task counts never change, only
+     * the weight algorithm and the decode iteration budget, so a flip
+     * between prepare() and submit() is always safe.
      */
+    void
+    set_degrade(phy::DegradeLevel level)
+    {
+        degrade_level = level;
+        degraded = level != phy::DegradeLevel::kNone;
+        for (std::size_t u = 0; u < n_users; ++u) {
+            users[u]->proc.set_degrade(level);
+            // Keep the accounted costs honest: the degraded chain
+            // swaps the MMSE solve for per-layer MRC weights and
+            // shrinks the decode budget.
+            users[u]->refresh_costs(level);
+        }
+    }
+
+    /** Legacy boolean shed action: straight to the full bypass. */
     void
     set_degraded(bool value)
     {
-        degraded = value;
-        for (std::size_t u = 0; u < n_users; ++u) {
-            users[u]->proc.set_degraded(value);
-            // Keep the accounted costs honest: the degraded chain
-            // swaps the MMSE solve for per-layer MRC weights.
-            users[u]->refresh_costs(value);
-        }
+        set_degrade(value ? phy::DegradeLevel::kBypass
+                          : phy::DegradeLevel::kNone);
     }
 };
 

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "phy/kernel_scratch.hpp"
+#include "phy/turbo.hpp"
 
 namespace lte::runtime {
 
@@ -220,6 +221,29 @@ WorkerPool::execute_task(std::size_t wid, const Task &task)
         account(wid, start, end, work->costs.tail_task);
         trace(wid, obs::SpanKind::kTailCb, start, end, task.index);
         if (work->tail_remaining.fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+            // Real-turbo mode interposes the decode fan-out between
+            // the tail and the reduce; otherwise close the user.
+            const auto n_decode = work->proc.n_decode_tasks();
+            if (n_decode == 0) {
+                deque.push_bottom(
+                    Task{work, Task::Kind::kTailReduce, 0});
+            } else {
+                for (std::size_t t = 0; t < n_decode; ++t) {
+                    deque.push_bottom(
+                        Task{work, Task::Kind::kDecodeCb,
+                             static_cast<std::uint32_t>(t)});
+                }
+            }
+        }
+        break;
+      }
+      case Task::Kind::kDecodeCb: {
+        work->proc.run_decode_task(task.index);
+        const auto end = std::chrono::steady_clock::now();
+        account(wid, start, end, work->costs.decode_task);
+        trace(wid, obs::SpanKind::kDecodeCb, start, end, task.index);
+        if (work->decode_remaining.fetch_sub(
                 1, std::memory_order_acq_rel) == 1)
             deque.push_bottom(Task{work, Task::Kind::kTailReduce, 0});
         break;
@@ -286,6 +310,7 @@ WorkerPool::finish_user(std::size_t wid, UserWork *work)
     out.checksum = result.checksum;
     out.crc_ok = result.crc_ok;
     out.evm_rms = result.evm_rms;
+    out.decode_iterations = result.decode_iterations;
     const auto end = std::chrono::steady_clock::now();
     account(wid, start, end, work->costs.tail_reduce);
     trace(wid, obs::SpanKind::kTailReduce, start, end, result.user_id);
@@ -302,9 +327,11 @@ WorkerPool::finish_user(std::size_t wid, UserWork *work)
 void
 WorkerPool::worker_main(std::size_t wid)
 {
-    // Create this thread's fixed kernel scratch up front so no task
-    // ever allocates it lazily on the subframe hot path.
+    // Create this thread's fixed kernel scratch and the turbo decode
+    // workspace up front so no task ever allocates either lazily on
+    // the subframe hot path.
     phy::warm_kernel_scratch();
+    phy::warm_turbo_scratch();
 
     while (!stop_.load(std::memory_order_acquire)) {
         // NAP emulation: a deactivated worker parks and periodically

@@ -245,8 +245,11 @@ Machine::handle_dispatch(double t, workload::ParameterModel &model)
     iv.freq_scale = freq_scale_;
 
     // Expand users into task DAGs.
+    const phy::DecodeModel decode{config_.turbo_iterations > 0,
+                                  config_.turbo_iterations};
     for (const auto &user : params.users) {
-        const auto costs = phy::user_task_costs(user, n_antennas_);
+        const auto costs =
+            phy::user_task_costs(user, n_antennas_, false, decode);
         const std::uint32_t dag_idx = alloc_dag();
         Dag &dag = dags_[dag_idx];
         dag.chanest_cycles = static_cast<double>(costs.chanest_task) *
@@ -255,10 +258,18 @@ Machine::handle_dispatch(double t, workload::ParameterModel &model)
                              config_.cycles_per_op;
         dag.demod_cycles = static_cast<double>(costs.demod_task) *
                            config_.cycles_per_op;
-        dag.tail_cycles = static_cast<double>(costs.tail) *
-                          config_.cycles_per_op;
+        // Monolithic mode has no decode fan-out: the serial tail task
+        // absorbs the whole decode charge so total work matches.
+        dag.tail_cycles =
+            static_cast<double>(
+                costs.tail +
+                costs.decode_task *
+                    static_cast<std::uint64_t>(costs.n_decode_tasks)) *
+            config_.cycles_per_op;
         dag.tail_task_cycles = static_cast<double>(costs.tail_task) *
                                config_.cycles_per_op;
+        dag.decode_task_cycles = static_cast<double>(costs.decode_task) *
+                                 config_.cycles_per_op;
         dag.reduce_cycles = static_cast<double>(costs.tail_reduce) *
                             config_.cycles_per_op;
         dag.chanest_left = costs.n_chanest_tasks;
@@ -266,6 +277,8 @@ Machine::handle_dispatch(double t, workload::ParameterModel &model)
         dag.demod_left = costs.n_demod_tasks;
         dag.tail_total = costs.n_tail_tasks;
         dag.tail_left = costs.n_tail_tasks;
+        dag.decode_total = costs.n_decode_tasks;
+        dag.decode_left = costs.n_decode_tasks;
         dag.dispatch_time = t;
         dag.in_use = true;
         ++active_dags_;
@@ -314,9 +327,16 @@ Machine::complete_stage(double t, const SimTask &task)
       case 3:
         if (config_.split_tail) {
             LTE_ASSERT(dag.tail_left > 0, "tail underflow");
-            if (--dag.tail_left == 0)
-                ready_.push_back(
-                    SimTask{dag.reduce_cycles, task.dag, 4});
+            if (--dag.tail_left == 0) {
+                if (dag.decode_total > 0) {
+                    for (std::uint32_t i = 0; i < dag.decode_total; ++i)
+                        ready_.push_back(SimTask{
+                            dag.decode_task_cycles, task.dag, 5});
+                } else {
+                    ready_.push_back(
+                        SimTask{dag.reduce_cycles, task.dag, 4});
+                }
+            }
             break;
         }
         [[fallthrough]];
@@ -327,6 +347,11 @@ Machine::complete_stage(double t, const SimTask &task)
         free_dags_.push_back(task.dag);
         LTE_ASSERT(active_dags_ > 0, "dag underflow");
         --active_dags_;
+        break;
+      case 5:
+        LTE_ASSERT(dag.decode_left > 0, "decode underflow");
+        if (--dag.decode_left == 0)
+            ready_.push_back(SimTask{dag.reduce_cycles, task.dag, 4});
         break;
       default:
         LTE_ASSERT(false, "unknown task stage");

@@ -67,12 +67,15 @@ class Machine
         double demod_cycles = 0.0;
         double tail_cycles = 0.0; ///< whole tail (monolithic mode)
         double tail_task_cycles = 0.0; ///< one codeblock (split mode)
+        double decode_task_cycles = 0.0; ///< one turbo code block
         double reduce_cycles = 0.0;
         std::uint32_t chanest_left = 0;
         std::uint32_t demod_total = 0;
         std::uint32_t demod_left = 0;
         std::uint32_t tail_total = 0;
         std::uint32_t tail_left = 0;
+        std::uint32_t decode_total = 0;
+        std::uint32_t decode_left = 0;
         bool in_use = false;
     };
 
@@ -81,7 +84,9 @@ class Machine
         double cycles = 0.0;
         std::uint32_t dag = 0;
         /** 0 chanest, 1 weights, 2 demod, 3 tail (monolithic or one
-         *  codeblock), 4 reduce (split-tail mode only). */
+         *  codeblock), 4 reduce (split-tail mode only), 5 turbo decode
+         *  (split-tail mode with turbo_iterations > 0; runs between
+         *  the tail codeblocks and the reduce). */
         std::uint8_t stage = 0;
     };
 

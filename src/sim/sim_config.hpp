@@ -55,6 +55,14 @@ struct SimConfig
      *  per user) for before/after scheduling studies. */
     bool split_tail = true;
 
+    /** Price a real max-log-MAP turbo decode stage into the task DAG:
+     *  every LTE code block of a user's allocation adds one decode
+     *  task of this iteration budget between the tail codeblocks and
+     *  the closing reduce (in monolithic-tail mode the decode cost is
+     *  folded into the serial tail task).  0 reproduces the
+     *  pass-through pipeline: no decode stage at all. */
+    std::uint32_t turbo_iterations = 0;
+
     // --- DVFS extension (the paper's future-work direction) ---
     /** Scale clock frequency per subframe from the workload estimate
      *  instead of (or in addition to) gating cores. */

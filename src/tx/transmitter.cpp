@@ -23,9 +23,11 @@ data_symbol_position(std::size_t data_symbol)
 
 /**
  * Expand payload bits into the on-air bit stream of capacity length:
- * pass-through keeps the framed payload; real-turbo mode encodes and
- * zero-pads.  Either way the stream is scrambled with the user's
- * Gold sequence (TS 36.211 Sec. 7.2) before modulation.
+ * pass-through keeps the framed payload; real-turbo mode segments the
+ * transport block into LTE code blocks (CRC-24B per block past one),
+ * turbo-encodes each, concatenates and zero-pads.  Either way the
+ * stream is scrambled with the user's Gold sequence (TS 36.211
+ * Sec. 7.2) before modulation.
  */
 std::vector<std::uint8_t>
 on_air_bits(const phy::UserParams &params,
@@ -39,7 +41,23 @@ on_air_bits(const phy::UserParams &params,
                   "framed payload must fill the capacity");
         air = framed;
     } else {
-        air = phy::turbo_encode(framed);
+        const phy::TurboSegmentation seg = phy::turbo_segment(capacity);
+        LTE_CHECK(framed.size() == seg.tb_bits(),
+                  "transport block must match the segmentation");
+        const std::size_t data = seg.block_data_bits();
+        air.reserve(capacity);
+        for (std::size_t b = 0; b < seg.n_blocks; ++b) {
+            std::vector<std::uint8_t> info(
+                framed.begin() + static_cast<std::ptrdiff_t>(b * data),
+                framed.begin() +
+                    static_cast<std::ptrdiff_t>((b + 1) * data));
+            if (seg.n_blocks > 1)
+                info = phy::crc24_attach(std::move(info),
+                                         phy::kCrc24BPoly);
+            const std::vector<std::uint8_t> coded =
+                phy::turbo_encode(info);
+            air.insert(air.end(), coded.begin(), coded.end());
+        }
         LTE_CHECK(air.size() <= capacity,
                   "turbo output exceeds allocation capacity");
         air.resize(capacity, 0);
@@ -111,7 +129,8 @@ transmit_user(const phy::UserParams &params, Rng &rng, bool real_turbo,
 {
     const std::size_t capacity = phy::capacity_bits(params);
     const std::size_t payload_len =
-        real_turbo ? phy::turbo_info_bits(capacity) - 24 : capacity - 24;
+        real_turbo ? phy::turbo_segment(capacity).tb_bits() - 24
+                   : capacity - 24;
     std::vector<std::uint8_t> payload(payload_len);
     for (auto &b : payload)
         b = static_cast<std::uint8_t>(rng.next_u64() & 1);

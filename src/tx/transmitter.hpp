@@ -44,8 +44,9 @@ struct TxResult
     /**
      * The exact bit vector a correct receiver reproduces: for
      * pass-through mode the full capacity payload with CRC-24A in the
-     * last 24 bits; for real-turbo mode the turbo information block
-     * (payload + CRC).
+     * last 24 bits; for real-turbo mode the transport block (payload +
+     * CRC-24A) of the LTE code-block segmentation — the per-block
+     * CRC-24B is internal framing the receiver strips.
      */
     std::vector<std::uint8_t> payload_bits;
     LayerGrid grid;

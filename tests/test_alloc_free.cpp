@@ -181,7 +181,8 @@ steady_subframe()
 }
 
 void
-expect_zero_alloc_steady_state(EngineKind kind, bool tracing = false)
+expect_zero_alloc_steady_state(EngineKind kind, bool tracing = false,
+                               bool real_turbo = false)
 {
     EngineConfig cfg;
     cfg.kind = kind;
@@ -189,6 +190,16 @@ expect_zero_alloc_steady_state(EngineKind kind, bool tracing = false)
     cfg.pool.strategy = mgmt::Strategy::kNoNap; // yield, never sleep
     cfg.input.pool_size = 4;
     cfg.obs.enabled = tracing;
+    if (real_turbo) {
+        // The max-log-MAP decode stage must hold the guarantee too:
+        // per-thread turbo workspaces and the QPP interleaver cache
+        // reach their high-water mark during warm-up.
+        cfg.receiver.use_real_turbo = true;
+        cfg.receiver.turbo_iterations = 2;
+        cfg.input.realistic = true;
+        cfg.input.real_turbo = true;
+        cfg.input.snr_db = 45.0;
+    }
     auto engine = make_engine(cfg);
 
     const phy::SubframeParams sf = steady_subframe();
@@ -251,6 +262,22 @@ TEST(AllocFree, SerialEngineTracingEnabledDoesNotAllocate)
 TEST(AllocFree, WorkStealingEngineTracingEnabledDoesNotAllocate)
 {
     expect_zero_alloc_steady_state(EngineKind::kWorkStealing, true);
+}
+
+TEST(AllocFree, RealTurboSerialSteadyStateDoesNotAllocate)
+{
+    expect_zero_alloc_steady_state(EngineKind::kSerial,
+                                   /*tracing=*/false,
+                                   /*real_turbo=*/true);
+}
+
+TEST(AllocFree, RealTurboWorkStealingSteadyStateDoesNotAllocate)
+{
+    // Regression: turbo_decode used to allocate its trellis state per
+    // call, breaking the invariant the moment use_real_turbo was on.
+    expect_zero_alloc_steady_state(EngineKind::kWorkStealing,
+                                   /*tracing=*/false,
+                                   /*real_turbo=*/true);
 }
 
 TEST(AllocFree, StreamingEngineSteadyStateDoesNotAllocate)

@@ -14,6 +14,8 @@
 #include "common/rng.hpp"
 #include "phy/channel_estimator.hpp"
 #include "phy/combiner.hpp"
+#include "phy/crc.hpp"
+#include "phy/turbo.hpp"
 #include "phy/user_processor.hpp"
 #include "phy/zadoff_chu.hpp"
 #include "tx/transmitter.hpp"
@@ -323,6 +325,81 @@ TEST(EndToEnd, RealTurboModeRoundTrips)
     const auto result = proc.process_all();
     EXPECT_TRUE(result.crc_ok);
     EXPECT_EQ(result.bits, realistic.expected_bits);
+}
+
+TEST(EndToEnd, RealTurboMultiBlockRoundTrips)
+{
+    // An allocation wide enough to segment into several LTE code
+    // blocks (per-block CRC-24B under the transport-block CRC-24A).
+    UserParams params;
+    params.id = 4;
+    params.prb = 60;
+    params.layers = 1;
+    params.mod = Modulation::k64Qam;
+    const auto seg = phy::turbo_segment(capacity_bits(params));
+    ASSERT_GE(seg.n_blocks, 2u);
+
+    Rng rng(654);
+    const auto realistic =
+        channel::realistic_user_signal(params, 4, 25.0, rng,
+                                       /*real_turbo=*/true);
+    ReceiverConfig rcfg;
+    rcfg.use_real_turbo = true;
+    phy::UserProcessor proc(params, rcfg, &realistic.signal);
+    const auto result = proc.process_all();
+    EXPECT_TRUE(result.crc_ok);
+    EXPECT_EQ(result.bits, realistic.expected_bits);
+    EXPECT_EQ(result.bits.size(), seg.tb_bits());
+    // CRC early termination: a clean decode should not burn the full
+    // budget on every block.
+    EXPECT_LT(result.decode_iterations,
+              rcfg.turbo_iterations * seg.n_blocks);
+    EXPECT_GT(result.decode_iterations, 0u);
+}
+
+TEST(EndToEnd, RealTurboFramingIsStableAcrossDegradeLevels)
+{
+    // Regression: the degraded real-turbo tail used to hard-decide the
+    // whole coded LLR range, so result.bits silently changed length
+    // and meaning when an admission controller flipped a subframe to
+    // the degraded chain.  The frame must stay tb_bits() at every
+    // rung of the ladder.
+    UserParams params;
+    params.id = 5;
+    params.prb = 40;
+    params.layers = 1;
+    params.mod = Modulation::k64Qam;
+    const auto seg = phy::turbo_segment(capacity_bits(params));
+
+    Rng rng(987);
+    const auto realistic =
+        channel::realistic_user_signal(params, 4, 25.0, rng,
+                                       /*real_turbo=*/true);
+    ReceiverConfig rcfg;
+    rcfg.use_real_turbo = true;
+
+    const phy::DegradeLevel levels[] = {phy::DegradeLevel::kNone,
+                                   phy::DegradeLevel::kReducedIterations,
+                                   phy::DegradeLevel::kBypass};
+    for (const phy::DegradeLevel level : levels) {
+        phy::UserProcessor proc(params, rcfg, &realistic.signal);
+        proc.set_degrade(level);
+        const auto result = proc.process_all();
+        EXPECT_EQ(result.bits.size(), seg.tb_bits())
+            << "level=" << static_cast<int>(level);
+        // The CRC flag is always the CRC-24A verdict over the frame,
+        // whichever rung produced it.
+        EXPECT_EQ(result.crc_ok, phy::crc24_check(result.bits))
+            << "level=" << static_cast<int>(level);
+    }
+
+    // Bypass runs zero decode iterations; the full chain runs some.
+    phy::UserProcessor full(params, rcfg, &realistic.signal);
+    const auto full_result = full.process_all();
+    EXPECT_GT(full_result.decode_iterations, 0u);
+    phy::UserProcessor bypass(params, rcfg, &realistic.signal);
+    bypass.set_degrade(phy::DegradeLevel::kBypass);
+    EXPECT_EQ(bypass.process_all().decode_iterations, 0u);
 }
 
 TEST(EndToEnd, TaskwiseExecutionMatchesProcessAll)

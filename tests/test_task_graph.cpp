@@ -71,6 +71,17 @@ graph_subframe(std::uint64_t index)
     return sf;
 }
 
+/** LTE_REAL_TURBO=1 re-runs this whole suite with the max-log-MAP
+ *  decoder on (realistic decodable input so CRC early termination is
+ *  exercised) — check.sh runs that leg for parity coverage of the
+ *  decode fan-out under both release and ThreadSanitizer builds. */
+bool
+real_turbo_from_env()
+{
+    const char *env = std::getenv("LTE_REAL_TURBO");
+    return env != nullptr && env[0] == '1';
+}
+
 EngineConfig
 graph_config(EngineKind kind, std::size_t n_workers,
              std::size_t n_antennas, bool tracing = false)
@@ -84,6 +95,27 @@ graph_config(EngineKind kind, std::size_t n_workers,
     cfg.input.pool_size = 4;
     cfg.input.seed = 77;
     cfg.obs.enabled = tracing;
+    if (real_turbo_from_env()) {
+        cfg.receiver.use_real_turbo = true;
+        cfg.input.realistic = true;
+        cfg.input.real_turbo = true;
+        // Rank-4 MMSE noise enhancement: high SNR keeps every CRC
+        // green so the soak converges in few decoder iterations.
+        cfg.input.snr_db = 45.0;
+    }
+    return cfg;
+}
+
+/** Real-decode configuration regardless of the environment. */
+EngineConfig
+real_turbo_config(EngineKind kind, std::size_t n_workers,
+                  bool tracing = false)
+{
+    EngineConfig cfg = graph_config(kind, n_workers, 4, tracing);
+    cfg.receiver.use_real_turbo = true;
+    cfg.input.realistic = true;
+    cfg.input.real_turbo = true;
+    cfg.input.snr_db = 45.0;
     return cfg;
 }
 
@@ -188,6 +220,131 @@ TEST(TaskGraph, TailSpansAreTraced)
     // 48 for the 200-PRB 4-layer monster alone.
     EXPECT_EQ(tail_reduce, 4u);
     EXPECT_GE(tail_cb, 48u + 3u);
+}
+
+TEST(TaskGraph, RealTurboDigestParityWithSerial)
+{
+    // The per-codeblock decode fan-out must be invisible in the
+    // output: serial, work-stealing, and streaming engines running
+    // the real max-log-MAP decoder agree bit for bit, including the
+    // per-user iteration tallies (early termination is a function of
+    // the block data only, not of scheduling).
+    const std::size_t n_workers = workers_from_env();
+    auto serial = make_engine(real_turbo_config(EngineKind::kSerial, 1));
+    auto ws = make_engine(
+        real_turbo_config(EngineKind::kWorkStealing, n_workers));
+    auto streaming = make_engine(
+        real_turbo_config(EngineKind::kStreaming, n_workers));
+    for (std::uint64_t i = 0; i < 2; ++i) {
+        const phy::SubframeParams sf = graph_subframe(i);
+        const SubframeOutcome ref = serial->process_subframe(sf);
+        for (const auto &user : ref.users)
+            EXPECT_TRUE(user.crc_ok) << "user " << user.user_id;
+        const std::string ctx = "real-turbo subframe " +
+                                std::to_string(i);
+        const SubframeOutcome ws_out = ws->process_subframe(sf);
+        expect_user_parity(ref, ws_out, ctx + " work-stealing");
+        for (std::size_t u = 0; u < ref.users.size(); ++u) {
+            EXPECT_EQ(ref.users[u].decode_iterations,
+                      ws_out.users[u].decode_iterations)
+                << ctx << " user " << u;
+        }
+        expect_user_parity(ref, streaming->process_subframe(sf),
+                           ctx + " streaming");
+    }
+}
+
+TEST(TaskGraph, DecodeSpansFanOutAcrossWorkers)
+{
+    // Acceptance check: a full real-decode user subframe fans its
+    // decode stage across the pool instead of serializing it on the
+    // worker that ran the last tail codeblock.  The 200-PRB 4-layer
+    // 64QAM monster segments into 19 turbo code blocks.
+    auto ws = make_engine(
+        real_turbo_config(EngineKind::kWorkStealing, 4, /*tracing=*/true));
+    phy::SubframeParams sf;
+    phy::UserParams user;
+    user.id = 0;
+    user.prb = 200;
+    user.layers = 4;
+    user.mod = Modulation::k64Qam;
+    sf.users.push_back(user);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        sf.subframe_index = i;
+        ws->process_subframe(sf);
+    }
+
+    ASSERT_NE(ws->tracer(), nullptr);
+    std::size_t decode_spans = 0, workers_with_decode = 0;
+    std::vector<obs::TraceEvent> events;
+    for (std::size_t slot = 0; slot < ws->tracer()->n_slots(); ++slot) {
+        ws->tracer()->slot(slot).snapshot(events);
+        std::size_t here = 0;
+        for (const auto &event : events)
+            here += event.kind == obs::SpanKind::kDecodeCb;
+        decode_spans += here;
+        workers_with_decode += here > 0;
+    }
+    EXPECT_EQ(decode_spans, 3u * 19u);
+    EXPECT_GE(workers_with_decode, 2u);
+}
+
+TEST(TaskGraph, OpModelDecodeCostMonotoneInIterationBudget)
+{
+    // Admission must price real decode above pass-through and price
+    // bigger iteration budgets strictly higher (the reduced-iteration
+    // shed rung lands between bypass and the full budget).
+    phy::UserParams user;
+    user.prb = 96;
+    user.layers = 2;
+    user.mod = Modulation::k64Qam;
+    std::uint64_t prev = phy::user_task_costs(user, 4).total();
+    for (const std::uint32_t iterations : {0u, 1u, 2u, 4u, 6u, 8u}) {
+        const auto costs = phy::user_task_costs(
+            user, 4, false, phy::DecodeModel{true, iterations});
+        EXPECT_GT(costs.n_decode_tasks, 0u);
+        EXPECT_GT(costs.total(), prev) << "iterations=" << iterations;
+        prev = costs.total();
+    }
+    // The default DecodeModel reproduces the historical charge.
+    EXPECT_EQ(phy::user_task_costs(user, 4, false, {}).total(),
+              phy::user_task_costs(user, 4).total());
+}
+
+TEST(TaskGraph, EstimatorPricesDecodeLadderMonotonically)
+{
+    mgmt::CalibrationTable table;
+    for (std::uint32_t layers = 1; layers <= kMaxLayers; ++layers) {
+        table.set(layers, Modulation::kQpsk, 1e-4);
+        table.set(layers, Modulation::k16Qam, 2e-4);
+        table.set(layers, Modulation::k64Qam, 3e-4);
+    }
+    mgmt::WorkloadEstimator estimator(table);
+    estimator.set_decode_pricing(mgmt::DecodePricing{true, 6, 2});
+
+    const phy::SubframeParams sf = graph_subframe(0);
+    const double full =
+        estimator.estimate_subframe(sf, 0, phy::DegradeLevel::kNone);
+    const double reduced = estimator.estimate_subframe(
+        sf, 0, phy::DegradeLevel::kReducedIterations);
+    const double bypass =
+        estimator.estimate_subframe(sf, 0, phy::DegradeLevel::kBypass);
+    ASSERT_GT(full, 0.0);
+    ASSERT_LT(full, 1.0);
+    EXPECT_GT(full, reduced);
+    EXPECT_GT(reduced, bypass);
+    EXPECT_GT(bypass, 0.0);
+
+    // The reduced-rung estimate is monotone in its iteration budget
+    // and meets the full estimate when the budgets coincide.
+    double prev = bypass;
+    for (const std::uint32_t budget : {1u, 2u, 4u, 6u}) {
+        estimator.set_decode_pricing(mgmt::DecodePricing{true, 6, budget});
+        const double est = estimator.estimate_subframe(
+            sf, 0, phy::DegradeLevel::kReducedIterations);
+        EXPECT_GT(est, prev) << "budget=" << budget;
+        prev = est;
+    }
 }
 
 TEST(TaskGraph, OpModelTailSplitPreservesTotals)

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "common/rng.hpp"
+#include "phy/crc.hpp"
 #include "phy/turbo.hpp"
 
 namespace lte::phy {
@@ -198,6 +200,160 @@ TEST(TurboPassthrough, HardDecidesLlrs)
     const std::vector<Llr> llrs = {2.0f, -1.0f, 0.5f, -0.1f};
     EXPECT_EQ(turbo_passthrough(llrs),
               (std::vector<std::uint8_t>{0, 1, 0, 1}));
+}
+
+TEST(TurboSegmentation, PropertiesAcrossCapacities)
+{
+    for (std::size_t capacity = 200; capacity <= 345600;
+         capacity += 1777) {
+        const TurboSegmentation seg = turbo_segment(capacity);
+        EXPECT_GE(seg.n_blocks, 1u);
+        EXPECT_LE(seg.n_blocks, kMaxTurboCodeblocks);
+        EXPECT_EQ(seg.block_info_bits % 8, 0u);
+        EXPECT_LE(seg.block_info_bits, kMaxTurboBlockBits);
+        EXPECT_LE(seg.coded_bits(), capacity);
+        EXPECT_GT(seg.tb_bits(), 24u);
+        if (seg.n_blocks > 1) {
+            // Minimality: one fewer block would overflow the trellis.
+            const std::size_t per =
+                capacity / (seg.n_blocks - 1) - kTurboTailBits;
+            std::size_t k = per / 3;
+            k -= k % 8;
+            EXPECT_GT(k, kMaxTurboBlockBits);
+            // Multi-block segments carry a CRC-24B per block.
+            EXPECT_EQ(seg.block_data_bits(),
+                      seg.block_info_bits - 24);
+        } else {
+            EXPECT_EQ(seg.block_data_bits(), seg.block_info_bits);
+        }
+    }
+}
+
+TEST(TurboSegmentation, MaxAllocationSegmentsInto19Blocks)
+{
+    // 200 PRB x 4 layers x 64QAM = 345600 coded bits.
+    const TurboSegmentation seg = turbo_segment(345600);
+    EXPECT_EQ(seg.n_blocks, 19u);
+    EXPECT_EQ(seg.block_info_bits, 6056u);
+    EXPECT_EQ(seg.tb_bits(), 19u * 6032u);
+    EXPECT_LE(seg.coded_bits(), 345600u);
+}
+
+/** Decode one block into a fresh bit vector via the workspace API. */
+std::pair<std::vector<std::uint8_t>, TurboDecodeResult>
+decode_block(const std::vector<Llr> &llrs, std::size_t k,
+             const TurboDecoderConfig &cfg, std::uint32_t crc_poly = 0)
+{
+    const QppInterleaver &pi = qpp_interleaver(k);
+    TurboWorkspace ws;
+    ws.reserve(k);
+    std::vector<std::uint8_t> bits(k, 0);
+    const TurboDecodeResult res = turbo_decode_block_into(
+        llrs, k, pi, cfg, crc_poly, ws, BitSpan(bits.data(), k));
+    return {std::move(bits), res};
+}
+
+class TurboSimdParityTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TurboSimdParityTest, ScalarAndSimdBitIdentical)
+{
+    const std::size_t k = GetParam();
+    const auto info = random_bits(k, 1000 + k);
+    const auto coded = turbo_encode(info);
+    Rng rng(1100 + k);
+    const auto llrs = to_llrs(coded, 0.9, rng);
+
+    TurboDecoderConfig simd;
+    simd.iterations = 4;
+    TurboDecoderConfig scalar = simd;
+    scalar.force_scalar = true;
+
+    const auto [simd_bits, simd_res] = decode_block(llrs, k, simd);
+    const auto [scalar_bits, scalar_res] =
+        decode_block(llrs, k, scalar);
+    // The SIMD recursions perform exact max-selection with the same
+    // normalization as the scalar path, so the two decoders must agree
+    // bit for bit, not just in BER.
+    EXPECT_EQ(simd_bits, scalar_bits);
+    EXPECT_EQ(simd_res.iterations_run, scalar_res.iterations_run);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, TurboSimdParityTest,
+                         ::testing::Values<std::size_t>(40, 64, 256,
+                                                        1024, 6144),
+                         [](const auto &info) {
+                             return "k" + std::to_string(info.param);
+                         });
+
+TEST(TurboEarlyTermination, CrcStopMatchesFullIterationOutput)
+{
+    // A CRC-terminated decode that converges early must produce the
+    // exact bits the full iteration budget would have produced.
+    const std::size_t k = 1024;
+    auto payload = random_bits(k - 24, 1300);
+    const auto info = crc24_attach(std::move(payload), kCrc24APoly);
+    ASSERT_EQ(info.size(), k);
+    const auto coded = turbo_encode(info);
+    Rng rng(1301);
+    const auto llrs = to_llrs(coded, 0.7, rng);
+
+    TurboDecoderConfig cfg;
+    cfg.iterations = 8;
+    const auto [full_bits, full_res] = decode_block(llrs, k, cfg, 0);
+    const auto [early_bits, early_res] =
+        decode_block(llrs, k, cfg, kCrc24APoly);
+
+    EXPECT_TRUE(early_res.crc_ok);
+    EXPECT_LT(early_res.iterations_run, 8u);
+    EXPECT_EQ(early_bits, full_bits);
+    EXPECT_EQ(early_bits, info);
+}
+
+TEST(TurboDecode, ZeroIterationsIsSystematicHardDecision)
+{
+    // The bypass rung of the degrade ladder: only the k systematic
+    // LLRs are hard-decided, same framing as a real decode.
+    const std::size_t k = 256;
+    const auto info = random_bits(k, 1400);
+    const auto coded = turbo_encode(info);
+    Rng rng(1401);
+    const auto llrs = to_llrs(coded, 0.5, rng);
+
+    TurboDecoderConfig cfg;
+    cfg.iterations = 0;
+    const auto [bits, res] = decode_block(llrs, k, cfg, 0);
+    EXPECT_EQ(res.iterations_run, 0u);
+    for (std::size_t i = 0; i < k; ++i)
+        EXPECT_EQ(bits[i], llrs[i] >= 0.0f ? 0 : 1);
+}
+
+TEST(TurboDecode, RealDecodeBeatsHardBypassAtFixedSnr)
+{
+    // At a noise level where the hard-decision bypass leaves a few
+    // percent BER, the real decoder should be strictly better.
+    const std::size_t k = 1024;
+    std::size_t decode_errors = 0, bypass_errors = 0;
+    for (int trial = 0; trial < 4; ++trial) {
+        const auto info = random_bits(k, 1500 + trial);
+        const auto coded = turbo_encode(info);
+        Rng rng(1600 + trial);
+        const auto llrs = to_llrs(coded, 1.0, rng);
+
+        TurboDecoderConfig full;
+        full.iterations = 6;
+        TurboDecoderConfig bypass;
+        bypass.iterations = 0;
+        const auto [full_bits, r1] = decode_block(llrs, k, full);
+        const auto [bypass_bits, r2] = decode_block(llrs, k, bypass);
+        for (std::size_t i = 0; i < k; ++i) {
+            decode_errors += full_bits[i] != info[i];
+            bypass_errors += bypass_bits[i] != info[i];
+        }
+    }
+    EXPECT_GT(bypass_errors, 4 * k / 100);
+    EXPECT_LT(decode_errors, bypass_errors / 10);
 }
 
 } // namespace
