@@ -19,12 +19,14 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/multicell.hpp"
 #include "sim/machine.hpp"
 #include "workload/parameter_model.hpp"
 #include "workload/steady_model.hpp"
@@ -313,6 +315,140 @@ struct Scenario
     runtime::ShedPolicy policy;
 };
 
+/**
+ * Inline-vs-offloaded sample plane A/B (PR 8's tentpole measurement).
+ *
+ * Fresh-generation mode gives the input generator a real per-TTI
+ * synthesis cost (every subframe's IQ samples are regenerated, as a
+ * fronthaul would deliver genuinely new air data) — in the inline
+ * configuration that cost lands on the dispatch thread, inside the
+ * admission loop, where it competes with admitting, reaping and
+ * shedding; offloaded, it moves to one producer thread per cell and
+ * the dispatch loop only moves frame pointers.  Under calibrated 2x
+ * overload the dispatch thread is the bottleneck resource, so the
+ * offloaded configuration sustains a higher completion rate / lower
+ * p99 — that delta is the benefit the sample plane buys.
+ */
+void
+run_io_offload_comparison(std::uint64_t seed, bool full)
+{
+    // Calibrate against the *fresh-mode* inline drain: the overload
+    // must be 2x the pipeline that pays synthesis inline, so both
+    // sides of the A/B face identical offered load.
+    runtime::EngineConfig probe;
+    probe.kind = runtime::EngineKind::kStreaming;
+    probe.pool.n_workers = 4;
+    probe.input.pool_size = 2;
+    probe.input.seed = seed;
+    probe.input.fresh = true;
+    probe.max_in_flight = 4;
+    probe.admission_queue = 8;
+    probe.delta_ms = 0.0;
+    probe.deadline_ms = 0.0;
+    double drain_ms;
+    {
+        auto engine = runtime::make_engine(probe);
+        phy::SubframeParams sf;
+        sf.subframe_index = 0;
+        sf.users.push_back(heavy_user());
+        for (int i = 0; i < 4; ++i)
+            engine->process_subframe(sf);
+        workload::SteadyModel model(heavy_user());
+        const std::size_t n = 24;
+        const auto record = engine->run(model, n);
+        drain_ms = record.wall_seconds * 1e3 / static_cast<double>(n);
+    }
+    const double delta_ms = drain_ms / 2.0; // 2x overload
+    const double deadline_ms = 3.0 * drain_ms;
+    const std::size_t n_subframes = full ? 400 : 120;
+
+    std::cout << "\n== sample plane: inline vs offloaded input under "
+                 "2x overload ==\n"
+              << "fresh-mode drain:      " << report::fmt(drain_ms, 3)
+              << " ms/subframe; arrivals every "
+              << report::fmt(delta_ms, 3) << " ms, deadline "
+              << report::fmt(deadline_ms, 3) << " ms\n";
+
+    report::TextTable table({"cells", "input", "completed", "shed",
+                             "io-lost", "rate /s", "p50 ms", "p99 ms",
+                             "wall s"});
+    for (std::size_t n_cells : {1u, 2u, 4u}) {
+        for (int offloaded = 0; offloaded < 2; ++offloaded) {
+            runtime::MultiCellConfig cfg;
+            cfg.n_cells = n_cells;
+            cfg.engine = probe;
+            cfg.engine.delta_ms = delta_ms;
+            cfg.engine.deadline_ms = deadline_ms;
+            cfg.engine.shed_policy = runtime::ShedPolicy::kDropNewest;
+            cfg.engine.obs.enabled = true;
+            cfg.engine.obs.deadline_ms = deadline_ms;
+            cfg.engine.obs.series_capacity = n_subframes * n_cells;
+            if (offloaded != 0) {
+                cfg.engine.io.enabled = true;
+                cfg.engine.io.source = io::SourceKind::kGenerator;
+                cfg.engine.io.n_frames = 8;
+            }
+            runtime::MultiCellEngine engine(cfg);
+
+            std::vector<workload::SteadyModel> models(
+                n_cells, workload::SteadyModel(heavy_user()));
+            std::vector<workload::ParameterModel *> ptrs;
+            for (auto &m : models)
+                ptrs.push_back(&m);
+            const runtime::MultiCellRunRecord record =
+                engine.run(ptrs, n_subframes);
+
+            std::uint64_t completed = 0, shed = 0, io_lost = 0;
+            for (const runtime::ShedStats &s : record.shed) {
+                completed += s.completed;
+                shed += s.shed;
+                io_lost += s.io_lost;
+            }
+            const auto &series = *engine.subframe_series();
+            std::vector<double> latencies;
+            latencies.reserve(series.size());
+            for (std::size_t i = 0; i < series.size(); ++i)
+                latencies.push_back(series.at(i).latency_ms());
+            const double rate = static_cast<double>(completed) /
+                                record.wall_seconds;
+            const double p50 = percentile(latencies, 0.50);
+            const double p99 = percentile(latencies, 0.99);
+
+            const char *label = offloaded ? "offloaded" : "inline";
+            table.add_row({std::to_string(n_cells), label,
+                           std::to_string(completed),
+                           std::to_string(shed),
+                           std::to_string(io_lost),
+                           report::fmt(rate, 1), report::fmt(p50, 2),
+                           report::fmt(p99, 2),
+                           report::fmt(record.wall_seconds, 2)});
+            // Machine-readable line for results/BENCH_pr8.json.
+            std::cout << "io-ab: cells=" << n_cells << " input="
+                      << label << " n=" << n_subframes
+                      << " completed=" << completed << " shed=" << shed
+                      << " io_lost=" << io_lost
+                      << " rate_hz=" << report::fmt(rate, 2)
+                      << " p50_ms=" << report::fmt(p50, 4)
+                      << " p99_ms=" << report::fmt(p99, 4)
+                      << " wall_s=" << report::fmt(record.wall_seconds, 3)
+                      << "\n";
+        }
+    }
+    table.print(std::cout);
+    std::cout << "offloading the synthesis frees the dispatch loop to "
+                 "admit/reap, so the\noffloaded rows complete more "
+                 "subframes per second (or hold a lower p99)\nat "
+                 "identical offered load — provided the host grants "
+                 "the producer\nthreads their own cores.  On a host "
+                 "with fewer cores than cells +\nworkers, the extra "
+                 "producer threads instead time-slice against the\n"
+                 "worker pool and the multi-cell offloaded rows give "
+                 "the effect back;\nthe per-cell comparison is only "
+                 "meaningful where the hardware can\nactually run the "
+                 "fronthaul concurrently (host has "
+              << std::thread::hardware_concurrency() << " cores).\n";
+}
+
 } // namespace
 
 int
@@ -410,6 +546,7 @@ main(int argc, char **argv)
                  "turbo-bypass\nsubframes and completes the most "
                  "traffic.\n";
 
+    run_io_offload_comparison(args.seed, args.full);
     run_heavy_scenario(args.seed, args.full);
     run_heavy_sim_comparison(args.full);
     return 0;

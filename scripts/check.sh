@@ -47,6 +47,14 @@ for cells in 1 2 4; do
     LTE_CELLS="${cells}" ./build/tests/test_multicell
 done
 
+# Sample-plane sweep: the io suites honour LTE_IO_SOURCE, so the same
+# binary proves the offloaded admission invariants with both a live
+# generator producer and a record->replay capture stream.
+for source in generator replay; do
+    echo "==> release sample-plane sweep (LTE_IO_SOURCE=${source})"
+    LTE_IO_SOURCE="${source}" ./build/tests/test_io
+done
+
 run_preset asan
 # The tsan test preset filters to the concurrency/runtime suites (see
 # CMakePresets.json): pool interleavings, trace-ring export races, the

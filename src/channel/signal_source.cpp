@@ -9,8 +9,17 @@ phy::UserSignal
 random_user_signal(const phy::UserParams &params, std::size_t n_antennas,
                    Rng &rng)
 {
-    params.validate();
     phy::UserSignal out;
+    random_user_signal_into(params, n_antennas, rng, out);
+    return out;
+}
+
+void
+random_user_signal_into(const phy::UserParams &params,
+                        std::size_t n_antennas, Rng &rng,
+                        phy::UserSignal &out)
+{
+    params.validate();
     out.antennas.resize(n_antennas);
     const float scale = 1.0f / std::sqrt(2.0f);
     for (auto &ant : out.antennas) {
@@ -27,7 +36,6 @@ random_user_signal(const phy::UserParams &params, std::size_t n_antennas,
             }
         }
     }
-    return out;
 }
 
 RealisticSignal

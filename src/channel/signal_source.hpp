@@ -20,6 +20,16 @@ phy::UserSignal random_user_signal(const phy::UserParams &params,
                                    std::size_t n_antennas, Rng &rng);
 
 /**
+ * Same, regenerating @p out in place: resize() reuses the buffers'
+ * capacity, so refilling a signal of an already-seen shape performs
+ * zero heap allocations — the contract the sample plane's fresh
+ * per-TTI generation mode relies on.
+ */
+void random_user_signal_into(const phy::UserParams &params,
+                             std::size_t n_antennas, Rng &rng,
+                             phy::UserSignal &out);
+
+/**
  * Full-fidelity input: transmit a random payload through a freshly
  * drawn MIMO channel at the given SNR.  Returns the signal and the
  * payload bits a correct receiver reproduces.

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * IQ capture files: record the sample plane's frame stream to disk and
+ * replay it later as a SampleSource — the workflow for capturing an
+ * overload trace once and reproducing it deterministically.
+ *
+ * Format (host-endian, version 1):
+ *
+ *   header:  char magic[8] = "LTEIQv1\0", u32 version, u32 n_antennas
+ *   frame:   u64 subframe_index, u32 cell_id, u32 n_users
+ *            per user:    u32 id, u32 prb, u32 layers, u8 mod
+ *            per user, per antenna, per slot (2), per symbol (7):
+ *                         u32 n_sc, then n_sc raw cf32 samples
+ *
+ * The per-symbol subcarrier counts are redundant with the user params
+ * but make every record self-describing, which lets skip() seek past a
+ * frame without reconstructing it.
+ */
+#ifndef LTE_IO_CAPTURE_HPP
+#define LTE_IO_CAPTURE_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "io/sample_plane.hpp"
+
+namespace lte::io {
+
+/** Streams IqFrames into a capture file (the Recorder sink). */
+class CaptureWriter
+{
+  public:
+    /** Creates/truncates @p path and writes the header. */
+    CaptureWriter(const std::string &path, std::size_t n_antennas);
+
+    /** Append one frame. Throws std::runtime_error on I/O failure. */
+    void write(const IqFrame &frame);
+
+    std::uint64_t frames_written() const { return frames_written_; }
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+    std::size_t n_antennas_;
+    std::uint64_t frames_written_ = 0;
+};
+
+/** Reads a capture file frame by frame. */
+class CaptureReader
+{
+  public:
+    explicit CaptureReader(const std::string &path);
+
+    std::size_t n_antennas() const { return n_antennas_; }
+
+    /**
+     * Read the next frame into @p frame (params, storage, signals
+     * re-pointed at storage), reusing its capacity.  @return false at
+     * end of file.
+     */
+    bool read_into(IqFrame &frame);
+
+    /** Seek past the next frame without materialising it. */
+    bool skip_frame();
+
+    /** Rewind to the first frame. */
+    void rewind();
+
+  private:
+    std::ifstream in_;
+    std::string path_;
+    std::size_t n_antennas_ = 0;
+    std::streampos first_frame_;
+};
+
+/** SampleSource that replays a capture file. */
+class ReplaySource : public SampleSource
+{
+  public:
+    /**
+     * @param loop  when true, rewind at end of file so the replay can
+     *        drive runs longer than the capture (bench overload mode);
+     *        when false, produce() returns false at end of capture.
+     */
+    explicit ReplaySource(const std::string &path, bool loop = false);
+
+    bool produce(IqFrame &frame) override;
+    void skip() override;
+
+    std::size_t n_antennas() const { return reader_.n_antennas(); }
+
+  private:
+    CaptureReader reader_;
+    bool loop_;
+};
+
+} // namespace lte::io
+
+#endif // LTE_IO_CAPTURE_HPP

@@ -1,0 +1,19 @@
+#include "io/io_config.hpp"
+
+#include "common/check.hpp"
+
+namespace lte::io {
+
+void
+IoConfig::validate() const
+{
+    if (!enabled)
+        return;
+    LTE_CHECK(n_frames >= 2, "io.n_frames must be at least 2");
+    LTE_CHECK(n_frames <= 4096, "io.n_frames unreasonably large");
+    LTE_CHECK(jitter_ms >= 0.0, "io.jitter_ms must be non-negative");
+    LTE_CHECK(source != SourceKind::kReplay || !replay_path.empty(),
+              "io.replay_path required for the replay source");
+}
+
+} // namespace lte::io

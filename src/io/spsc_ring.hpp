@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lock-free single-producer/single-consumer ring for the sample plane.
+ *
+ * The fronthaul boundary moves exactly one kind of object between
+ * exactly two threads: the producer (signal source) publishes filled
+ * IQ frames toward the receiver, and the receiver recycles consumed
+ * frames back — two rings, each strictly SPSC.  That restriction buys
+ * the cheapest possible synchronisation: one release store per
+ * operation on the owning index, one acquire load on the peer's, no
+ * CAS, no locks, no allocation.  (Contrast WsDeque, which serves many
+ * thieves and therefore takes a mutex; the sample plane must not pay
+ * that on a 1 ms cadence.)
+ *
+ * Layout follows the classic bounded MPMC-descendant design: head
+ * (consumer cursor) and tail (producer cursor) live on their own
+ * cache lines so the producer's stores never invalidate the line the
+ * consumer spins on; capacity is a power of two so positions mask
+ * instead of dividing.  Indices are monotonically increasing 64-bit
+ * counters (no wrap ambiguity at any realistic rate: 2^64 frames at
+ * 1 ms each is half a billion years).
+ */
+#ifndef LTE_IO_SPSC_RING_HPP
+#define LTE_IO_SPSC_RING_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace lte::io {
+
+/** Destructive-interference granularity.  A fixed 64 rather than
+ *  std::hardware_destructive_interference_size: the value is part of
+ *  the layout, and gcc warns that the std constant varies with
+ *  tuning flags (-Winterference-size).  64 is correct for every
+ *  x86-64 and the common aarch64 parts this benchmark targets. */
+inline constexpr std::size_t kCacheLine = 64;
+
+/**
+ * Bounded lock-free SPSC ring.  try_push may only ever be called from
+ * one thread at a time (the producer) and try_pop from one other (the
+ * consumer); the roles may migrate between threads only across a
+ * synchronisation point (e.g. thread join).
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /**
+     * @param capacity slot count; MUST be a power of two (positions
+     *        are masked, a non-power-of-two would alias slots).
+     */
+    explicit SpscRing(std::size_t capacity)
+        : buffer_(capacity), mask_(capacity - 1)
+    {
+        LTE_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                  "SpscRing capacity must be a power of two >= 2");
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Producer side: publish @p value; false when the ring is full.
+     *  The release store pairs with the consumer's acquire load, so a
+     *  popped value sees every producer write made before the push. */
+    bool
+    try_push(const T &value)
+    {
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_relaxed);
+        // The cached head avoids an acquire load per push while the
+        // ring has obvious room; refresh it only on apparent fullness.
+        if (tail - head_cache_ >= buffer_.size()) {
+            head_cache_ = head_.load(std::memory_order_acquire);
+            if (tail - head_cache_ >= buffer_.size())
+                return false;
+        }
+        buffer_[static_cast<std::size_t>(tail) & mask_] = value;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: take the oldest value; false when empty. */
+    bool
+    try_pop(T &out)
+    {
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        if (tail_cache_ - head == 0) {
+            tail_cache_ = tail_.load(std::memory_order_acquire);
+            if (tail_cache_ - head == 0)
+                return false;
+        }
+        out = buffer_[static_cast<std::size_t>(head) & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Racy occupancy estimate (either side; monitoring only). */
+    std::size_t
+    size() const
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(tail - head);
+    }
+
+    bool empty() const { return size() == 0; }
+
+    std::size_t capacity() const { return buffer_.size(); }
+
+  private:
+    std::vector<T> buffer_;
+    std::size_t mask_;
+
+    /** Consumer cursor; producer reads it with acquire on fullness. */
+    alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+    /** Producer's cached copy of head_ (producer-thread private). */
+    alignas(kCacheLine) std::uint64_t head_cache_ = 0;
+    /** Producer cursor; consumer reads it with acquire on emptiness. */
+    alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+    /** Consumer's cached copy of tail_ (consumer-thread private). */
+    alignas(kCacheLine) std::uint64_t tail_cache_ = 0;
+};
+
+/** Smallest power of two >= @p n (n itself if already one). */
+constexpr std::size_t
+ceil_pow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace lte::io
+
+#endif // LTE_IO_SPSC_RING_HPP

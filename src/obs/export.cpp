@@ -29,6 +29,9 @@ span_category(SpanKind kind)
       case SpanKind::kNap:
       case SpanKind::kIdle:
         return "power";
+      case SpanKind::kIoFrame:
+      case SpanKind::kIoLost:
+        return "io";
     }
     return "?";
 }

@@ -24,6 +24,8 @@ span_kind_name(SpanKind kind)
       case SpanKind::kTailCb: return "tail_cb";
       case SpanKind::kTailReduce: return "tail_reduce";
       case SpanKind::kDecodeCb: return "decode_cb";
+      case SpanKind::kIoFrame: return "io_frame";
+      case SpanKind::kIoLost: return "io_lost";
     }
     return "?";
 }

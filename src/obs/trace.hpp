@@ -51,10 +51,12 @@ enum class SpanKind : std::uint8_t
     kTailCb,   ///< one per-codeblock tail task (arg = codeblock)
     kTailReduce, ///< CRC/EVM reduce closing a user (arg = user id)
     kDecodeCb, ///< one per-codeblock turbo decode (arg = code block)
+    kIoFrame,  ///< IQ frame's ready-ring residence (produce..consume)
+    kIoLost,   ///< instant: sample-plane frame lost (pool exhausted)
 };
 
 /** Number of distinct span kinds (for fixed-size per-kind tallies). */
-inline constexpr std::size_t kSpanKindCount = 14;
+inline constexpr std::size_t kSpanKindCount = 16;
 
 /** Short stable name used in exports ("chanest", "demod", ...). */
 const char *span_kind_name(SpanKind kind);

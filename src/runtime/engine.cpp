@@ -53,6 +53,7 @@ EngineConfig::validate() const
     receiver.validate();
     input.validate();
     obs.validate();
+    io.validate();
 }
 
 using admission::collect;

@@ -35,6 +35,7 @@
 #include <optional>
 #include <vector>
 
+#include "io/io_config.hpp"
 #include "mgmt/estimator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -46,6 +47,13 @@
 #include "runtime/task.hpp"
 #include "runtime/worker_pool.hpp"
 #include "workload/parameter_model.hpp"
+
+namespace lte::io {
+struct IqFrame;
+class SampleFeed;
+class SampleTransport;
+struct FeedStats;
+}
 
 namespace lte::runtime {
 
@@ -105,6 +113,14 @@ struct ShedStats
     std::uint64_t shed_queue_full = 0;
     std::uint64_t shed_expired = 0;
     std::uint64_t degraded = 0;  ///< admitted on the degraded chain
+    /** Sample plane only: ticks whose frame was dropped at the source
+     *  because the buffer pool was exhausted.  Counted inside shed
+     *  (and shed_queue_full — the pool is the upstream queue), so the
+     *  shed + completed == submitted invariant is unchanged. */
+    std::uint64_t io_lost = 0;
+    /** Sample plane only: frames delivered more than one TTI after
+     *  their scheduled tick (still processed; informational). */
+    std::uint64_t io_late = 0;
 };
 
 /** Unified engine configuration (superset of both engines' needs). */
@@ -152,6 +168,16 @@ struct EngineConfig
      * single branch.
      */
     obs::ObsConfig obs;
+
+    /**
+     * Sample plane (streaming and multi-cell engines only): when
+     * io.enabled, run() consumes ready IQ frames from a dedicated
+     * producer thread (per cell) instead of synthesizing input inline
+     * on the admission path.  deadline_ms == 0 pairs with the feed's
+     * lossless mode, so offloaded zero-jitter generator runs remain
+     * bit-identical to the inline engines.
+     */
+    io::IoConfig io;
 
     void validate() const;
 };
@@ -387,6 +413,14 @@ class StreamingEngine : public Engine
     void reap_completed(RunRecord &record);
     /** Block until the oldest executing job finishes, then reap. */
     void drain_one(RunRecord &record);
+    /** Release a job back to the pool, recycling its sample-plane
+     *  frame (if any) to the transport's free ring first. */
+    void release_job(SubframeJob *job);
+    /** Fold producer-side frame losses into the shed accounting. */
+    void sync_io_stats(const io::FeedStats &stats);
+    /** The sample-plane run loop (config.io.enabled). */
+    RunRecord run_offloaded(workload::ParameterModel &model,
+                            std::size_t n_subframes);
 
     EngineConfig config_;
     InputGenerator input_;
@@ -405,6 +439,14 @@ class StreamingEngine : public Engine
     /** Submitted subframes, oldest first (bounded by max_in_flight). */
     std::deque<SubframeJob *> executing_;
 
+    /** Live only inside run_offloaded(): the frame recycling target
+     *  for release_job().  Null on the inline path. */
+    io::SampleTransport *transport_ = nullptr;
+    /** Producer-side loss/late counts already folded into
+     *  shed_stats_ (consumed deltas of the feed's atomics). */
+    std::uint64_t io_lost_synced_ = 0;
+    std::uint64_t io_late_synced_ = 0;
+
     ShedStats shed_stats_;
 
     /** Tracing state (null unless config.obs.enabled); metrics_ is
@@ -422,6 +464,8 @@ class StreamingEngine : public Engine
     obs::Counter *shed_queue_full_counter_ = nullptr;
     obs::Counter *shed_expired_counter_ = nullptr;
     obs::Counter *degraded_counter_ = nullptr;
+    obs::Counter *io_lost_counter_ = nullptr;
+    obs::Counter *io_late_counter_ = nullptr;
     const std::chrono::steady_clock::time_point epoch_ =
         std::chrono::steady_clock::now();
 };

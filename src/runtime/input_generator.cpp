@@ -46,10 +46,30 @@ InputGenerator::random_signal(const phy::UserParams &user)
                 channel::random_user_signal(shape, config_.n_antennas,
                                             rng)));
         }
+        if (config_.fresh) {
+            // Fresh mode draws from its own stream so the pooled
+            // warm-up contents above stay identical to pooled mode.
+            fresh_rngs_.emplace(
+                user.prb,
+                Rng(cell_stream_seed(config_.seed, config_.cell_id) *
+                        0xbf58476d1ce4e5b9ULL +
+                    user.prb));
+        }
     }
     auto &cursor = cursors_[user.prb];
-    const phy::UserSignal *signal = pool[cursor % pool.size()].get();
+    phy::UserSignal *signal = pool[cursor % pool.size()].get();
     cursor = (cursor + 1) % pool.size();
+    if (config_.fresh) {
+        // New IQ every request, written into the entry the cursor just
+        // granted.  Cycling through pool_size entries preserves the
+        // pooled-mode guarantee that concurrently in-flight subframes
+        // never share (and thus never race on) a buffer.
+        phy::UserParams shape;
+        shape.prb = user.prb;
+        channel::random_user_signal_into(shape, config_.n_antennas,
+                                         fresh_rngs_.at(user.prb),
+                                         *signal);
+    }
     return signal;
 }
 

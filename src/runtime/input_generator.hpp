@@ -24,6 +24,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "phy/params.hpp"
 #include "phy/user_processor.hpp"
 
@@ -34,6 +35,19 @@ struct InputGeneratorConfig
     std::size_t n_antennas = 4;
     /** Unique data sets per allocation size (paper default: ten). */
     std::size_t pool_size = 10;
+    /**
+     * Fresh mode (random pools only): regenerate the cycled pool entry
+     * in place on every request instead of reusing its fixed contents,
+     * modelling a fronthaul that delivers new IQ every TTI.  Per-PRB
+     * draws come from a dedicated deterministic stream, and requests
+     * are always issued from one thread in arrival order, so fresh
+     * runs stay bit-reproducible and engine-independent like pooled
+     * ones.  Regeneration reuses the entry's capacity — steady state
+     * remains allocation-free — but puts real synthesis cost on
+     * whichever thread calls signals_for (the receiver loop inline,
+     * the producer thread on the sample plane).
+     */
+    bool fresh = false;
     bool realistic = false;
     double snr_db = 30.0;
     bool real_turbo = false;
@@ -99,6 +113,8 @@ class InputGenerator
              std::vector<std::unique_ptr<phy::UserSignal>>> pools_;
     /** Round-robin cursor per PRB count. */
     std::map<std::uint32_t, std::size_t> cursors_;
+    /** Fresh-mode regeneration streams, one per PRB count. */
+    std::map<std::uint32_t, Rng> fresh_rngs_;
     std::map<RealisticKey, RealisticEntry> realistic_;
     std::vector<std::uint8_t> empty_bits_;
 };

@@ -44,6 +44,12 @@
 
 #include "runtime/engine.hpp"
 
+namespace lte::io {
+struct IqFrame;
+struct FeedStats;
+class SampleTransport;
+}
+
 namespace lte::runtime {
 
 /** Configuration of the multi-cell engine. */
@@ -205,6 +211,13 @@ class MultiCellEngine
         /** Most recent Eq. 4 estimate (-1 when no estimator). */
         double last_estimate = -1.0;
 
+        /** This lane's sample-plane transport, live only inside
+         *  run_offloaded() (null on the inline path). */
+        io::SampleTransport *transport = nullptr;
+        /** Producer-side loss/late deltas already folded into shed. */
+        std::uint64_t io_lost_synced = 0;
+        std::uint64_t io_late_synced = 0;
+
         /** Cached per-cell counters (null when metrics are off). */
         obs::Counter *submitted_counter = nullptr;
         obs::Counter *completed_counter = nullptr;
@@ -239,6 +252,20 @@ class MultiCellEngine
     void reap_all(MultiCellRunRecord &record);
     /** Block on the globally oldest admitted job, then reap. */
     void drain_one(MultiCellRunRecord &record);
+    /** Release a job to its lane's pool, recycling its sample-plane
+     *  frame (if any) to the lane's free ring first. */
+    void release_job(CellContext &cell, SubframeJob *job);
+    /** Fold one lane's producer-side frame losses into its shed
+     *  accounting. */
+    void sync_io_stats(CellContext &cell, const io::FeedStats &stats);
+    /** Run one popped frame through the lane's admission policy. */
+    void consume_frame(CellContext &cell, io::IqFrame *frame,
+                       MultiCellRunRecord &record);
+    /** The sample-plane run loop (engine.io.enabled): one producer
+     *  thread per cell, admission consumes ready frames. */
+    MultiCellRunRecord
+    run_offloaded(const std::vector<workload::ParameterModel *> &models,
+                  std::size_t n_subframes);
 
     MultiCellConfig config_;
     std::unique_ptr<WorkerPool> pool_;
@@ -267,6 +294,8 @@ class MultiCellEngine
     obs::Counter *subframes_counter_ = nullptr;
     obs::Counter *users_counter_ = nullptr;
     obs::Counter *deadline_miss_counter_ = nullptr;
+    obs::Counter *io_lost_counter_ = nullptr;
+    obs::Counter *io_late_counter_ = nullptr;
     const std::chrono::steady_clock::time_point epoch_ =
         std::chrono::steady_clock::now();
 };

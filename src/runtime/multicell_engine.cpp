@@ -24,7 +24,10 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "io/capture.hpp"
+#include "io/sample_plane.hpp"
 #include "phy/op_model.hpp"
+#include "runtime/sample_source.hpp"
 
 namespace lte::runtime {
 
@@ -111,6 +114,10 @@ MultiCellEngine::MultiCellEngine(const MultiCellConfig &config)
         shed_expired_counter_ =
             &metrics_->counter("engine.shed_expired");
         degraded_counter_ = &metrics_->counter("engine.degraded");
+        if (config_.engine.io.enabled) {
+            io_lost_counter_ = &metrics_->counter("io.lost");
+            io_late_counter_ = &metrics_->counter("io.late");
+        }
     }
     pool_ = std::make_unique<WorkerPool>(config_.engine.pool);
 
@@ -291,7 +298,7 @@ MultiCellEngine::expire_pending(CellContext &cell)
         --total_pending_;
         observe_shed(cell, job->params.subframe_index,
                      /*expired=*/true);
-        cell.job_pool.release(job);
+        release_job(cell, job);
     }
 }
 
@@ -401,7 +408,7 @@ MultiCellEngine::reap_all(MultiCellRunRecord &record)
                 job->params, config_.engine.receiver.n_antennas,
                 phy::decode_model(config_.engine.receiver,
                                   job->degrade_level));
-            cell.job_pool.release(job);
+            release_job(cell, job);
         }
     }
 }
@@ -426,6 +433,60 @@ MultiCellEngine::drain_one(MultiCellRunRecord &record)
     }
     pool_->wait_job(*oldest->executing.front());
     reap_all(record);
+}
+
+void
+MultiCellEngine::release_job(CellContext &cell, SubframeJob *job)
+{
+    if (job->io_frame != nullptr) {
+        // Always on the dispatch thread (reap, drop, expiry), so each
+        // lane's free ring keeps its single producer.
+        LTE_ASSERT(cell.transport != nullptr,
+                   "sample-plane job released outside run_offloaded()");
+        cell.transport->release(job->io_frame);
+        job->io_frame = nullptr;
+    }
+    cell.job_pool.release(job);
+}
+
+void
+MultiCellEngine::sync_io_stats(CellContext &cell,
+                               const io::FeedStats &stats)
+{
+    // Producer-side losses are subframes this lane never saw: folded
+    // into its shed accounting exactly once (shed_queue_full — the
+    // frame pool is the upstream queue), preserving the per-cell
+    // shed + completed == submitted invariant.
+    const std::uint64_t lost =
+        stats.lost.load(std::memory_order_acquire);
+    while (cell.io_lost_synced < lost) {
+        ++cell.io_lost_synced;
+        ++cell.shed.submitted;
+        ++cell.shed.shed;
+        ++cell.shed.shed_queue_full;
+        ++cell.shed.io_lost;
+        if (tracer_) {
+            tracer_->record_instant(
+                dispatch_slot(), obs::SpanKind::kIoLost, obs_now_ns(),
+                obs::make_cell_arg(cell.cell_id, cell.io_lost_synced));
+        }
+        if (metrics_) {
+            submitted_counter_->add();
+            shed_counter_->add();
+            shed_queue_full_counter_->add();
+            io_lost_counter_->add();
+            cell.submitted_counter->add();
+            cell.shed_counter->add();
+        }
+    }
+    const std::uint64_t late =
+        stats.late.load(std::memory_order_acquire);
+    while (cell.io_late_synced < late) {
+        ++cell.io_late_synced;
+        ++cell.shed.io_late;
+        if (metrics_)
+            io_late_counter_->add();
+    }
 }
 
 const SubframeOutcome &
@@ -488,6 +549,9 @@ MultiCellEngine::run(const std::vector<workload::ParameterModel *> &models,
               "need one parameter model per cell");
     for (const auto *model : models)
         LTE_CHECK(model != nullptr, "null parameter model");
+
+    if (config_.engine.io.enabled)
+        return run_offloaded(models, n_subframes);
 
     MultiCellRunRecord record;
     record.cells.resize(cells_.size());
@@ -554,7 +618,7 @@ MultiCellEngine::run(const std::vector<workload::ParameterModel *> &models,
                     --total_pending_;
                     observe_shed(cell, oldest->params.subframe_index,
                                  /*expired=*/false);
-                    cell.job_pool.release(oldest);
+                    release_job(cell, oldest);
                 } else {
                     // kDropNewest / kDegrade: keep the queued work.
                     observe_shed(cell, params.subframe_index,
@@ -596,6 +660,219 @@ MultiCellEngine::run(const std::vector<workload::ParameterModel *> &models,
         const ShedStats &s = cells_[c]->shed;
         LTE_ASSERT(s.shed + s.completed == s.submitted,
                    "admission accounting lost a subframe");
+        record.shed[c] = s;
+    }
+
+    const auto snap = pool_->activity();
+    record.wall_seconds =
+        std::chrono::duration<double>(clock::now() - run_start).count();
+    record.activity = snap.activity(pool_->n_workers());
+    record.total_ops = snap.ops;
+    record.steals = pool_->steals();
+    for (auto &cell_record : record.cells)
+        cell_record.wall_seconds = record.wall_seconds;
+    if (metrics_) {
+        metrics_->gauge("engine.activity").set(record.activity);
+        metrics_->gauge("engine.wall_seconds").set(record.wall_seconds);
+        metrics_->counter("engine.steals").add(record.steals);
+        if (tracer_) {
+            metrics_->gauge("engine.trace_dropped")
+                .set(static_cast<double>(tracer_->total_dropped()));
+        }
+    }
+    return record;
+}
+
+void
+MultiCellEngine::consume_frame(CellContext &cell, io::IqFrame *frame,
+                               MultiCellRunRecord &record)
+{
+    // Replayed captures carry the recorded cell id; this lane serves
+    // its own (the generator source already stamps it at produce).
+    if (config_.engine.io.source == io::SourceKind::kReplay)
+        frame->params.cell_id = cell.cell_id;
+
+    ++cell.shed.submitted;
+    if (metrics_) {
+        submitted_counter_->add();
+        cell.submitted_counter->add();
+    }
+    if (tracer_) {
+        tracer_->record(dispatch_slot(), obs::SpanKind::kIoFrame,
+                        frame->t_arrival_ns, obs_now_ns(),
+                        obs::make_cell_arg(cell.cell_id,
+                                           frame->params.subframe_index));
+    }
+
+    // Same per-lane admission-ring policy as the inline path.
+    bool admit_arrival = true;
+    if (cell.pending.size() >= config_.engine.admission_queue) {
+        if (config_.engine.deadline_ms == 0.0) {
+            // Lossless mode: hold the frame and block until this lane
+            // frees a slot; the WRR drain keeps other lanes moving.
+            while (cell.pending.size() >=
+                   config_.engine.admission_queue) {
+                admit_wrr();
+                if (cell.pending.size() <
+                    config_.engine.admission_queue)
+                    break;
+                drain_one(record);
+            }
+        } else if (config_.engine.shed_policy == ShedPolicy::kDropOldest) {
+            SubframeJob *oldest = cell.pending.front();
+            cell.pending.pop_front();
+            --total_pending_;
+            observe_shed(cell, oldest->params.subframe_index,
+                         /*expired=*/false);
+            release_job(cell, oldest);
+        } else {
+            observe_shed(cell, frame->params.subframe_index,
+                         /*expired=*/false);
+            admit_arrival = false;
+        }
+    }
+
+    if (admit_arrival) {
+        double estimate = -1.0;
+        if (cell.estimator.has_value()) {
+            estimate = cell.estimator->estimate_subframe(
+                frame->params,
+                cell.pending.size() + cell.executing.size());
+        }
+        cell.last_estimate = estimate;
+        SubframeJob *job = cell.job_pool.acquire();
+        // Zero-copy handoff: the job reads the frame's signals in
+        // place; the frame recycles at release_job().
+        job->prepare(frame->params, frame->signals, cell.receiver);
+        job->t_arrival_ns = frame->t_arrival_ns;
+        job->est_activity = estimate;
+        job->io_frame = frame;
+        cell.pending.push_back(job);
+        ++total_pending_;
+    } else {
+        cell.transport->release(frame);
+    }
+}
+
+MultiCellRunRecord
+MultiCellEngine::run_offloaded(
+    const std::vector<workload::ParameterModel *> &models,
+    std::size_t n_subframes)
+{
+    using clock = std::chrono::steady_clock;
+    const io::IoConfig &io_cfg = config_.engine.io;
+
+    MultiCellRunRecord record;
+    record.cells.resize(cells_.size());
+    record.shed.resize(cells_.size());
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        CellContext &cell = *cells_[c];
+        record.cells[c].cell_id = cell.cell_id;
+        record.cells[c].subframes.reserve(n_subframes);
+        cell.shed = ShedStats{};
+        cell.credits = cell.weight;
+        cell.last_estimate = -1.0;
+        cell.io_lost_synced = 0;
+        cell.io_late_synced = 0;
+    }
+    admit_seq_ = 0;
+    rr_next_ = 0;
+    pool_->reset_activity();
+
+    // One sample plane per lane: transport + source + paced feed.
+    // Generator lanes draw their own model on their own producer
+    // thread; replay lanes all replay the configured capture (cell id
+    // re-stamped at consumption).  Recorder taps get per-cell file
+    // names beyond one cell so lanes never share a stream.
+    std::vector<std::unique_ptr<io::SampleTransport>> transports;
+    std::vector<std::unique_ptr<io::SampleSource>> sources;
+    std::vector<std::unique_ptr<io::CaptureWriter>> recorders;
+    std::vector<std::unique_ptr<io::SampleFeed>> feeds;
+    transports.reserve(cells_.size());
+    sources.reserve(cells_.size());
+    recorders.reserve(cells_.size());
+    feeds.reserve(cells_.size());
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        CellContext &cell = *cells_[c];
+        transports.push_back(
+            std::make_unique<io::SampleTransport>(io_cfg.n_frames));
+        cell.transport = transports.back().get();
+        if (io_cfg.source == io::SourceKind::kReplay) {
+            sources.push_back(std::make_unique<io::ReplaySource>(
+                io_cfg.replay_path, /*loop=*/true));
+        } else {
+            sources.push_back(std::make_unique<GeneratorSampleSource>(
+                cell.input, *models[c], cell.cell_id));
+        }
+        if (!io_cfg.record_path.empty()) {
+            std::string path = io_cfg.record_path;
+            if (cells_.size() > 1)
+                path += ".cell" + std::to_string(cell.cell_id);
+            recorders.push_back(std::make_unique<io::CaptureWriter>(
+                path, config_.engine.receiver.n_antennas));
+        } else {
+            recorders.push_back(nullptr);
+        }
+        io::FeedConfig feed_config;
+        feed_config.delta_ms = config_.engine.delta_ms;
+        feed_config.jitter_ms = io_cfg.jitter_ms;
+        feed_config.jitter_seed =
+            cell_stream_seed(io_cfg.jitter_seed, cell.cell_id);
+        feed_config.lossless = config_.engine.deadline_ms == 0.0;
+        feed_config.now_ns = [this] { return obs_now_ns(); };
+        feed_config.recorder = recorders.back().get();
+        feeds.push_back(std::make_unique<io::SampleFeed>(
+            *transports.back(), *sources.back(), feed_config));
+    }
+
+    const auto run_start = clock::now();
+    for (auto &feed : feeds)
+        feed->start(n_subframes);
+
+    // Every (cell, tick) resolves as consumed or lost exactly once,
+    // so all lanes summing to n_cells * n ticks drains everything.
+    const auto resolved = [this] {
+        std::uint64_t n = 0;
+        for (const auto &cell : cells_)
+            n += cell->shed.completed + cell->shed.shed;
+        return n;
+    };
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(n_subframes) * cells_.size();
+
+    while (resolved() < target) {
+        reap_all(record);
+        bool any = false;
+        for (std::size_t c = 0; c < cells_.size(); ++c) {
+            CellContext &cell = *cells_[c];
+            sync_io_stats(cell, feeds[c]->stats());
+            io::IqFrame *frame = cell.transport->try_pop_ready();
+            if (frame == nullptr)
+                continue;
+            any = true;
+            consume_frame(cell, frame, record);
+        }
+        update_active_workers();
+        admit_wrr();
+        if (!any)
+            std::this_thread::yield();
+    }
+
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        feeds[c]->stop();
+        sync_io_stats(*cells_[c], feeds[c]->stats());
+    }
+    LTE_ASSERT(total_pending_ == 0 && total_executing_ == 0,
+               "ticks resolved but jobs remain in flight");
+
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+        CellContext &cell = *cells_[c];
+        cell.transport = nullptr;
+        const ShedStats &s = cell.shed;
+        LTE_ASSERT(s.shed + s.completed == s.submitted,
+                   "admission accounting lost a subframe");
+        LTE_ASSERT(s.submitted == n_subframes,
+                   "sample plane lost track of a tick");
         record.shed[c] = s;
     }
 

@@ -27,8 +27,11 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "io/capture.hpp"
+#include "io/sample_plane.hpp"
 #include "phy/kernel_scratch.hpp"
 #include "phy/op_model.hpp"
+#include "runtime/sample_source.hpp"
 
 namespace lte::runtime {
 
@@ -64,6 +67,10 @@ StreamingEngine::StreamingEngine(const EngineConfig &config)
         shed_expired_counter_ =
             &metrics_->counter("engine.shed_expired");
         degraded_counter_ = &metrics_->counter("engine.degraded");
+        if (config_.io.enabled) {
+            io_lost_counter_ = &metrics_->counter("io.lost");
+            io_late_counter_ = &metrics_->counter("io.late");
+        }
     }
     pool_ = std::make_unique<WorkerPool>(config_.pool);
 }
@@ -176,6 +183,58 @@ StreamingEngine::observe_shed(std::uint64_t subframe_index, bool expired)
 }
 
 void
+StreamingEngine::release_job(SubframeJob *job)
+{
+    if (job->io_frame != nullptr) {
+        // This runs on the dispatch thread for every release site
+        // (reap, drop, expiry), so the free ring keeps its single
+        // producer.
+        LTE_ASSERT(transport_ != nullptr,
+                   "sample-plane job released outside run_offloaded()");
+        transport_->release(job->io_frame);
+        job->io_frame = nullptr;
+    }
+    job_pool_.release(job);
+}
+
+void
+StreamingEngine::sync_io_stats(const io::FeedStats &stats)
+{
+    // A lost tick is a subframe the receiver never saw: the producer
+    // dropped it at the source because the frame pool (the upstream
+    // queue) was exhausted.  Fold each one into the shed accounting
+    // exactly once so shed + completed == submitted still holds.
+    const std::uint64_t lost =
+        stats.lost.load(std::memory_order_acquire);
+    while (io_lost_synced_ < lost) {
+        ++io_lost_synced_;
+        ++shed_stats_.submitted;
+        ++shed_stats_.shed;
+        ++shed_stats_.shed_queue_full;
+        ++shed_stats_.io_lost;
+        if (tracer_) {
+            tracer_->record_instant(dispatch_slot(),
+                                    obs::SpanKind::kIoLost,
+                                    obs_now_ns(), io_lost_synced_);
+        }
+        if (metrics_) {
+            submitted_counter_->add();
+            shed_counter_->add();
+            shed_queue_full_counter_->add();
+            io_lost_counter_->add();
+        }
+    }
+    const std::uint64_t late =
+        stats.late.load(std::memory_order_acquire);
+    while (io_late_synced_ < late) {
+        ++io_late_synced_;
+        ++shed_stats_.io_late;
+        if (metrics_)
+            io_late_counter_->add();
+    }
+}
+
+void
 StreamingEngine::admit_pending()
 {
     while (!pending_.empty()) {
@@ -186,7 +245,7 @@ StreamingEngine::admit_pending()
             // Expired in the queue: nothing useful left to compute.
             pending_.pop_front();
             observe_shed(job->params.subframe_index, /*expired=*/true);
-            job_pool_.release(job);
+            release_job(job);
             continue;
         }
         if (executing_.size() >= config_.max_in_flight)
@@ -245,7 +304,7 @@ StreamingEngine::reap_completed(RunRecord &record)
         executing_.pop_front();
         observe_completion(*job, obs_now_ns());
         record.subframes.push_back(collect(*job));
-        job_pool_.release(job);
+        release_job(job);
     }
 }
 
@@ -302,6 +361,9 @@ StreamingEngine::run(workload::ParameterModel &model,
 {
     using clock = std::chrono::steady_clock;
 
+    if (config_.io.enabled)
+        return run_offloaded(model, n_subframes);
+
     RunRecord record;
     record.cell_id = config_.receiver.cell_id;
     record.subframes.reserve(n_subframes);
@@ -347,7 +409,7 @@ StreamingEngine::run(workload::ParameterModel &model,
                 pending_.pop_front();
                 observe_shed(oldest->params.subframe_index,
                              /*expired=*/false);
-                job_pool_.release(oldest);
+                release_job(oldest);
             } else {
                 // kDropNewest / kDegrade: keep the queued work.  For
                 // kDegrade this is what lets jobs age toward the
@@ -382,6 +444,155 @@ StreamingEngine::run(workload::ParameterModel &model,
     LTE_ASSERT(shed_stats_.shed + shed_stats_.completed ==
                    shed_stats_.submitted,
                "admission accounting lost a subframe");
+
+    const auto snap = pool_->activity();
+    record.wall_seconds =
+        std::chrono::duration<double>(clock::now() - run_start).count();
+    record.activity = snap.activity(pool_->n_workers());
+    record.total_ops = snap.ops;
+    record.steals = pool_->steals();
+    if (metrics_) {
+        metrics_->gauge("engine.activity").set(record.activity);
+        metrics_->gauge("engine.wall_seconds").set(record.wall_seconds);
+        metrics_->counter("engine.steals").add(record.steals);
+        if (tracer_) {
+            metrics_->gauge("engine.trace_dropped")
+                .set(static_cast<double>(tracer_->total_dropped()));
+        }
+    }
+    return record;
+}
+
+RunRecord
+StreamingEngine::run_offloaded(workload::ParameterModel &model,
+                               std::size_t n_subframes)
+{
+    using clock = std::chrono::steady_clock;
+
+    RunRecord record;
+    record.cell_id = config_.receiver.cell_id;
+    record.subframes.reserve(n_subframes);
+    shed_stats_ = ShedStats{};
+    io_lost_synced_ = 0;
+    io_late_synced_ = 0;
+    pool_->reset_activity();
+
+    // Assemble the sample plane: source -> feed -> transport.  The
+    // generator source runs this engine's own InputGenerator on the
+    // producer thread, drawing the model in inline order; replay
+    // loops a capture so overload runs outlast the recording.
+    GeneratorSampleSource generator_source(input_, model);
+    std::unique_ptr<io::ReplaySource> replay_source;
+    io::SampleSource *source = &generator_source;
+    if (config_.io.source == io::SourceKind::kReplay) {
+        replay_source = std::make_unique<io::ReplaySource>(
+            config_.io.replay_path, /*loop=*/true);
+        source = replay_source.get();
+    }
+    std::unique_ptr<io::CaptureWriter> recorder;
+    if (!config_.io.record_path.empty()) {
+        recorder = std::make_unique<io::CaptureWriter>(
+            config_.io.record_path, config_.receiver.n_antennas);
+    }
+
+    io::SampleTransport transport(config_.io.n_frames);
+    transport_ = &transport;
+    io::FeedConfig feed_config;
+    feed_config.delta_ms = config_.delta_ms;
+    feed_config.jitter_ms = config_.io.jitter_ms;
+    feed_config.jitter_seed = config_.io.jitter_seed;
+    feed_config.lossless = config_.deadline_ms == 0.0;
+    feed_config.now_ns = [this] { return obs_now_ns(); };
+    feed_config.recorder = recorder.get();
+    io::SampleFeed feed(transport, *source, feed_config);
+
+    const auto run_start = clock::now();
+    feed.start(n_subframes);
+
+    // The consumer loop: every tick resolves as exactly one of
+    // consumed (-> completed or shed downstream) or lost at the
+    // source, so this sum reaching n_subframes drains everything.
+    while (shed_stats_.completed + shed_stats_.shed < n_subframes) {
+        reap_completed(record);
+        sync_io_stats(feed.stats());
+
+        io::IqFrame *frame = transport.try_pop_ready();
+        if (frame == nullptr) {
+            // Nothing arrived: keep queue ages honest (expiry,
+            // degrade marks) and give the pool a breath.
+            admit_pending();
+            std::this_thread::yield();
+            continue;
+        }
+
+        ++shed_stats_.submitted;
+        if (metrics_)
+            submitted_counter_->add();
+        if (tracer_) {
+            // Ready-ring residence: produced at t_arrival, consumed
+            // now.  The deadline clock has been running since the
+            // producer stamp, so this span is budget already spent.
+            tracer_->record(dispatch_slot(), obs::SpanKind::kIoFrame,
+                            frame->t_arrival_ns, obs_now_ns(),
+                            frame->params.subframe_index);
+        }
+
+        // Same admission-ring policy as the inline path; the arrival
+        // is the frame instead of a freshly synthesized subframe.
+        bool admit_arrival = true;
+        if (pending_.size() >= config_.admission_queue) {
+            if (config_.deadline_ms == 0.0) {
+                // Lossless mode: hold the frame and block until the
+                // pipeline frees a slot (backpressure reaches the
+                // producer through free-ring exhaustion too).
+                while (pending_.size() >= config_.admission_queue) {
+                    admit_pending();
+                    if (pending_.size() < config_.admission_queue)
+                        break;
+                    drain_one(record);
+                }
+            } else if (config_.shed_policy == ShedPolicy::kDropOldest) {
+                SubframeJob *oldest = pending_.front();
+                pending_.pop_front();
+                observe_shed(oldest->params.subframe_index,
+                             /*expired=*/false);
+                release_job(oldest);
+            } else {
+                observe_shed(frame->params.subframe_index,
+                             /*expired=*/false);
+                admit_arrival = false;
+            }
+        }
+
+        if (admit_arrival) {
+            const double estimate = apply_estimator(
+                frame->params, pending_.size() + executing_.size());
+            SubframeJob *job = job_pool_.acquire();
+            // Zero-copy handoff: the job reads the frame's signal
+            // pointers in place; the frame recycles at release_job().
+            job->prepare(frame->params, frame->signals,
+                         config_.receiver);
+            job->t_arrival_ns = frame->t_arrival_ns;
+            job->est_activity = estimate;
+            job->io_frame = frame;
+            pending_.push_back(job);
+        } else {
+            transport.release(frame);
+        }
+        admit_pending();
+    }
+
+    LTE_ASSERT(pending_.empty() && executing_.empty(),
+               "ticks resolved but jobs remain in flight");
+    feed.stop();
+    sync_io_stats(feed.stats());
+    transport_ = nullptr;
+
+    LTE_ASSERT(shed_stats_.shed + shed_stats_.completed ==
+                   shed_stats_.submitted,
+               "admission accounting lost a subframe");
+    LTE_ASSERT(shed_stats_.submitted == n_subframes,
+               "sample plane lost track of a tick");
 
     const auto snap = pool_->activity();
     record.wall_seconds =

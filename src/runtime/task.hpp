@@ -30,6 +30,10 @@
 #include "phy/user_processor.hpp"
 #include "runtime/run_record.hpp"
 
+namespace lte::io {
+struct IqFrame;
+}
+
 namespace lte::runtime {
 
 struct SubframeJob;
@@ -181,6 +185,14 @@ struct SubframeJob
     phy::DegradeLevel degrade_level = phy::DegradeLevel::kNone;
     /** Processed with a degraded receive chain (any ladder level). */
     bool degraded = false;
+    /**
+     * Sample-plane frame whose signals this job reads (null on the
+     * inline-synthesis path).  The engine recycles it to the
+     * transport's free ring wherever it releases the job — completion
+     * reap, queue-full drop or expiry — always from the dispatch
+     * thread, keeping the free ring single-producer.
+     */
+    io::IqFrame *io_frame = nullptr;
 
     /**
      * (Re)bind the job to a subframe: pools UserWork objects (growing
@@ -197,6 +209,7 @@ struct SubframeJob
         n_users = subframe.users.size();
         degrade_level = phy::DegradeLevel::kNone;
         degraded = false;
+        io_frame = nullptr;
         while (users.size() < n_users)
             users.push_back(std::make_unique<UserWork>(receiver));
         results.resize(n_users);

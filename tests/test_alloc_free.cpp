@@ -21,7 +21,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <optional>
+#include <thread>
 
+#include "io/sample_plane.hpp"
+#include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/multicell.hpp"
 
@@ -358,6 +362,130 @@ TEST(AllocFree, MultiCellEngineSteadyStateDoesNotAllocate)
 TEST(AllocFree, MultiCellEngineTracingEnabledDoesNotAllocate)
 {
     expect_zero_alloc_multicell(true);
+}
+
+/**
+ * Sample source that regenerates one user's signal in place — the
+ * steady-state contract of SampleSource::produce: after shapes have
+ * been seen once, filling a recycled frame touches no heap.
+ */
+class InPlaceSource : public io::SampleSource
+{
+  public:
+    bool
+    produce(io::IqFrame &frame) override
+    {
+        frame.params.subframe_index = count_;
+        frame.params.cell_id = 1;
+        frame.params.users.resize(1);
+        phy::UserParams &u = frame.params.users[0];
+        u.id = 0;
+        u.prb = 25;
+        u.layers = 2;
+        u.mod = Modulation::k16Qam;
+        frame.storage.resize(1);
+        phy::UserSignal &sig = frame.storage[0];
+        sig.antennas.resize(2);
+        const std::size_t n_sc = u.prb * kScPerPrb;
+        for (auto &ant : sig.antennas)
+            for (auto &slot : ant.slots)
+                for (auto &symbol : slot) {
+                    symbol.resize(n_sc);
+                    // Deterministic non-trivial payload so the test
+                    // proves real writes cross the ring, not just
+                    // pointer traffic.
+                    for (std::size_t k = 0; k < n_sc; ++k)
+                        symbol[k] = cf32(
+                            static_cast<float>(count_ + k), 0.5f);
+                }
+        frame.signals.resize(1);
+        frame.signals[0] = &frame.storage[0];
+        ++count_;
+        return true;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+void
+expect_zero_alloc_sample_plane(bool tracing)
+{
+    // The tentpole's own invariant: with a real producer thread
+    // pacing frames through the transport, the steady state moves
+    // only pointers — neither side of the ring may allocate once all
+    // pooled frames have seen their shapes.  The optional tracing
+    // variant proves the engines' kIoFrame span recording rides along
+    // without breaking the guarantee (spans go to preallocated rings).
+    io::SampleTransport transport(4);
+    InPlaceSource source;
+    io::FeedConfig cfg;
+    cfg.lossless = true;
+    io::SampleFeed feed(transport, source, cfg);
+
+    obs::ObsConfig obs_cfg;
+    obs_cfg.enabled = true;
+    std::optional<obs::Tracer> tracer;
+    if (tracing)
+        tracer.emplace(/*n_slots=*/1, obs_cfg);
+
+    const std::uint64_t warm = 8, measured = 20;
+    feed.start(warm + measured);
+
+    auto consume = [&](std::uint64_t n, std::uint64_t first) {
+        std::uint64_t seen = 0;
+        std::uint64_t checksum = 0;
+        while (seen < n) {
+            io::IqFrame *frame = transport.try_pop_ready();
+            if (frame == nullptr) {
+                std::this_thread::yield();
+                continue;
+            }
+            EXPECT_EQ(frame->params.subframe_index, first + seen);
+            checksum += static_cast<std::uint64_t>(
+                frame->storage[0].antennas[0].slots[0][0][0].real());
+            if (tracing)
+                tracer->record(/*slot=*/0, obs::SpanKind::kIoFrame,
+                               frame->t_arrival_ns,
+                               frame->t_arrival_ns + 1,
+                               frame->params.subframe_index);
+            transport.release(frame);
+            ++seen;
+        }
+        return checksum;
+    };
+
+    // Warm-up: every pooled frame cycles at least once, so each has
+    // grown its storage to the steady shape.
+    const std::uint64_t warm_sum = consume(warm, 0);
+    EXPECT_GT(warm_sum, 0u);
+
+    const std::size_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const std::uint64_t sum = consume(measured, warm);
+    const std::size_t after =
+        g_alloc_count.load(std::memory_order_relaxed);
+
+    feed.stop();
+    EXPECT_EQ(after - before, 0u)
+        << "sample plane allocated " << (after - before)
+        << " times during " << measured << " steady-state frames";
+    EXPECT_GT(sum, 0u);
+    EXPECT_EQ(feed.stats().produced.load(), warm + measured);
+    EXPECT_EQ(feed.stats().lost.load(), 0u);
+    if (tracing) {
+        EXPECT_GE(tracer->total_recorded(), measured);
+    }
+}
+
+TEST(AllocFree, SamplePlaneProducerSteadyStateDoesNotAllocate)
+{
+    expect_zero_alloc_sample_plane(false);
+}
+
+TEST(AllocFree, SamplePlaneProducerTracingDoesNotAllocate)
+{
+    expect_zero_alloc_sample_plane(true);
 }
 
 TEST(AllocFree, CounterSeesAllocations)
