@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Closed-loop MAC study: the scheduler of src/mac/ driving a streaming
+ * engine through the GrantModel/feedback seam, compared across the
+ * three grant policies, plus the link-adaptation A/B the paper's
+ * operator story depends on.
+ *
+ * Sections:
+ *   1. policy table — round-robin / proportional-fair / deadline-EDF
+ *      each run the same overloaded cell through a real streaming
+ *      engine (grants in, receiver feedback back); the table reports
+ *      goodput, deadline misses, HARQ residual rate and the two
+ *      conservation gates (engine: shed + completed == submitted,
+ *      MAC: offered == delivered + residual).
+ *   2. adaptation A/B — a channel degrading at a fixed dB/TTI rate,
+ *      CQI+OLLA+HARQ adaptation against a fixed-MCS baseline, with
+ *      the residual-error trajectory bucketed over the run.
+ *   3. 10k-UE population — scheduler cost per TTI at the paper's
+ *      city-cell scale (the active-list design keeps mostly-idle
+ *      UEs off the hot path).
+ *
+ * LTE_MAC=rr|pf|edf restricts section 1 to one policy (the CI sweep
+ * uses this to exercise each policy on a separate leg).
+ */
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mac/grant_model.hpp"
+#include "mac/scheduler.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace lte;
+
+/** The shared cell: modest population under ~2x traffic overload. */
+mac::MacConfig
+cell_config(mac::SchedulerPolicy policy, std::uint64_t seed)
+{
+    mac::MacConfig cfg;
+    cfg.seed = seed;
+    cfg.n_ues = 256;
+    cfg.policy = policy;
+    cfg.arrival_rate = 8.0;
+    cfg.burst_mean = 3.0;
+    cfg.packet_bits = 4096;
+    cfg.deadline_ttis = 40;
+    cfg.snr_mean_db = 12.0f;
+    return cfg;
+}
+
+/** Immediate modelled feedback loop (no engine): MAC-only studies. */
+void
+run_modelled_loop(mac::MacScheduler &sched, std::size_t ttis,
+                  std::size_t *grant_ttis = nullptr)
+{
+    phy::SubframeParams sf;
+    for (std::size_t t = 0; t < ttis; ++t) {
+        sched.next_tti_into(sf);
+        if (sf.users.empty())
+            continue;
+        if (grant_ttis)
+            ++*grant_ttis;
+        runtime::SubframeOutcome outcome;
+        outcome.subframe_index = sf.subframe_index;
+        outcome.cell_id = sf.cell_id;
+        for (const phy::UserParams &user : sf.users) {
+            runtime::UserOutcome u;
+            u.user_id = user.id;
+            u.crc_ok = false;
+            u.crc_modelled = true; // estimator draws the modelled BLER
+            u.evm_rms = 0.0f;
+            outcome.users.push_back(u);
+        }
+        sched.on_subframe_complete(outcome, phy::DegradeLevel::kNone);
+    }
+}
+
+void
+run_policy_table(const bench::BenchArgs &args, std::size_t n_ttis)
+{
+    std::vector<mac::SchedulerPolicy> policies = {
+        mac::SchedulerPolicy::kRoundRobin,
+        mac::SchedulerPolicy::kProportionalFair,
+        mac::SchedulerPolicy::kDeadlineEdf,
+    };
+    if (const char *env = std::getenv("LTE_MAC")) {
+        policies = {mac::parse_scheduler_policy(env)};
+        std::cout << "LTE_MAC=" << env << ": restricting to "
+                  << mac::scheduler_policy_name(policies[0]) << "\n";
+    }
+
+    std::cout << "== closed loop vs streaming engine ("
+              << n_ttis << " TTIs, 256 UEs) ==\n";
+    report::TextTable table({"policy", "grants", "retx",
+                             "goodput Mb/TTIk", "miss %", "residual %",
+                             "shed", "conserved"});
+    for (const mac::SchedulerPolicy policy : policies) {
+        mac::MacScheduler sched(cell_config(policy, args.seed));
+        mac::GrantModel model(sched);
+
+        runtime::EngineConfig cfg;
+        cfg.kind = runtime::EngineKind::kStreaming;
+        cfg.pool.n_workers = 4;
+        cfg.input.pool_size = 2;
+        cfg.input.seed = args.seed;
+        cfg.max_in_flight = 4;
+        cfg.admission_queue = 8;
+        cfg.delta_ms = 0.05;
+        cfg.deadline_ms = 4.0;
+        cfg.shed_policy = runtime::ShedPolicy::kDropOldest;
+        cfg.feedback = &sched;
+        auto engine = runtime::make_engine(cfg);
+
+        const runtime::RunRecord record = engine->run(model, n_ttis);
+        sched.finalize();
+
+        const auto &shed =
+            dynamic_cast<runtime::StreamingEngine &>(*engine)
+                .shed_stats();
+        const mac::MacStats stats = sched.stats();
+        const bool engine_ok =
+            shed.submitted == n_ttis &&
+            shed.completed + shed.shed == shed.submitted &&
+            record.subframes.size() == shed.completed;
+        const bool ok = engine_ok && stats.conserved();
+
+        // One TTI is 1 ms of air time: Mbit per 1000 TTIs == Mb/s.
+        const double goodput =
+            stats.ttis
+                ? static_cast<double>(stats.delivered_bits) /
+                      static_cast<double>(stats.ttis) / 1e3
+                : 0.0;
+        const double miss =
+            stats.packets_arrived
+                ? 100.0 *
+                      static_cast<double>(stats.deadline_drops +
+                                          stats.overflow_drops) /
+                      static_cast<double>(stats.packets_arrived)
+                : 0.0;
+        const double residual =
+            stats.offered_tbs
+                ? 100.0 * static_cast<double>(stats.residual_tbs) /
+                      static_cast<double>(stats.offered_tbs)
+                : 0.0;
+
+        table.add_row({mac::scheduler_policy_name(policy),
+                       std::to_string(stats.grants),
+                       std::to_string(stats.retx_grants),
+                       report::fmt(goodput, 2), report::fmt(miss, 2),
+                       report::fmt(residual, 2),
+                       std::to_string(shed.shed), ok ? "yes" : "NO"});
+
+        std::cout << "mac: policy="
+                  << mac::scheduler_policy_name(policy)
+                  << " ttis=" << stats.ttis
+                  << " grants=" << stats.grants
+                  << " retx=" << stats.retx_grants
+                  << " offered_tbs=" << stats.offered_tbs
+                  << " delivered_tbs=" << stats.delivered_tbs
+                  << " residual_tbs=" << stats.residual_tbs
+                  << " goodput_mbps=" << report::fmt(goodput, 3)
+                  << " miss_pct=" << report::fmt(miss, 3)
+                  << " residual_pct=" << report::fmt(residual, 3)
+                  << " submitted=" << shed.submitted
+                  << " completed=" << shed.completed
+                  << " shed=" << shed.shed
+                  << " conserved=" << (ok ? 1 : 0) << "\n";
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+run_adaptation_ab(const bench::BenchArgs &args, std::size_t n_ttis)
+{
+    std::cout << "== link adaptation A/B on a degrading channel ("
+              << n_ttis << " TTIs, 16 dB -> "
+              << report::fmt(16.0 - 0.005 * static_cast<double>(n_ttis),
+                             1)
+              << " dB) ==\n";
+
+    mac::MacConfig adaptive = cell_config(
+        mac::SchedulerPolicy::kRoundRobin, args.seed);
+    adaptive.n_ues = 64;
+    adaptive.arrival_rate = 4.0;
+    adaptive.snr_mean_db = 16.0f;
+    adaptive.snr_spread_db = 1.0f;
+    adaptive.snr_drift_db_per_tti = -0.005f;
+    mac::MacConfig fixed = adaptive;
+    fixed.adapt = false;
+    fixed.fixed_mcs = 7; // 64QAM-754: fine at 16 dB, hopeless later
+
+    mac::MacScheduler sched_a(adaptive);
+    mac::MacScheduler sched_f(fixed);
+
+    const std::size_t buckets = 8;
+    const std::size_t bucket_ttis = n_ttis / buckets;
+    report::TextTable table({"TTI window", "snr dB", "adapt res %",
+                             "fixed res %", "adapt Mb/TTIk",
+                             "fixed Mb/TTIk"});
+    mac::MacStats prev_a;
+    mac::MacStats prev_f;
+    for (std::size_t b = 0; b < buckets; ++b) {
+        run_modelled_loop(sched_a, bucket_ttis);
+        run_modelled_loop(sched_f, bucket_ttis);
+        const mac::MacStats a = sched_a.stats();
+        const mac::MacStats f = sched_f.stats();
+        const auto rate = [](std::uint64_t off_now, std::uint64_t off_prev,
+                             std::uint64_t res_now,
+                             std::uint64_t res_prev) {
+            const std::uint64_t off = off_now - off_prev;
+            return off ? 100.0 *
+                             static_cast<double>(res_now - res_prev) /
+                             static_cast<double>(off)
+                       : 0.0;
+        };
+        const double res_a = rate(a.offered_tbs, prev_a.offered_tbs,
+                                  a.residual_tbs, prev_a.residual_tbs);
+        const double res_f = rate(f.offered_tbs, prev_f.offered_tbs,
+                                  f.residual_tbs, prev_f.residual_tbs);
+        const double thr_a =
+            static_cast<double>(a.delivered_bits -
+                                prev_a.delivered_bits) /
+            static_cast<double>(bucket_ttis) / 1e3;
+        const double thr_f =
+            static_cast<double>(f.delivered_bits -
+                                prev_f.delivered_bits) /
+            static_cast<double>(bucket_ttis) / 1e3;
+        const double snr =
+            16.0 - 0.005 * static_cast<double>((b + 1) * bucket_ttis);
+        table.add_row({std::to_string(b * bucket_ttis) + "-" +
+                           std::to_string((b + 1) * bucket_ttis),
+                       report::fmt(snr, 1), report::fmt(res_a, 2),
+                       report::fmt(res_f, 2), report::fmt(thr_a, 2),
+                       report::fmt(thr_f, 2)});
+        std::cout << "adapt-ab: bucket=" << b
+                  << " snr_db=" << report::fmt(snr, 2)
+                  << " adaptive_residual_pct=" << report::fmt(res_a, 3)
+                  << " fixed_residual_pct=" << report::fmt(res_f, 3)
+                  << " adaptive_goodput=" << report::fmt(thr_a, 3)
+                  << " fixed_goodput=" << report::fmt(thr_f, 3) << "\n";
+        prev_a = a;
+        prev_f = f;
+    }
+    sched_a.finalize();
+    sched_f.finalize();
+    const mac::MacStats a = sched_a.stats();
+    const mac::MacStats f = sched_f.stats();
+    std::cout << "\n";
+    table.print(std::cout);
+    const double total_a =
+        a.offered_tbs ? 100.0 * static_cast<double>(a.residual_tbs) /
+                            static_cast<double>(a.offered_tbs)
+                      : 0.0;
+    const double total_f =
+        f.offered_tbs ? 100.0 * static_cast<double>(f.residual_tbs) /
+                            static_cast<double>(f.offered_tbs)
+                      : 0.0;
+    std::cout << "\ntotal residual: adaptive "
+              << report::fmt(total_a, 2) << "% vs fixed "
+              << report::fmt(total_f, 2) << "%  (both conserved: "
+              << (a.conserved() && f.conserved() ? "yes" : "NO")
+              << ")\n"
+              << "adapt-ab: total adaptive_residual_pct="
+              << report::fmt(total_a, 3)
+              << " fixed_residual_pct=" << report::fmt(total_f, 3)
+              << " conserved="
+              << (a.conserved() && f.conserved() ? 1 : 0) << "\n\n";
+}
+
+void
+run_population_scale(const bench::BenchArgs &args, std::size_t n_ttis)
+{
+    std::cout << "== 10k-UE population (modelled loop, " << n_ttis
+              << " TTIs) ==\n";
+    mac::MacConfig cfg =
+        cell_config(mac::SchedulerPolicy::kProportionalFair, args.seed);
+    cfg.n_ues = 10000;
+    cfg.arrival_rate = 12.0;
+    mac::MacScheduler sched(cfg);
+
+    // Warm the arrival/active-list state before timing.
+    run_modelled_loop(sched, n_ttis / 4);
+    const auto t0 = std::chrono::steady_clock::now();
+    run_modelled_loop(sched, n_ttis);
+    const auto t1 = std::chrono::steady_clock::now();
+    sched.finalize();
+
+    const double tti_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(n_ttis);
+    const mac::MacStats stats = sched.stats();
+    std::cout << "scheduler cost: " << report::fmt(tti_us, 2)
+              << " us/TTI with " << sched.active_ues()
+              << " UEs active of " << cfg.n_ues << " ("
+              << stats.packets_arrived << " packets, conservation "
+              << (stats.conserved() ? "holds" : "VIOLATED") << ")\n"
+              << "scale: n_ues=" << cfg.n_ues << " ttis=" << stats.ttis
+              << " tti_us=" << report::fmt(tti_us, 3)
+              << " active_ues=" << sched.active_ues()
+              << " packets=" << stats.packets_arrived
+              << " offered_tbs=" << stats.offered_tbs
+              << " conserved=" << (stats.conserved() ? 1 : 0) << "\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lte;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_banner("Closed-loop MAC scheduler above the PHY",
+                        args);
+
+    const std::size_t engine_ttis = args.full ? 2000 : 600;
+    const std::size_t ab_ttis = args.full ? 8000 : 4000;
+    const std::size_t scale_ttis = args.full ? 4000 : 1000;
+
+    run_policy_table(args, engine_ttis);
+    run_adaptation_ab(args, ab_ttis);
+    run_population_scale(args, scale_ttis);
+    return 0;
+}

@@ -422,7 +422,7 @@ run_io_offload_comparison(std::uint64_t seed, bool full)
                            report::fmt(rate, 1), report::fmt(p50, 2),
                            report::fmt(p99, 2),
                            report::fmt(record.wall_seconds, 2)});
-            // Machine-readable line for results/BENCH_pr8.json.
+            // Machine-readable line for results/BENCH_pr9.json.
             std::cout << "io-ab: cells=" << n_cells << " input="
                       << label << " n=" << n_subframes
                       << " completed=" << completed << " shed=" << shed
@@ -438,15 +438,14 @@ run_io_offload_comparison(std::uint64_t seed, bool full)
     std::cout << "offloading the synthesis frees the dispatch loop to "
                  "admit/reap, so the\noffloaded rows complete more "
                  "subframes per second (or hold a lower p99)\nat "
-                 "identical offered load — provided the host grants "
-                 "the producer\nthreads their own cores.  On a host "
-                 "with fewer cores than cells +\nworkers, the extra "
-                 "producer threads instead time-slice against the\n"
-                 "worker pool and the multi-cell offloaded rows give "
-                 "the effect back;\nthe per-cell comparison is only "
-                 "meaningful where the hardware can\nactually run the "
-                 "fronthaul concurrently (host has "
-              << std::thread::hardware_concurrency() << " cores).\n";
+                 "identical offered load.  Multi-cell runs share ONE "
+                 "paced producer\nthread (MultiSampleFeed) that "
+                 "round-robins frame synthesis across the\ncells, so "
+                 "the offloaded fronthaul costs a single extra core "
+                 "regardless\nof cell count instead of oversubscribing "
+                 "the host with one free-running\nthread per cell "
+                 "(host has " << std::thread::hardware_concurrency()
+              << " cores).\n";
 }
 
 } // namespace

@@ -55,6 +55,19 @@ for source in generator replay; do
     LTE_IO_SOURCE="${source}" ./build/tests/test_io
 done
 
+# MAC policy sweep: the closed-loop suite honours LTE_MAC, so the same
+# binary proves grant conservation (offered == delivered + residual)
+# with each scheduler policy driving a live streaming engine.  The
+# LTE_MAC_IO=offload leg additionally draws grants on the sample-plane
+# producer thread while completion feedback lands on the dispatch
+# thread — the genuinely concurrent closed-loop shape.
+for policy in rr pf edf; do
+    echo "==> release MAC policy sweep (LTE_MAC=${policy})"
+    LTE_MAC="${policy}" ./build/tests/test_mac
+done
+echo "==> release MAC offloaded-io leg (LTE_MAC=pf LTE_MAC_IO=offload)"
+LTE_MAC=pf LTE_MAC_IO=offload ./build/tests/test_mac
+
 run_preset asan
 # The tsan test preset filters to the concurrency/runtime suites (see
 # CMakePresets.json): pool interleavings, trace-ring export races, the

@@ -212,6 +212,76 @@ class SampleFeed
     std::atomic<bool> finished_{false};
 };
 
+/** One lane of a MultiSampleFeed: a cell's transport + source pair,
+ *  plus the per-lane delivery knobs that FeedConfig cannot share. */
+struct FeedLane
+{
+    SampleTransport *transport = nullptr;
+    SampleSource *source = nullptr;
+    /** Optional per-lane recorder tap (runs on the producer thread). */
+    CaptureWriter *recorder = nullptr;
+    /** Per-lane jitter stream so staggered cells stay decorrelated. */
+    std::uint64_t jitter_seed = 1;
+};
+
+/**
+ * One producer thread pacing N cell lanes on a shared TTI grid.
+ *
+ * Running one free-running SampleFeed thread per cell oversubscribes
+ * a core as soon as n_cells producers yield-spin toward the same tick
+ * — the 2/4-cell offloaded rows of bench/streaming_overload measured
+ * producer scheduling noise, not receiver capacity.  This feed walks
+ * the grid once: each tick it draws every lane's jittered delivery
+ * time, visits the lanes in that order (sleeping toward each), and
+ * produces into the lane's own transport, so the SPSC single-producer
+ * contract per ring is kept by construction and the host spends one
+ * pacing loop regardless of cell count.
+ *
+ * delta_ms / jitter_ms / lossless / now_ns come from the shared
+ * FeedConfig (FeedConfig::jitter_seed and ::recorder are ignored —
+ * they are per-lane here).  In lossless mode a stalled lane blocks
+ * the whole producer, which is exactly the backpressure semantics of
+ * the shared grid: no lane's stream may advance past a tick another
+ * lane still owes.
+ */
+class MultiSampleFeed
+{
+  public:
+    MultiSampleFeed(std::vector<FeedLane> lanes, FeedConfig config);
+    ~MultiSampleFeed();
+
+    MultiSampleFeed(const MultiSampleFeed &) = delete;
+    MultiSampleFeed &operator=(const MultiSampleFeed &) = delete;
+
+    /** Launch the producer for @p n_subframes ticks per lane. */
+    void start(std::uint64_t n_subframes);
+
+    /** Signal the producer to exit and join it. Idempotent. */
+    void stop();
+
+    /** True once every lane has delivered (or lost) every tick. */
+    bool finished() const
+    {
+        return finished_.load(std::memory_order_acquire);
+    }
+
+    std::size_t n_lanes() const { return lanes_.size(); }
+
+    /** Per-lane producer counters (same contract as SampleFeed). */
+    const FeedStats &stats(std::size_t lane) const;
+
+  private:
+    void run(std::uint64_t n_subframes);
+
+    std::vector<FeedLane> lanes_;
+    FeedConfig config_;
+    /** Indexed per lane (FeedStats holds atomics, hence the array). */
+    std::unique_ptr<FeedStats[]> stats_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> finished_{false};
+};
+
 } // namespace lte::io
 
 #endif // LTE_IO_SAMPLE_PLANE_HPP

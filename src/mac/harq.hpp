@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Per-UE HARQ state: the LTE uplink's 8 stop-and-wait processes.
+ *
+ * A transport block is bound to one process when first granted and
+ * keeps it until resolved: an ACK releases the process, a NACK queues
+ * a retransmission grant (same PRBs/layers/MCS — chase combining),
+ * and exhausting the retransmission budget retires the block as a
+ * residual error.  Every offered block therefore ends in exactly one
+ * of {delivered, residual}, which is the conservation invariant
+ * tests/test_mac.cpp asserts.
+ */
+#ifndef LTE_MAC_HARQ_HPP
+#define LTE_MAC_HARQ_HPP
+
+#include <cstdint>
+
+namespace lte::mac {
+
+/** LTE FDD uplink HARQ processes per UE (TS 36.321). */
+inline constexpr std::size_t kHarqProcesses = 8;
+
+/** One stop-and-wait process. */
+struct HarqProcess
+{
+    /** A transport block is bound and unresolved. */
+    bool active = false;
+    /** Retransmissions already spent on the block. */
+    std::uint8_t retx_count = 0;
+    /** Grant shape, frozen at first transmission (chase combining). */
+    std::uint8_t mcs = 0;
+    std::uint8_t layers = 1;
+    std::uint16_t prb = 2;
+    /** Payload bits the block carries (queue bits drained at issue). */
+    std::uint32_t tb_bits = 0;
+    /** TTI of the most recent (re)transmission. */
+    std::uint64_t issued_tti = 0;
+};
+
+} // namespace lte::mac
+
+#endif // LTE_MAC_HARQ_HPP

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The MCS (modulation and coding scheme) ladder used by link
+ * adaptation.
+ *
+ * Each entry pairs one of the PHY's three modulations with an
+ * effective code rate and the SNR at which a transport block at that
+ * MCS reaches roughly the target BLER (~10%) — the shape of the LTE
+ * CQI table (TS 36.213 Table 7.2.3-1) collapsed onto the modulations
+ * the benchmark's receiver supports.  The scheduler climbs this
+ * ladder with measured/estimated SNR plus an OLLA offset and steps
+ * down on NACKs; the modelled-error path (decode bypass) turns the
+ * SNR margin against req_snr_db into a block error probability
+ * through a logistic waterfall.
+ */
+#ifndef LTE_MAC_MCS_HPP
+#define LTE_MAC_MCS_HPP
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "phy/params.hpp"
+
+namespace lte::mac {
+
+/** One rung of the MCS ladder. */
+struct McsEntry
+{
+    Modulation mod = Modulation::kQpsk;
+    /** Effective code rate in 1/1024 units (spec idiom). */
+    std::uint32_t code_rate_x1024 = 512;
+    /** SNR (dB) at which this MCS runs near the target BLER. */
+    float req_snr_db = 0.0f;
+};
+
+/** The ladder, lowest (most robust) first. */
+inline constexpr McsEntry kMcsTable[] = {
+    {Modulation::kQpsk, 128, -5.0f},  // 0
+    {Modulation::kQpsk, 256, -2.5f},  // 1
+    {Modulation::kQpsk, 512, 0.0f},   // 2
+    {Modulation::kQpsk, 683, 2.5f},   // 3
+    {Modulation::k16Qam, 512, 5.5f},  // 4
+    {Modulation::k16Qam, 683, 8.0f},  // 5
+    {Modulation::k64Qam, 512, 10.5f}, // 6
+    {Modulation::k64Qam, 768, 14.0f}, // 7
+    {Modulation::k64Qam, 922, 17.5f}, // 8
+};
+
+inline constexpr std::uint8_t kNumMcs =
+    static_cast<std::uint8_t>(sizeof(kMcsTable) / sizeof(kMcsTable[0]));
+
+/** Highest MCS whose SNR requirement is met; 0 when none is. */
+inline std::uint8_t
+highest_mcs_for(float snr_db)
+{
+    std::uint8_t best = 0;
+    for (std::uint8_t m = 0; m < kNumMcs; ++m) {
+        if (kMcsTable[m].req_snr_db <= snr_db)
+            best = m;
+    }
+    return best;
+}
+
+/**
+ * Transport-block payload bits of a grant: the PHY's raw capacity for
+ * (prb, layers, modulation) scaled by the MCS code rate.  Always at
+ * least 1 so every grant moves queue bits.
+ */
+inline std::uint64_t
+tb_payload_bits(std::uint8_t mcs, std::uint32_t prb,
+                std::uint32_t layers)
+{
+    phy::UserParams p;
+    p.prb = prb;
+    p.layers = layers;
+    p.mod = kMcsTable[mcs].mod;
+    const std::uint64_t cap = phy::capacity_bits(p);
+    const std::uint64_t bits =
+        cap * kMcsTable[mcs].code_rate_x1024 / 1024;
+    return bits > 0 ? bits : 1;
+}
+
+/**
+ * Modelled block error probability at @p margin_db = SNR − req_snr of
+ * the MCS used: a logistic waterfall calibrated so margin 0 sits at
+ * ~10% BLER (the ladder's operating point) and −2.2 dB at 50%.
+ */
+inline float
+modelled_bler(float margin_db, float slope_db)
+{
+    const float s = slope_db > 0.0f ? slope_db : 1.0f;
+    // ln(9) offset: bler(0) == 0.1 regardless of the slope.
+    const float x = margin_db / s + 2.1972246f;
+    return 1.0f / (1.0f + std::exp(x));
+}
+
+} // namespace lte::mac
+
+#endif // LTE_MAC_MCS_HPP

@@ -26,6 +26,7 @@ span_kind_name(SpanKind kind)
       case SpanKind::kDecodeCb: return "decode_cb";
       case SpanKind::kIoFrame: return "io_frame";
       case SpanKind::kIoLost: return "io_lost";
+      case SpanKind::kMacGrant: return "mac_grant";
     }
     return "?";
 }

@@ -53,10 +53,11 @@ enum class SpanKind : std::uint8_t
     kDecodeCb, ///< one per-codeblock turbo decode (arg = code block)
     kIoFrame,  ///< IQ frame's ready-ring residence (produce..consume)
     kIoLost,   ///< instant: sample-plane frame lost (pool exhausted)
+    kMacGrant, ///< instant: MAC issued a TTI's grants (arg = subframe)
 };
 
 /** Number of distinct span kinds (for fixed-size per-kind tallies). */
-inline constexpr std::size_t kSpanKindCount = 16;
+inline constexpr std::size_t kSpanKindCount = 17;
 
 /** Short stable name used in exports ("chanest", "demod", ...). */
 const char *span_kind_name(SpanKind kind);

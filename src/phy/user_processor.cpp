@@ -427,6 +427,13 @@ UserProcessor::finish_reduce()
     for (std::size_t b = 0; b < n_decode_tasks(); ++b)
         result_.decode_iterations += cb_iterations_[b];
     result_.crc_ok = crc24_check(result_.bits);
+    // The check above is only a real decode verdict when the max-log-
+    // MAP decoder actually ran: pass-through mode CRCs hardened bits
+    // that were never encoded, and the degrade bypass hard-decides
+    // instead of decoding.  Flag those so link adaptation substitutes
+    // a modelled error rate instead of learning from noise.
+    result_.crc_modelled = !config_.use_real_turbo ||
+                           degrade_ == DegradeLevel::kBypass;
     result_.checksum = bit_checksum(result_.bits);
     return result_;
 }

@@ -81,6 +81,11 @@ struct UserResult
     std::vector<std::uint8_t> bits;
     /** Transport-block CRC-24A check outcome. */
     bool crc_ok = false;
+    /** True when crc_ok does not reflect a real decode: pass-through
+     *  mode (no encoder upstream, the check runs on hardened random
+     *  bits) or the degrade bypass (decode skipped).  Consumers doing
+     *  link adaptation must substitute a modelled error rate. */
+    bool crc_modelled = false;
     /** Total max-log-MAP iterations spent across the user's code
      *  blocks (0 in pass-through mode and under the bypass; CRC early
      *  termination makes this observably less than the budget). */

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "phy/kernel_scratch.hpp"
 #include "phy/op_model.hpp"
+#include "runtime/feedback.hpp"
 
 namespace lte::runtime {
 
@@ -152,6 +153,7 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
         out.user_id = result.user_id;
         out.checksum = result.checksum;
         out.crc_ok = result.crc_ok;
+        out.crc_modelled = result.crc_modelled;
         out.evm_rms = result.evm_rms;
         out.decode_iterations = result.decode_iterations;
         if (tracer_) {
@@ -181,6 +183,10 @@ SerialEngine::process_subframe(const phy::SubframeParams &params)
         users_counter_->add(params.users.size());
         if (sample.latency_ms() > config_.obs.deadline_ms)
             deadline_miss_counter_->add();
+    }
+    if (config_.feedback) {
+        config_.feedback->on_subframe_complete(outcome_,
+                                               phy::DegradeLevel::kNone);
     }
     return outcome_;
 }
@@ -340,7 +346,10 @@ WorkStealingEngine::process_subframe(const phy::SubframeParams &params)
     outcome_.subframe_index = params.subframe_index;
     outcome_.cell_id = params.cell_id;
     outcome_.users = job->results; // capacity reuse, scalar payload
+    const phy::DegradeLevel level = job->degrade_level;
     job_pool_.release(job);
+    if (config_.feedback)
+        config_.feedback->on_subframe_complete(outcome_, level);
     return outcome_;
 }
 
@@ -371,6 +380,11 @@ WorkStealingEngine::run(workload::ParameterModel &model,
                     observe_completion(*in_flight.front(),
                                        obs_now_ns());
                 record.subframes.push_back(collect(*in_flight.front()));
+                if (config_.feedback) {
+                    config_.feedback->on_subframe_complete(
+                        record.subframes.back(),
+                        in_flight.front()->degrade_level);
+                }
                 job_pool_.release(in_flight.front());
                 in_flight.pop_front();
             } else {
@@ -408,6 +422,10 @@ WorkStealingEngine::run(workload::ParameterModel &model,
             if (observing)
                 observe_completion(*job, job->t_dispatch_ns);
             record.subframes.push_back(collect(*job));
+            if (config_.feedback) {
+                config_.feedback->on_subframe_complete(
+                    record.subframes.back(), job->degrade_level);
+            }
             job_pool_.release(job);
         } else {
             pool_->submit(job);
@@ -423,6 +441,11 @@ WorkStealingEngine::run(workload::ParameterModel &model,
         if (observing)
             observe_completion(*in_flight.front(), obs_now_ns());
         record.subframes.push_back(collect(*in_flight.front()));
+        if (config_.feedback) {
+            config_.feedback->on_subframe_complete(
+                record.subframes.back(),
+                in_flight.front()->degrade_level);
+        }
         job_pool_.release(in_flight.front());
         in_flight.pop_front();
     }

@@ -57,6 +57,8 @@ struct FeedStats;
 
 namespace lte::runtime {
 
+class SubframeFeedbackSink;
+
 /** Which engine implementation a config selects. */
 enum class EngineKind : std::uint8_t
 {
@@ -178,6 +180,15 @@ struct EngineConfig
      * bit-identical to the inline engines.
      */
     io::IoConfig io;
+
+    /**
+     * Closed-loop feedback (MAC layer): when non-null, every engine
+     * reports each completed subframe's outcome and every shed
+     * decision to this sink from its dispatch thread (see
+     * runtime/feedback.hpp).  The sink is borrowed, not owned, and
+     * must outlive the engine's run()/process_subframe() calls.
+     */
+    SubframeFeedbackSink *feedback = nullptr;
 
     void validate() const;
 };

@@ -27,6 +27,7 @@
 #include "io/capture.hpp"
 #include "io/sample_plane.hpp"
 #include "phy/op_model.hpp"
+#include "runtime/feedback.hpp"
 #include "runtime/sample_source.hpp"
 
 namespace lte::runtime {
@@ -282,6 +283,10 @@ MultiCellEngine::observe_shed(CellContext &cell,
         (expired ? shed_expired_counter_ : shed_queue_full_counter_)
             ->add();
     }
+    if (config_.engine.feedback) {
+        config_.engine.feedback->on_subframe_shed(cell.cell_id,
+                                                  subframe_index);
+    }
 }
 
 void
@@ -404,6 +409,11 @@ MultiCellEngine::reap_all(MultiCellRunRecord &record)
             --total_executing_;
             observe_completion(cell, *job, obs_now_ns());
             record.cells[c].subframes.push_back(collect(*job));
+            if (config_.engine.feedback) {
+                config_.engine.feedback->on_subframe_complete(
+                    record.cells[c].subframes.back(),
+                    job->degrade_level);
+            }
             record.cells[c].total_ops += subframe_ops(
                 job->params, config_.engine.receiver.n_antennas,
                 phy::decode_model(config_.engine.receiver,
@@ -536,7 +546,11 @@ MultiCellEngine::process_subframe(std::size_t cell_index,
     outcome_.subframe_index = params.subframe_index;
     outcome_.cell_id = params.cell_id;
     outcome_.users = job->results; // capacity reuse, scalar payload
+    const phy::DegradeLevel level = job->degrade_level;
     cell.job_pool.release(job);
+    if (config_.engine.feedback) {
+        config_.engine.feedback->on_subframe_complete(outcome_, level);
+    }
     return outcome_;
 }
 
@@ -779,19 +793,24 @@ MultiCellEngine::run_offloaded(
     rr_next_ = 0;
     pool_->reset_activity();
 
-    // One sample plane per lane: transport + source + paced feed.
-    // Generator lanes draw their own model on their own producer
-    // thread; replay lanes all replay the configured capture (cell id
-    // re-stamped at consumption).  Recorder taps get per-cell file
-    // names beyond one cell so lanes never share a stream.
+    // One sample plane per lane (transport + source + recorder), but
+    // ONE shared producer thread pacing every lane on the common TTI
+    // grid: per-cell free-running SampleFeed threads yield-spin toward
+    // the same tick and oversubscribe a core as soon as n_cells > 1,
+    // which distorted the multi-cell offloaded overload tables with
+    // producer scheduling noise.  Generator lanes draw their own model
+    // on the producer thread; replay lanes all replay the configured
+    // capture (cell id re-stamped at consumption).  Recorder taps get
+    // per-cell file names beyond one cell so lanes never share a
+    // stream, and each lane keeps its own jitter stream.
     std::vector<std::unique_ptr<io::SampleTransport>> transports;
     std::vector<std::unique_ptr<io::SampleSource>> sources;
     std::vector<std::unique_ptr<io::CaptureWriter>> recorders;
-    std::vector<std::unique_ptr<io::SampleFeed>> feeds;
+    std::vector<io::FeedLane> lanes;
     transports.reserve(cells_.size());
     sources.reserve(cells_.size());
     recorders.reserve(cells_.size());
-    feeds.reserve(cells_.size());
+    lanes.reserve(cells_.size());
     for (std::size_t c = 0; c < cells_.size(); ++c) {
         CellContext &cell = *cells_[c];
         transports.push_back(
@@ -813,21 +832,23 @@ MultiCellEngine::run_offloaded(
         } else {
             recorders.push_back(nullptr);
         }
-        io::FeedConfig feed_config;
-        feed_config.delta_ms = config_.engine.delta_ms;
-        feed_config.jitter_ms = io_cfg.jitter_ms;
-        feed_config.jitter_seed =
+        io::FeedLane lane;
+        lane.transport = transports.back().get();
+        lane.source = sources.back().get();
+        lane.recorder = recorders.back().get();
+        lane.jitter_seed =
             cell_stream_seed(io_cfg.jitter_seed, cell.cell_id);
-        feed_config.lossless = config_.engine.deadline_ms == 0.0;
-        feed_config.now_ns = [this] { return obs_now_ns(); };
-        feed_config.recorder = recorders.back().get();
-        feeds.push_back(std::make_unique<io::SampleFeed>(
-            *transports.back(), *sources.back(), feed_config));
+        lanes.push_back(lane);
     }
+    io::FeedConfig feed_config;
+    feed_config.delta_ms = config_.engine.delta_ms;
+    feed_config.jitter_ms = io_cfg.jitter_ms;
+    feed_config.lossless = config_.engine.deadline_ms == 0.0;
+    feed_config.now_ns = [this] { return obs_now_ns(); };
+    io::MultiSampleFeed feed(std::move(lanes), feed_config);
 
     const auto run_start = clock::now();
-    for (auto &feed : feeds)
-        feed->start(n_subframes);
+    feed.start(n_subframes);
 
     // Every (cell, tick) resolves as consumed or lost exactly once,
     // so all lanes summing to n_cells * n ticks drains everything.
@@ -845,7 +866,7 @@ MultiCellEngine::run_offloaded(
         bool any = false;
         for (std::size_t c = 0; c < cells_.size(); ++c) {
             CellContext &cell = *cells_[c];
-            sync_io_stats(cell, feeds[c]->stats());
+            sync_io_stats(cell, feed.stats(c));
             io::IqFrame *frame = cell.transport->try_pop_ready();
             if (frame == nullptr)
                 continue;
@@ -858,10 +879,9 @@ MultiCellEngine::run_offloaded(
             std::this_thread::yield();
     }
 
-    for (std::size_t c = 0; c < cells_.size(); ++c) {
-        feeds[c]->stop();
-        sync_io_stats(*cells_[c], feeds[c]->stats());
-    }
+    feed.stop();
+    for (std::size_t c = 0; c < cells_.size(); ++c)
+        sync_io_stats(*cells_[c], feed.stats(c));
     LTE_ASSERT(total_pending_ == 0 && total_executing_ == 0,
                "ticks resolved but jobs remain in flight");
 

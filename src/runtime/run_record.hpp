@@ -20,6 +20,14 @@ struct UserOutcome
     std::uint32_t user_id = 0;
     std::uint64_t checksum = 0;
     bool crc_ok = false;
+    /** True when crc_ok is *not* a real decode verdict: pass-through
+     *  receivers CRC-check hardened bits that were never encoded, and
+     *  the degrade bypass skips the decode entirely.  A CQI/HARQ
+     *  consumer must model the error probability instead of trusting
+     *  crc_ok.  Like decode_iterations, provenance metadata — not part
+     *  of digest() or equivalent() (a degrade flip changes it without
+     *  changing the payload framing). */
+    bool crc_modelled = false;
     float evm_rms = 0.0f;
     /** Max-log-MAP iterations summed over the user's code blocks
      *  (real-turbo mode; 0 otherwise).  Not part of digest() or

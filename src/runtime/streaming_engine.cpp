@@ -31,6 +31,7 @@
 #include "io/sample_plane.hpp"
 #include "phy/kernel_scratch.hpp"
 #include "phy/op_model.hpp"
+#include "runtime/feedback.hpp"
 #include "runtime/sample_source.hpp"
 
 namespace lte::runtime {
@@ -180,6 +181,10 @@ StreamingEngine::observe_shed(std::uint64_t subframe_index, bool expired)
         (expired ? shed_expired_counter_ : shed_queue_full_counter_)
             ->add();
     }
+    if (config_.feedback) {
+        config_.feedback->on_subframe_shed(config_.receiver.cell_id,
+                                           subframe_index);
+    }
 }
 
 void
@@ -304,6 +309,10 @@ StreamingEngine::reap_completed(RunRecord &record)
         executing_.pop_front();
         observe_completion(*job, obs_now_ns());
         record.subframes.push_back(collect(*job));
+        if (config_.feedback) {
+            config_.feedback->on_subframe_complete(
+                record.subframes.back(), job->degrade_level);
+        }
         release_job(job);
     }
 }
@@ -351,7 +360,10 @@ StreamingEngine::process_subframe(const phy::SubframeParams &params)
     outcome_.subframe_index = params.subframe_index;
     outcome_.cell_id = params.cell_id;
     outcome_.users = job->results; // capacity reuse, scalar payload
+    const phy::DegradeLevel level = job->degrade_level;
     job_pool_.release(job);
+    if (config_.feedback)
+        config_.feedback->on_subframe_complete(outcome_, level);
     return outcome_;
 }
 

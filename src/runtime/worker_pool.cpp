@@ -309,6 +309,7 @@ WorkerPool::finish_user(std::size_t wid, UserWork *work)
     out.user_id = result.user_id;
     out.checksum = result.checksum;
     out.crc_ok = result.crc_ok;
+    out.crc_modelled = result.crc_modelled;
     out.evm_rms = result.evm_rms;
     out.decode_iterations = result.decode_iterations;
     const auto end = std::chrono::steady_clock::now();

@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "io/sample_plane.hpp"
+#include "mac/scheduler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/multicell.hpp"
@@ -486,6 +487,94 @@ TEST(AllocFree, SamplePlaneProducerSteadyStateDoesNotAllocate)
 TEST(AllocFree, SamplePlaneProducerTracingDoesNotAllocate)
 {
     expect_zero_alloc_sample_plane(true);
+}
+
+void
+expect_zero_alloc_mac_closed_loop(EngineKind kind)
+{
+    // The closed loop live on the hot path: grant production
+    // (next_tti_into), subframe processing, and completion feedback
+    // (on_subframe_complete via EngineConfig::feedback) must all stay
+    // inside preallocated state — UE queues, HARQ ring, retx ring,
+    // outstanding table, selection scratch.
+    mac::MacConfig mc;
+    mc.seed = 9;
+    mc.n_ues = 64;
+    mc.arrival_rate = 5.0;
+    mc.burst_mean = 2.0;
+    mc.packet_bits = 3000;
+    mac::MacScheduler sched(mc);
+
+    EngineConfig cfg;
+    cfg.kind = kind;
+    cfg.pool.n_workers = 3;
+    cfg.pool.strategy = mgmt::Strategy::kNoNap;
+    cfg.input.pool_size = 4;
+    cfg.feedback = &sched;
+    auto engine = make_engine(cfg);
+
+    // Prewarm the per-PRB-size input pools at every rung of the MAC's
+    // quantized allocation ladder (and the arenas at the largest
+    // shape), so steady state cannot encounter a fresh pool size.
+    phy::SubframeParams warm;
+    warm.users.resize(1);
+    for (const std::uint32_t prb : {2u, 4u, 8u, 16u, 32u, 64u, 100u}) {
+        warm.users[0] = phy::UserParams{};
+        warm.users[0].id = 1;
+        warm.users[0].prb = prb;
+        warm.users[0].layers = 4;
+        warm.users[0].mod = Modulation::k64Qam;
+        engine->process_subframe(warm);
+    }
+
+    // A full 10-user subframe at heavy shapes: per-user job state,
+    // outcome vectors and signal arrays reach the maximum the MAC can
+    // ever grant before the measured region starts.
+    warm.users.resize(10);
+    for (std::uint32_t u = 0; u < 10; ++u) {
+        warm.users[u] = phy::UserParams{};
+        warm.users[u].id = u + 1;
+        warm.users[u].prb = u % 2 == 0 ? 100 : 16;
+        warm.users[u].layers = 4;
+        warm.users[u].mod = Modulation::k64Qam;
+    }
+    engine->process_subframe(warm);
+
+    // Closed-loop warm-up: grant vectors, outcome vectors and the
+    // MAC's lazily-touched UE state reach their high-water marks.
+    phy::SubframeParams sf;
+    for (int i = 0; i < 400; ++i) {
+        sched.next_tti_into(sf);
+        engine->process_subframe(sf);
+    }
+
+    const std::size_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    std::uint64_t grants = 0;
+    for (int i = 0; i < 20; ++i) {
+        sched.next_tti_into(sf);
+        engine->process_subframe(sf);
+        grants += sf.users.size();
+    }
+    const std::size_t after =
+        g_alloc_count.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "MAC closed loop on '" << engine->name() << "' allocated "
+        << (after - before) << " times during 20 steady-state TTIs";
+    EXPECT_GT(grants, 0u);
+    sched.finalize();
+    EXPECT_TRUE(sched.stats().conserved());
+}
+
+TEST(AllocFree, MacClosedLoopSerialSteadyStateDoesNotAllocate)
+{
+    expect_zero_alloc_mac_closed_loop(EngineKind::kSerial);
+}
+
+TEST(AllocFree, MacClosedLoopWorkStealingSteadyStateDoesNotAllocate)
+{
+    expect_zero_alloc_mac_closed_loop(EngineKind::kWorkStealing);
 }
 
 TEST(AllocFree, CounterSeesAllocations)

@@ -279,6 +279,82 @@ TEST(IoCapture, ReplaySourceLoopsAndSkips)
     EXPECT_FALSE(skipping.produce(frame)); // finite replay ends
 }
 
+TEST(IoCapture, LoopedSkipAtWrapNeitherDropsNorDuplicates)
+{
+    // Regression for looped replay under deadline-mode lost ticks:
+    // every skip() must consume exactly one logical frame of the
+    // cyclic stream, including the call that lands exactly at
+    // end-of-capture (rewind + skip must not eat two frames, and a
+    // clean-EOF probe must not eat zero).
+    TempCapture file("io_wrap_skip.iq");
+    const std::size_t n = 3;
+    runtime::InputGenerator input(generator_config());
+    std::vector<std::uint64_t> indices;
+    {
+        workload::PaperModel model(model_config());
+        runtime::GeneratorSampleSource source(input, model);
+        CaptureWriter writer(file.path, input.config().n_antennas);
+        IqFrame frame;
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_TRUE(source.produce(frame));
+            indices.push_back(frame.params.subframe_index);
+            writer.write(frame);
+        }
+    }
+
+    ReplaySource source(file.path, /*loop=*/true);
+    IqFrame frame;
+    std::size_t cursor = 0; // next logical frame of the cyclic stream
+    auto expect_produce = [&](const char *where) {
+        ASSERT_TRUE(source.produce(frame)) << where;
+        EXPECT_EQ(frame.params.subframe_index, indices[cursor % n])
+            << where << " (cursor " << cursor << ")";
+        ++cursor;
+    };
+    auto skip_one = [&] {
+        source.skip();
+        ++cursor;
+    };
+
+    // Skip landing mid-file.
+    expect_produce("plain produce");
+    skip_one();
+    expect_produce("after mid-file skip");
+
+    // Skip consuming the last frame (stream then sits at EOF).
+    ASSERT_EQ(cursor % n, 0u);
+    expect_produce("cycle 2 first");
+    expect_produce("cycle 2 second");
+    skip_one(); // consumes the final frame of cycle 2
+    ASSERT_EQ(cursor % n, 0u);
+    expect_produce("first frame after wrap-by-skip");
+
+    // Skip called exactly AT end-of-capture: the previous produce
+    // consumed up to EOF, so this skip must rewind and eat exactly
+    // frame 0 — the scenario the audit targets.
+    expect_produce("cycle 3 second");
+    expect_produce("cycle 3 third");
+    ASSERT_EQ(cursor % n, 0u); // stream position: clean EOF
+    skip_one();                // must consume exactly indices[0]
+    expect_produce("produce after at-EOF skip");
+
+    // Back-to-back skips across the wrap boundary.
+    skip_one(); // cycle 4 third (reaches EOF)
+    ASSERT_EQ(cursor % n, 0u);
+    skip_one(); // wraps, consumes cycle 5 first
+    expect_produce("produce after double skip across wrap");
+
+    // Steady state: several full cycles of mixed produce/skip keep
+    // perfect cyclic alignment (no cumulative drift).
+    for (int i = 0; i < 3 * static_cast<int>(n); ++i) {
+        if (i % 2 == 0)
+            expect_produce("steady mixed");
+        else
+            skip_one();
+    }
+    expect_produce("final alignment check");
+}
+
 TEST(IoCapture, RejectsMissingAndCorruptFiles)
 {
     EXPECT_THROW(CaptureReader("/nonexistent/no_such_capture.iq"),

@@ -406,8 +406,8 @@ TEST(WorkerPool, WaitJobReturnsWhenThatJobCompletes)
 TEST(RunRecord, EquivalenceDetectsDifferences)
 {
     RunRecord a, b;
-    a.subframes.push_back({0, 1, {{1, 111, true, 0.0f}}});
-    b.subframes.push_back({0, 1, {{1, 222, true, 0.0f}}});
+    a.subframes.push_back({0, 1, {{1, 111, true, false, 0.0f}}});
+    b.subframes.push_back({0, 1, {{1, 222, true, false, 0.0f}}});
     std::string why;
     EXPECT_FALSE(RunRecord::equivalent(a, b, &why));
     EXPECT_NE(why.find("checksum"), std::string::npos);
@@ -422,7 +422,8 @@ TEST(RunRecord, CrcPassRate)
 {
     RunRecord r;
     r.subframes.push_back(
-        {0, 1, {{0, 1, true, 0.0f}, {1, 2, false, 0.0f}}});
+        {0, 1,
+         {{0, 1, true, false, 0.0f}, {1, 2, false, false, 0.0f}}});
     EXPECT_DOUBLE_EQ(r.crc_pass_rate(), 0.5);
     EXPECT_EQ(r.user_count(), 2u);
 }
