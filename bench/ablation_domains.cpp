@@ -20,25 +20,24 @@ main(int argc, char **argv)
     core::StudyConfig base_cfg = args.study_config();
     core::UplinkStudy probe(base_cfg);
     probe.prepare();
-    const double cycles_per_op = probe.cycles_per_op();
+    // The gating domain size only shapes the analytical overlay, not
+    // the machine calibration: share the probe's pass.
+    const core::Calibration calibration = probe.calibration();
 
     report::TextTable table({"domain size", "domains", "Avg power (W)",
                              "saving vs NAP+IDLE (W)"});
     double napidle_power = 0.0;
     {
-        core::StudyConfig cfg = base_cfg;
-        cfg.sim.cycles_per_op = cycles_per_op;
-        core::UplinkStudy study(cfg);
-        study.prepare();
+        core::UplinkStudy study(base_cfg);
+        study.adopt_calibration(calibration);
         napidle_power =
             study.run_strategy(mgmt::Strategy::kNapIdle).avg_power_w;
     }
     for (std::uint32_t domain : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
         core::StudyConfig cfg = base_cfg;
         cfg.power.domain_size = domain;
-        cfg.sim.cycles_per_op = cycles_per_op;
         core::UplinkStudy study(cfg);
-        study.prepare();
+        study.adopt_calibration(calibration);
         const auto outcome =
             study.run_strategy(mgmt::Strategy::kPowerGating);
         table.add_row({std::to_string(domain),

@@ -19,7 +19,10 @@ main(int argc, char **argv)
     core::StudyConfig base_cfg = args.study_config();
     core::UplinkStudy probe(base_cfg);
     probe.prepare();
-    const double cycles_per_op = probe.cycles_per_op();
+    // The Eq. 5 margin plays no part in calibration (the sweeps run
+    // the NONAP machine without an estimator), so every variant
+    // shares the probe's calibration pass.
+    const core::Calibration calibration = probe.calibration();
 
     report::TextTable table({"margin", "Avg power (W)",
                              "mean latency (sf)", "max latency",
@@ -27,9 +30,8 @@ main(int argc, char **argv)
     for (std::uint32_t margin : {0u, 1u, 2u, 4u, 8u}) {
         core::StudyConfig cfg = base_cfg;
         cfg.sim.core_margin = margin;
-        cfg.sim.cycles_per_op = cycles_per_op;
         core::UplinkStudy study(cfg);
-        study.prepare();
+        study.adopt_calibration(calibration);
         const auto outcome =
             study.run_strategy(mgmt::Strategy::kNapIdle);
         table.add_row(

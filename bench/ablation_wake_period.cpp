@@ -20,21 +20,22 @@ main(int argc, char **argv)
     core::StudyConfig base_cfg = args.study_config();
     core::UplinkStudy probe(base_cfg);
     probe.prepare();
-    const double cycles_per_op = probe.cycles_per_op();
+    // Calibration runs the NONAP machine, where nothing ever naps:
+    // the wake period cannot influence it, so share one pass.
+    const core::Calibration calibration = probe.calibration();
 
     report::TextTable table({"wake period (us)", "poll duty",
                              "Avg power (W)", "mean latency (sf)",
                              "max latency"});
     for (double period_us : {50.0, 100.0, 200.0, 500.0, 1000.0}) {
         core::StudyConfig cfg = base_cfg;
-        cfg.sim.cycles_per_op = cycles_per_op;
         cfg.sim.idle_wake_period_s = period_us * 1e-6;
         // The polling energy scales inversely with the period: the
         // default duty (0.22) corresponds to the default 200 us.
         cfg.power.idle_poll_duty =
             std::min(1.0, 0.22 * 200.0 / period_us);
         core::UplinkStudy study(cfg);
-        study.prepare();
+        study.adopt_calibration(calibration);
         const auto outcome = study.run_strategy(mgmt::Strategy::kIdle);
         table.add_row(
             {report::fmt(period_us, 0),

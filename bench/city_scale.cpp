@@ -1,0 +1,262 @@
+/**
+ * @file
+ * City-scale energy study (PR 10 deliverable): a fleet of TILEPro64
+ * chips serving 100+ cells with million-UE total population, each
+ * cell's MAC traffic following a shared diurnal curve, and a per-chip
+ * policy optimiser adopting the most aggressive power policy that
+ * meets the deadline-miss SLO.
+ *
+ * Reports joules per subframe (per chip and fleet-wide), the adopted
+ * policy mix, and the deadline-miss-vs-offered-load curve, and can
+ * emit the whole result as JSON (--json PATH) for
+ * results/BENCH_pr10.json.
+ *
+ * Flags:
+ *   --smoke          tiny fleet for CI (8 cells, 200 UEs/cell)
+ *   --cells N        number of cells     (default 104)
+ *   --ues N          UEs per cell        (default 10000)
+ *   --subframes N    horizon per cell    (default 2000)
+ *   --slo F          miss-rate SLO       (default 0.005)
+ *   --seed S         master seed         (default 2012)
+ *   --threads N      chip worker threads (default: hardware)
+ *   --json PATH      also write the result as JSON
+ */
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/chip_fleet.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace lte;
+
+struct Args
+{
+    bool smoke = false;
+    std::size_t cells = 104;
+    std::uint32_t ues = 10000;
+    std::uint64_t subframes = 2000;
+    double slo = 0.005;
+    std::uint64_t seed = 2012;
+    unsigned threads = 0;
+    std::string json_path;
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << a << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--smoke") {
+            args.smoke = true;
+        } else if (a == "--cells") {
+            args.cells = std::strtoull(value(), nullptr, 10);
+        } else if (a == "--ues") {
+            args.ues = static_cast<std::uint32_t>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (a == "--subframes") {
+            args.subframes = std::strtoull(value(), nullptr, 10);
+        } else if (a == "--slo") {
+            args.slo = std::strtod(value(), nullptr);
+        } else if (a == "--seed") {
+            args.seed = std::strtoull(value(), nullptr, 10);
+        } else if (a == "--threads") {
+            args.threads = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (a == "--json") {
+            args.json_path = value();
+        } else {
+            std::cerr << "unknown flag: " << a << "\n";
+            std::exit(2);
+        }
+    }
+    if (args.smoke) {
+        args.cells = 8;
+        args.ues = 200;
+        args.subframes = 400;
+    }
+    return args;
+}
+
+core::FleetConfig
+fleet_config(const Args &args)
+{
+    core::FleetConfig cfg;
+    cfg.n_cells = args.cells;
+    cfg.ues_per_cell = args.ues;
+    cfg.subframes = args.subframes;
+    cfg.slo_miss_rate = args.slo;
+    cfg.seed = args.seed;
+    cfg.n_threads = args.threads;
+    // One simulated "day" spans the horizon so the run sees the full
+    // trough-to-peak swing; the paper's typical average load is 25%.
+    cfg.diurnal.period_subframes = std::max<std::uint64_t>(
+        2, args.subframes);
+    cfg.diurnal.average_load = 0.25;
+    cfg.diurnal.swing = 0.8;
+    cfg.cell_load_spread = 0.5;
+    // Pack 4x more radio capacity than the compute slices are
+    // dimensioned for: the diurnal peak can now outrun the heaviest
+    // cells' slices, so the SLO binds and the per-chip optimiser has
+    // to trade energy for responsiveness.
+    cfg.oversubscribe = 4.0;
+    // Compress the calibration sweep (the full Fig. 11 protocol is a
+    // per-slice one-off; the default here keeps 100-cell runs fast).
+    cfg.chip.sweep.prb_step = 40;
+    cfg.chip.sweep.duration_s = 0.15;
+    return cfg;
+}
+
+void
+write_json(const Args &args, const core::ChipFleet &fleet,
+           const core::FleetOutcome &outcome)
+{
+    std::ofstream os(args.json_path);
+    if (!os) {
+        std::cerr << "cannot write " << args.json_path << "\n";
+        std::exit(1);
+    }
+    os << "{\n"
+       << "  \"pr\": 10,\n"
+       << "  \"title\": \"Per-domain power-state machine and the "
+          "multi-chip city-scale energy study\",\n"
+       << "  \"benchmark\": \"bench/city_scale\",\n"
+       << "  \"scenario\": {\n"
+       << "    \"n_cells\": " << fleet.config().n_cells << ",\n"
+       << "    \"ues_per_cell\": " << fleet.config().ues_per_cell
+       << ",\n"
+       << "    \"total_ues\": " << outcome.total_ues << ",\n"
+       << "    \"n_chips\": " << outcome.chips.size() << ",\n"
+       << "    \"subframes\": " << fleet.config().subframes << ",\n"
+       << "    \"slo_miss_rate\": " << fleet.config().slo_miss_rate
+       << ",\n"
+       << "    \"diurnal_average_load\": "
+       << fleet.config().diurnal.average_load << ",\n"
+       << "    \"diurnal_swing\": " << fleet.config().diurnal.swing
+       << ",\n"
+       << "    \"seed\": " << fleet.config().seed << "\n"
+       << "  },\n";
+    os << "  \"fleet\": {\n"
+       << "    \"total_power_w\": " << outcome.total_power_w << ",\n"
+       << "    \"energy_j\": " << outcome.energy_j << ",\n"
+       << "    \"joules_per_subframe\": "
+       << outcome.joules_per_subframe << ",\n"
+       << "    \"worst_miss_rate\": " << outcome.worst_miss_rate
+       << ",\n"
+       << "    \"chips_missing_slo\": " << outcome.chips_missing_slo
+       << "\n  },\n";
+    os << "  \"policy_mix\": {";
+    bool first = true;
+    for (const auto &[name, count] : outcome.policy_counts) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    \"" << name << "\": " << count;
+    }
+    os << "\n  },\n";
+    os << "  \"miss_rate_vs_load\": [";
+    first = true;
+    for (const core::LoadBucket &b : outcome.buckets) {
+        if (b.users == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    { \"load_lo\": " << b.load_lo
+           << ", \"load_hi\": " << b.load_hi
+           << ", \"users\": " << b.users
+           << ", \"miss_rate\": " << b.miss_rate() << " }";
+    }
+    os << "\n  ],\n";
+    os << "  \"chips\": [";
+    for (std::size_t c = 0; c < outcome.chips.size(); ++c) {
+        const core::ChipOutcome &chip = outcome.chips[c];
+        os << (c == 0 ? "" : ",") << "\n    { \"chip\": " << c
+           << ", \"cells\": " << chip.cells.size()
+           << ", \"policy\": \"" << chip.policy.name << "\""
+           << ", \"policies_tried\": " << chip.policies_tried
+           << ", \"avg_power_w\": " << chip.avg_power_w
+           << ", \"joules_per_subframe\": "
+           << chip.joules_per_subframe
+           << ", \"worst_miss_rate\": " << chip.worst_miss_rate
+           << ", \"slo_met\": " << (chip.slo_met ? "true" : "false")
+           << " }";
+    }
+    os << "\n  ]\n}\n";
+    std::cout << "wrote " << args.json_path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parse(argc, argv);
+    std::cout << "== city-scale fleet study ==\n"
+              << "cells " << args.cells << "  ues/cell " << args.ues
+              << "  subframes " << args.subframes << "  SLO "
+              << 100.0 * args.slo << "%  seed " << args.seed
+              << (args.smoke ? "  [smoke]" : "") << "\n\n";
+
+    core::ChipFleet fleet(fleet_config(args));
+    const core::FleetOutcome outcome = fleet.run();
+
+    report::TextTable chips({"chip", "cells", "policy", "tried",
+                             "avg power (W)", "J/subframe",
+                             "worst miss %", "SLO"});
+    for (std::size_t c = 0; c < outcome.chips.size(); ++c) {
+        const core::ChipOutcome &chip = outcome.chips[c];
+        chips.add_row({std::to_string(c),
+                       std::to_string(chip.cells.size()),
+                       chip.policy.name,
+                       std::to_string(chip.policies_tried),
+                       report::fmt(chip.avg_power_w, 2),
+                       report::fmt(chip.joules_per_subframe, 4),
+                       report::fmt(100.0 * chip.worst_miss_rate, 2),
+                       chip.slo_met ? "met" : "MISSED"});
+    }
+    chips.print(std::cout);
+
+    std::cout << "\npolicy mix:";
+    for (const auto &[name, count] : outcome.policy_counts) {
+        if (count > 0)
+            std::cout << "  " << name << " x" << count;
+    }
+    std::cout << "\n\nmiss rate vs offered load:\n";
+    report::TextTable curve({"load bin", "users", "miss %"});
+    for (const core::LoadBucket &b : outcome.buckets) {
+        if (b.users == 0)
+            continue;
+        curve.add_row({report::fmt(b.load_lo, 1) + "-" +
+                           report::fmt(b.load_hi, 1),
+                       std::to_string(b.users),
+                       report::fmt(100.0 * b.miss_rate(), 2)});
+    }
+    curve.print(std::cout);
+
+    std::cout << "\nfleet: " << outcome.chips.size() << " chips, "
+              << outcome.total_ues << " UEs, "
+              << report::fmt(outcome.total_power_w, 1) << " W, "
+              << report::fmt(outcome.joules_per_subframe, 4)
+              << " J/subframe, worst miss "
+              << report::fmt(100.0 * outcome.worst_miss_rate, 2)
+              << "%, " << outcome.chips_missing_slo
+              << " chips missing SLO\n";
+
+    if (!args.json_path.empty())
+        write_json(args, fleet, outcome);
+    return 0;
+}

@@ -68,6 +68,12 @@ done
 echo "==> release MAC offloaded-io leg (LTE_MAC=pf LTE_MAC_IO=offload)"
 LTE_MAC=pf LTE_MAC_IO=offload ./build/tests/test_mac
 
+# City-scale fleet smoke: placement -> per-slice calibration ->
+# per-chip policy optimisation end to end on a tiny fleet (the
+# headline 100-cell study is the same binary without --smoke).
+echo "==> city-scale fleet smoke"
+./build/bench/city_scale --smoke
+
 run_preset asan
 # The tsan test preset filters to the concurrency/runtime suites (see
 # CMakePresets.json): pool interleavings, trace-ring export races, the
@@ -106,6 +112,12 @@ done
 # per-task runtimes.
 echo "==> tsan real-turbo leg (LTE_REAL_TURBO=1)"
 LTE_REAL_TURBO=1 ./build-tsan/tests/test_task_graph
+
+# Fleet soak under TSan: chip workers race the shared plan counter
+# and per-chip result slots while each chip's study spins its own
+# simulator; the threaded run must stay bit-identical to serial.
+echo "==> tsan city-scale fleet soak"
+./build-tsan/tests/test_fleet
 
 if [[ "${1:-}" == "--ubsan" ]]; then
     run_preset ubsan

@@ -55,6 +55,24 @@ UplinkStudy::table() const
     return estimator_->table();
 }
 
+Calibration
+UplinkStudy::calibration() const
+{
+    LTE_CHECK(estimator_.has_value(), "call prepare() first");
+    return Calibration{config_.sim.cycles_per_op, estimator_->table()};
+}
+
+void
+UplinkStudy::adopt_calibration(const Calibration &calibration)
+{
+    LTE_CHECK(calibration.cycles_per_op > 0.0,
+              "calibration has no cycles/op scale");
+    LTE_CHECK(calibration.table.complete(),
+              "calibration table is incomplete");
+    config_.sim.cycles_per_op = calibration.cycles_per_op;
+    estimator_ = mgmt::WorkloadEstimator(calibration.table);
+}
+
 std::vector<std::uint32_t>
 UplinkStudy::gating_plan(const sim::SimResult &result,
                          mgmt::GatingStats *stats) const
@@ -83,7 +101,7 @@ void
 UplinkStudy::record_run_metrics(const StrategyOutcome &outcome)
 {
     const std::string prefix =
-        std::string("study.") + mgmt::strategy_name(outcome.strategy);
+        std::string("study.") + outcome.policy.name;
     metrics_->counter(prefix + ".runs").add(1);
     metrics_->counter(prefix + ".subframes").add(outcome.sim.subframes);
     metrics_->counter(prefix + ".tasks").add(outcome.sim.tasks_executed);
@@ -109,11 +127,22 @@ UplinkStudy::record_run_metrics(const StrategyOutcome &outcome)
         .set(static_cast<double>(outcome.sim.max_ready_backlog));
 }
 
+mgmt::PowerPolicy
+UplinkStudy::policy_for(mgmt::Strategy strategy) const
+{
+    // DVFS stays orthogonal to the paper's five strategies: a config
+    // that enables it applies it under whichever strategy is run.
+    mgmt::PowerPolicy policy = mgmt::PowerPolicy::from_strategy(strategy);
+    policy.dvfs = config_.sim.policy.dvfs;
+    policy.dvfs_margin = config_.sim.policy.dvfs_margin;
+    policy.dvfs_min_scale = config_.sim.policy.dvfs_min_scale;
+    return policy;
+}
+
 StrategyOutcome
 UplinkStudy::run_strategy(mgmt::Strategy strategy)
 {
-    workload::PaperModel model(config_.model);
-    return run_strategy_on(strategy, model, config_.subframes);
+    return run_policy(policy_for(strategy));
 }
 
 StrategyOutcome
@@ -121,20 +150,36 @@ UplinkStudy::run_strategy_on(mgmt::Strategy strategy,
                              workload::ParameterModel &model,
                              std::uint64_t subframes)
 {
+    return run_policy_on(policy_for(strategy), model, subframes);
+}
+
+StrategyOutcome
+UplinkStudy::run_policy(const mgmt::PowerPolicy &policy)
+{
+    workload::PaperModel model(config_.model);
+    return run_policy_on(policy, model, config_.subframes);
+}
+
+StrategyOutcome
+UplinkStudy::run_policy_on(const mgmt::PowerPolicy &policy,
+                           workload::ParameterModel &model,
+                           std::uint64_t subframes)
+{
     LTE_CHECK(estimator_.has_value(), "call prepare() first");
 
     sim::SimConfig sim_cfg = config_.sim;
-    sim_cfg.strategy = strategy;
+    sim_cfg.policy = policy;
 
     sim::Machine machine(sim_cfg, config_.n_antennas);
     machine.set_estimator(estimator_);
 
     StrategyOutcome outcome;
-    outcome.strategy = strategy;
+    outcome.strategy = policy.label;
+    outcome.policy = policy;
     outcome.sim = machine.run(model, subframes);
 
     const power::PowerModel pm(config_.power);
-    if (strategy == mgmt::Strategy::kPowerGating) {
+    if (policy.analytical_gating) {
         outcome.powered = gating_plan(outcome.sim, &outcome.gating_stats);
         outcome.series =
             pm.power_series_gated(outcome.sim, outcome.powered);
@@ -156,6 +201,13 @@ MultiCellStrategyOutcome
 UplinkStudy::run_strategy_multicell(mgmt::Strategy strategy,
                                     std::size_t n_cells)
 {
+    return run_policy_multicell(policy_for(strategy), n_cells);
+}
+
+MultiCellStrategyOutcome
+UplinkStudy::run_policy_multicell(const mgmt::PowerPolicy &policy,
+                                  std::size_t n_cells)
+{
     LTE_CHECK(n_cells >= 1, "need at least one cell");
     LTE_CHECK(n_cells <= config_.sim.n_workers,
               "need at least one worker per cell");
@@ -164,7 +216,8 @@ UplinkStudy::run_strategy_multicell(mgmt::Strategy strategy,
               "need at least one power domain per cell");
 
     MultiCellStrategyOutcome outcome;
-    outcome.strategy = strategy;
+    outcome.strategy = policy.label;
+    outcome.policy = policy;
     outcome.cells.reserve(n_cells);
 
     // Equal static slices; the domain slice rounds down to whole
@@ -186,7 +239,7 @@ UplinkStudy::run_strategy_multicell(mgmt::Strategy strategy,
             cell_stream_seed(config_.model.seed, cell_id);
         UplinkStudy cell_study(cell_cfg);
         cell_study.prepare();
-        outcome.cells.push_back(cell_study.run_strategy(strategy));
+        outcome.cells.push_back(cell_study.run_policy(policy));
         for (std::uint32_t demand :
              outcome.cells.back().sim.active_cores)
             peak_demand[c] = std::max(peak_demand[c], demand);
@@ -201,8 +254,8 @@ UplinkStudy::run_strategy_multicell(mgmt::Strategy strategy,
         peak_demand, config_.power.domain_size,
         config_.power.total_cores);
 
-    const std::string prefix = std::string("study.multicell.") +
-                               mgmt::strategy_name(strategy);
+    const std::string prefix =
+        std::string("study.multicell.") + policy.name;
     metrics_->counter(prefix + ".runs").add(1);
     metrics_->gauge(prefix + ".cells")
         .set(static_cast<double>(n_cells));

@@ -15,6 +15,7 @@
 
 #include "mgmt/core_allocator.hpp"
 #include "mgmt/estimator.hpp"
+#include "mgmt/power_policy.hpp"
 #include "mgmt/strategy.hpp"
 #include "obs/metrics.hpp"
 #include "power/power_model.hpp"
@@ -50,10 +51,25 @@ struct StudyConfig
     void scale_to(std::uint64_t n);
 };
 
+/**
+ * The calibration a prepare() pass produces: the cycles/op scale and
+ * the fitted k_{L,M} slope table.  A plain value — copy it between
+ * studies with the same machine geometry via adopt_calibration() so
+ * bench variants do not re-run the identical calibration sweep.
+ */
+struct Calibration
+{
+    double cycles_per_op = 0.0;
+    mgmt::CalibrationTable table;
+};
+
 /** Everything produced by one strategy run. */
 struct StrategyOutcome
 {
     mgmt::Strategy strategy = mgmt::Strategy::kNoNap;
+    /** The policy that produced this run (label == strategy for the
+     *  five paper presets). */
+    mgmt::PowerPolicy policy = mgmt::PowerPolicy::nonap();
     sim::SimResult sim;
     /** Thermal-corrected power series (one sample per subframe). */
     std::vector<power::PowerSample> series;
@@ -73,6 +89,7 @@ struct StrategyOutcome
 struct MultiCellStrategyOutcome
 {
     mgmt::Strategy strategy = mgmt::Strategy::kNoNap;
+    mgmt::PowerPolicy policy = mgmt::PowerPolicy::nonap();
     /** Per-cell outcomes; lane c serves physical cell id c+1. */
     std::vector<StrategyOutcome> cells;
     double total_power_w = 0.0;   ///< summed per-cell averages
@@ -103,9 +120,31 @@ class UplinkStudy
     /** The calibrated cycles/op scale (after prepare()). */
     double cycles_per_op() const { return config_.sim.cycles_per_op; }
 
+    /** The calibration prepare() produced (cycles/op + slope table). */
+    Calibration calibration() const;
+
+    /**
+     * Adopt a calibration produced by another study with the same
+     * machine geometry (n_workers, delta, clock) instead of running
+     * prepare().  Power policy, DVFS and gating parameters do not
+     * affect calibration — it always measures the NONAP machine — so
+     * bench variants share one pass.
+     */
+    void adopt_calibration(const Calibration &calibration);
+
     /** Run one strategy over a fresh instance of the paper's input
      *  model. */
     StrategyOutcome run_strategy(mgmt::Strategy strategy);
+
+    /** Run one composable power policy over a fresh instance of the
+     *  paper's input model (the five paper strategies are the
+     *  PowerPolicy presets; see mgmt/power_policy.hpp). */
+    StrategyOutcome run_policy(const mgmt::PowerPolicy &policy);
+
+    /** run_strategy_on for an arbitrary policy. */
+    StrategyOutcome run_policy_on(const mgmt::PowerPolicy &policy,
+                                  workload::ParameterModel &model,
+                                  std::uint64_t subframes);
 
     /**
      * Run one strategy over an arbitrary input model (consumed from
@@ -140,6 +179,11 @@ class UplinkStudy
     MultiCellStrategyOutcome
     run_strategy_multicell(mgmt::Strategy strategy, std::size_t n_cells);
 
+    /** run_strategy_multicell for an arbitrary policy. */
+    MultiCellStrategyOutcome
+    run_policy_multicell(const mgmt::PowerPolicy &policy,
+                         std::size_t n_cells);
+
     /**
      * Eq. 6-7: powered-core plan for a simulated run, padded with its
      * last value to cover trailing drain intervals.  When @p stats is
@@ -157,6 +201,10 @@ class UplinkStudy
     const obs::MetricsRegistry &metrics() const { return *metrics_; }
 
   private:
+    /** The preset for @p strategy with the config's orthogonal DVFS
+     *  knobs (sim.policy.dvfs*) carried over. */
+    mgmt::PowerPolicy policy_for(mgmt::Strategy strategy) const;
+
     void record_run_metrics(const StrategyOutcome &outcome);
 
     StudyConfig config_;

@@ -98,6 +98,9 @@ MacConfig::validate() const
         throw std::invalid_argument("MacConfig: pf_window_ttis < 1");
     if (snr_ar_rho < 0.0f || snr_ar_rho >= 1.0f)
         throw std::invalid_argument("MacConfig: snr_ar_rho not in [0,1)");
+    if (bler_gap_alpha <= 0.0 || bler_gap_alpha > 1.0)
+        throw std::invalid_argument(
+            "MacConfig: bler_gap_alpha not in (0,1]");
 }
 
 MacScheduler::MacScheduler(const MacConfig &config) : config_(config)
@@ -153,6 +156,7 @@ MacScheduler::reset()
     outstanding_ = {};
     stats_ = MacStats{};
     finalized_ = false;
+    bler_gap_ = 0.0;
     init_population();
 }
 
@@ -186,7 +190,8 @@ MacScheduler::draw_arrivals()
 {
     // Aggregate Poisson burst process (Knuth): O(arrivals) per TTI, so
     // a mostly-idle million-UE population costs nothing here.
-    const double limit = std::exp(-config_.arrival_rate);
+    const double limit =
+        std::exp(-config_.arrival_rate * arrival_scale_);
     std::uint32_t bursts = 0;
     double p = 1.0;
     for (;;) {
@@ -616,6 +621,17 @@ MacScheduler::on_subframe_complete(const runtime::SubframeOutcome &outcome,
                 // measured constellation EVM.
                 ++stats_.real_feedback;
                 ack = user->crc_ok;
+                if (config_.calibrate_bler) {
+                    // One observed-vs-modelled sample: what would the
+                    // logistic model have predicted for this block?
+                    const float margin =
+                        snr_true_db(ue) - kMcsTable[proc.mcs].req_snr_db;
+                    const double predicted = static_cast<double>(
+                        modelled_bler(margin, config_.bler_slope_db));
+                    bler_gap_ += config_.bler_gap_alpha *
+                                 ((ack ? 0.0 : 1.0) - predicted -
+                                  bler_gap_);
+                }
                 if (user->evm_rms > 0.0f) {
                     snr_obs = -20.0f * std::log10(user->evm_rms);
                     have_channel_info = true;
@@ -629,8 +645,11 @@ MacScheduler::on_subframe_complete(const runtime::SubframeOutcome &outcome,
                 const float truth = snr_true_db(ue);
                 const float margin =
                     truth - kMcsTable[proc.mcs].req_snr_db;
-                ack = !ue.rng.next_bool(static_cast<double>(
-                    modelled_bler(margin, config_.bler_slope_db)));
+                double p = static_cast<double>(
+                    modelled_bler(margin, config_.bler_slope_db));
+                if (config_.calibrate_bler)
+                    p = std::clamp(p + bler_gap_, 0.0, 1.0);
+                ack = !ue.rng.next_bool(p);
                 snr_obs = truth +
                           config_.cqi_noise_db *
                               static_cast<float>(ue.rng.next_gaussian());
@@ -733,6 +752,29 @@ MacScheduler::active_ues() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return active_.size();
+}
+
+void
+MacScheduler::set_arrival_scale(double scale)
+{
+    if (scale < 0.0)
+        throw std::invalid_argument("negative arrival scale");
+    std::lock_guard<std::mutex> lock(mutex_);
+    arrival_scale_ = scale;
+}
+
+double
+MacScheduler::arrival_scale() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return arrival_scale_;
+}
+
+double
+MacScheduler::bler_gap() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bler_gap_;
 }
 
 void

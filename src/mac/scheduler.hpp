@@ -134,6 +134,19 @@ struct MacConfig
     /** PF averaging window (TTIs). */
     double pf_window_ttis = 100.0;
 
+    // --- online BLER calibration (DESIGN.md 3k) ---
+    /**
+     * Learn the gap between the modelled logistic BLER and real decode
+     * verdicts: every real-CRC feedback sample updates an EWMA of
+     * (observed error - modelled prediction), and modelled draws are
+     * then corrected by that gap.  Pairs with
+     * ReceiverConfig::decode_sample_rate, which keeps a small real-
+     * decode sample alive on the bypass path to feed this loop.
+     */
+    bool calibrate_bler = false;
+    /** EWMA weight of one real-feedback calibration sample. */
+    double bler_gap_alpha = 0.05;
+
     void validate() const;
 };
 
@@ -228,6 +241,19 @@ class MacScheduler final : public runtime::SubframeFeedbackSink
     std::size_t active_ues() const;
 
     /**
+     * Scale the traffic intensity without reconfiguring: arrivals draw
+     * at arrival_rate * scale from the next TTI on.  Drives diurnal
+     * load shapes over a fixed UE population (core::ChipFleet).
+     */
+    void set_arrival_scale(double scale);
+    double arrival_scale() const;
+
+    /** Current observed-minus-modelled BLER gap (EWMA; 0 until the
+     *  first real-feedback sample arrives or when calibrate_bler is
+     *  off). */
+    double bler_gap() const;
+
+    /**
      * Register mac.* counters with @p registry (and optionally emit a
      * kMacGrant instant span per TTI on @p tracer slot @p slot).
      * Call before the run; the hot path then updates cached pointers.
@@ -285,6 +311,10 @@ class MacScheduler final : public runtime::SubframeFeedbackSink
 
     std::uint64_t tti_ = 0;
     Rng traffic_rng_{1};
+    /** Multiplier on config_.arrival_rate (set_arrival_scale). */
+    double arrival_scale_ = 1.0;
+    /** EWMA of (observed - modelled) BLER from real-CRC feedback. */
+    double bler_gap_ = 0.0;
     std::vector<UeState> ues_;
     /** Indices of UEs with backlog or in-flight blocks. */
     std::vector<std::uint32_t> active_;

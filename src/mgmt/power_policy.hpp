@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Composable power-management policy and the per-domain power-state
+ * machine (DESIGN.md Sec. 3k).
+ *
+ * The paper evaluates five fixed strategies (Table I/II).  This layer
+ * decomposes them into orthogonal mechanisms that compose freely:
+ *
+ *   - reactive_idle  — idle workers nap and poll (paper IDLE)
+ *   - proactive      — Eq. 5 watermark deactivates surplus workers
+ *                      (paper NAP)
+ *   - analytical_gating — the Sec. VI-C post-hoc Eq. 6-9 overlay on
+ *                      the occupancy trace (paper PowerGating)
+ *   - dvfs           — continuous per-subframe frequency scaling (the
+ *                      PR 7 future-work extension)
+ *   - domain_machine — the PR 10 per-8-core-domain power-state
+ *                      machine: each domain is {active @ f-V rung,
+ *                      nap, gated} with explicit transition latencies
+ *                      and energy charges, gating applied *inline* by
+ *                      the simulator instead of analytically after
+ *                      the fact.
+ *
+ * The five paper strategies are reproduced bit-for-bit as preset
+ * policies (see from_strategy); the parity tests pin their digests.
+ */
+#ifndef LTE_MGMT_POWER_POLICY_HPP
+#define LTE_MGMT_POWER_POLICY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mgmt/strategy.hpp"
+
+namespace lte::mgmt {
+
+/** State of one power domain under the domain state machine. */
+enum class DomainState : std::uint8_t
+{
+    kActive = 0, ///< powered, clocked at the domain's f-V rung
+    kNap = 1,    ///< clock-gated (workers nap; cheap instant wake)
+    kGated = 2,  ///< power-gated (no static power; slow costly wake)
+};
+
+/** Display name for traces and exports. */
+constexpr const char *
+domain_state_name(DomainState s)
+{
+    switch (s) {
+      case DomainState::kActive: return "active";
+      case DomainState::kNap: return "nap";
+      case DomainState::kGated: return "gated";
+    }
+    return "?";
+}
+
+/**
+ * Latency and energy charged by the simulator for domain-state and
+ * rung transitions (domain_machine mode only).  Defaults follow the
+ * magnitudes of the paper's Sec. VI-C overhead discussion: waking a
+ * power-gated domain costs tens of microseconds and a switching-energy
+ * charge comparable to the 15 mW-for-one-subframe Eq. 9 term.
+ */
+struct TransitionCosts
+{
+    /** Latency before a power-gated domain's workers can take work. */
+    double gate_wake_s = 50e-6;
+    /** Energy charged per domain gate/ungate event (Eq. 9's 15 mW
+     *  x 5 ms per 8-core domain ~= 75 uJ). */
+    double gate_energy_j = 75e-6;
+    /** Chip-wide stall while the PLL/regulator settles on a new
+     *  f-V rung; new task starts are delayed by this much. */
+    double rung_switch_s = 10e-6;
+    /** Energy charged per rung switch per active domain. */
+    double rung_energy_j = 20e-6;
+};
+
+/**
+ * A power-management policy: which mechanisms are enabled and how the
+ * domain state machine is parameterised.  Plain value type; copy
+ * freely.
+ */
+struct PowerPolicy
+{
+    /** Closest paper-strategy label (naming, metrics, trace pids). */
+    Strategy label = Strategy::kNoNap;
+
+    // --- paper mechanisms (bit-for-bit legacy semantics) ---
+    /** Eq. 5 watermark: deactivate workers beyond the estimate. */
+    bool proactive = false;
+    /** Idle workers nap and poll instead of spinning. */
+    bool reactive_idle = false;
+    /** Apply the analytical Eq. 6-9 gating overlay to the series. */
+    bool analytical_gating = false;
+
+    // --- continuous DVFS (PR 7 extension) ---
+    bool dvfs = false;
+    /** Estimation headroom added before choosing the frequency. */
+    double dvfs_margin = 0.10;
+    /** Lowest allowed frequency as a fraction of the nominal clock. */
+    double dvfs_min_scale = 0.25;
+
+    // --- per-domain power-state machine (PR 10) ---
+    /** Track 8-core domains as {active@rung, nap, gated} with inline
+     *  transition stalls and energy charges.  Requires proactive. */
+    bool domain_machine = false;
+    /** Cores per power domain (the TILEPro64 grid has 8). */
+    std::uint32_t domain_size = 8;
+    /** Discrete f-V rungs (ascending fractions of the nominal clock,
+     *  last entry 1.0).  Empty = single full-speed rung. */
+    std::vector<double> rungs;
+    /** Dispatch intervals a domain must be surplus before it is
+     *  power-gated (hysteresis against gating thrash; it naps while
+     *  waiting). */
+    std::uint32_t gate_hysteresis = 2;
+    TransitionCosts costs;
+
+    /** Short display name, e.g. "NAP+IDLE" or "DOMAIN-DVFS". */
+    const char *name = "NONAP";
+
+    void validate() const;
+
+    /** True when any estimator-driven mechanism is enabled. */
+    bool
+    wants_estimator() const
+    {
+        return proactive || dvfs || domain_machine;
+    }
+
+    // --- the five paper strategies, bit-for-bit ---
+    static PowerPolicy nonap();
+    static PowerPolicy idle();
+    static PowerPolicy nap();
+    static PowerPolicy nap_idle();
+    static PowerPolicy power_gating();
+    static PowerPolicy from_strategy(Strategy s);
+
+    /** The PR 10 composite: NAP+IDLE semantics plus the per-domain
+     *  state machine with a four-rung DVFS ladder and inline gating. */
+    static PowerPolicy domain_dvfs();
+
+    /** All policies in presentation order: the five paper strategies
+     *  plus the domain-DVFS composite. */
+    static std::vector<PowerPolicy> all_presets();
+};
+
+} // namespace lte::mgmt
+
+#endif // LTE_MGMT_POWER_POLICY_HPP

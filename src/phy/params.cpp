@@ -71,6 +71,8 @@ ReceiverConfig::validate() const
     LTE_CHECK(turbo_reduced_iterations >= 1 &&
                   turbo_reduced_iterations <= turbo_iterations,
               "reduced iteration budget must be 1..turbo_iterations");
+    LTE_CHECK(decode_sample_rate >= 0.0 && decode_sample_rate <= 1.0,
+              "decode sample rate must be in [0, 1]");
 }
 
 } // namespace lte::phy

@@ -130,6 +130,17 @@ struct ReceiverConfig
     /** Iteration budget under DegradeLevel::kReducedIterations. */
     std::uint32_t turbo_reduced_iterations = 2;
 
+    /**
+     * Fraction of users that keep a real (reduced-iteration) decode
+     * when a subframe is shed to DegradeLevel::kBypass, chosen by a
+     * deterministic per-(subframe, user) hash.  Real-turbo runs only.
+     * The sampled users' CRC verdicts stay real (crc_modelled ==
+     * false), feeding the MAC's online BLER calibration
+     * (MacConfig::calibrate_bler) even while the admission controller
+     * sheds.  0 disables sampling (every bypass verdict is modelled).
+     */
+    double decode_sample_rate = 0.0;
+
     void validate() const;
 };
 

@@ -34,10 +34,46 @@ PowerModel::PowerModel(const PowerModelConfig &config)
 }
 
 double
+PowerModel::interval_power_domains(
+    const sim::SimInterval &interval) const
+{
+    // Per-domain pricing (domain state machine, DESIGN.md Sec. 3k):
+    // each domain's active occupancy is priced at its own f-V rung,
+    // power-gated cores shed their static power (the inline analogue
+    // of Eq. 9), and the simulator's transition energy charges are
+    // spread over the interval.
+    const double inv = 1.0 / interval.dur;
+    double watts = config_.base_power_w +
+                   interval.transition_energy_j * inv;
+    for (const auto &dom : interval.domains) {
+        const double scale = dom.freq_scale;
+        const double voltage =
+            config_.dvfs_voltage_floor +
+            (1.0 - config_.dvfs_voltage_floor) * scale;
+        const double dvfs_factor = scale * voltage * voltage;
+        const double nap_idle_w =
+            config_.nap_core_w +
+            config_.idle_poll_duty * config_.busy_core_w * dvfs_factor;
+        const double nap_deact_w =
+            config_.nap_core_w +
+            config_.deact_poll_duty * config_.busy_core_w *
+                dvfs_factor;
+        watts += dom.busy_cs * inv * config_.busy_core_w * dvfs_factor +
+                 dom.spin_cs * inv * config_.spin_core_w * dvfs_factor +
+                 dom.nap_idle_cs * inv * nap_idle_w +
+                 dom.nap_deact_cs * inv * nap_deact_w -
+                 dom.gated_cs * inv * config_.core_static_w;
+    }
+    return watts;
+}
+
+double
 PowerModel::interval_power(const sim::SimInterval &interval) const
 {
     if (interval.dur <= 0.0)
         return config_.base_power_w;
+    if (!interval.domains.empty())
+        return interval_power_domains(interval);
     const double inv = 1.0 / interval.dur;
     const double busy_cores = interval.busy_cs * inv;
     const double spin_cores = interval.spin_cs * inv;

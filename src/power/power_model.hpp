@@ -89,7 +89,10 @@ class PowerModel
   public:
     explicit PowerModel(const PowerModelConfig &config = {});
 
-    /** Electrical power of one interval, before thermal feedback. */
+    /** Electrical power of one interval, before thermal feedback.
+     *  Intervals carrying per-domain tracks (domain state machine)
+     *  are priced per rung per domain, with inline gating savings
+     *  and the simulator's transition energy charges. */
     double interval_power(const sim::SimInterval &interval) const;
 
     /** Full power series with thermal feedback. */
@@ -120,6 +123,9 @@ class PowerModel
                 double window_s = 0.1);
 
   private:
+    double
+    interval_power_domains(const sim::SimInterval &interval) const;
+
     std::vector<PowerSample>
     with_thermal(std::vector<PowerSample> series) const;
 

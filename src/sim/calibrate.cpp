@@ -44,7 +44,7 @@ steady_state_activity(const SimConfig &config,
 {
     LTE_CHECK(duration_s > 0.0, "duration must be positive");
     SimConfig run_cfg = config;
-    run_cfg.strategy = mgmt::Strategy::kNoNap;
+    run_cfg.policy = mgmt::PowerPolicy::nonap();
 
     workload::SteadyModel model(user);
     Machine machine(run_cfg, n_antennas);

@@ -44,6 +44,14 @@ Machine::interval_at_index(std::size_t idx)
                 config_.delta_s;
         iv.dur = config_.delta_s;
         iv.watermark = watermark_;
+        if (n_domains_ > 0) {
+            iv.domains.resize(n_domains_);
+            for (std::uint32_t d = 0; d < n_domains_; ++d) {
+                iv.domains[d].freq_scale = domains_[d].freq;
+                iv.domains[d].state =
+                    static_cast<std::uint8_t>(domains_[d].state);
+            }
+        }
         result_.intervals.push_back(iv);
     }
     return result_.intervals[idx];
@@ -54,6 +62,7 @@ Machine::accumulate(std::uint32_t w, double t)
 {
     Worker &worker = workers_[w];
     double cur = worker.last_t;
+    const std::uint32_t d = n_domains_ > 0 ? domain_of(w) : 0;
     // Integer interval stepping: each iteration either reaches t or
     // advances to the next interval boundary, so termination does not
     // depend on floating-point epsilons.
@@ -65,20 +74,36 @@ Machine::accumulate(std::uint32_t w, double t)
         const double seg_end = std::min(t, end);
         const double take = seg_end - cur;
         if (take > 0.0) {
-            switch (worker.state) {
-              case WState::kBusy:
-                iv.busy_cs += take;
-                result_.total_busy_cs += take;
-                break;
-              case WState::kSpin:
-                iv.spin_cs += take;
-                break;
-              case WState::kNapIdle:
-                iv.nap_idle_cs += take;
-                break;
-              case WState::kNapDeact:
-                iv.nap_deact_cs += take;
-                break;
+            DomainInterval *dom =
+                n_domains_ > 0 ? &iv.domains[d] : nullptr;
+            if (worker.gated) {
+                iv.gated_cs += take;
+                if (dom != nullptr)
+                    dom->gated_cs += take;
+            } else {
+                switch (worker.state) {
+                  case WState::kBusy:
+                    iv.busy_cs += take;
+                    result_.total_busy_cs += take;
+                    if (dom != nullptr)
+                        dom->busy_cs += take;
+                    break;
+                  case WState::kSpin:
+                    iv.spin_cs += take;
+                    if (dom != nullptr)
+                        dom->spin_cs += take;
+                    break;
+                  case WState::kNapIdle:
+                    iv.nap_idle_cs += take;
+                    if (dom != nullptr)
+                        dom->nap_idle_cs += take;
+                    break;
+                  case WState::kNapDeact:
+                    iv.nap_deact_cs += take;
+                    if (dom != nullptr)
+                        dom->nap_deact_cs += take;
+                    break;
+                }
             }
         }
         cur = seg_end;
@@ -138,10 +163,14 @@ Machine::start_task(std::uint32_t w, double t, const SimTask &task)
     set_state(w, t, WState::kBusy);
     running_[w] = task;
     // A task started under the current DVFS point runs to completion
-    // at that frequency.
-    const double duration =
-        task.cycles / (config_.clock_hz * freq_scale_);
-    push_event(t + duration, Event::Kind::kTaskDone, w);
+    // at that frequency; under the domain machine the worker runs at
+    // its own domain's rung and a pending rung switch stalls the
+    // start until the regulator has settled.
+    const double freq = n_domains_ > 0 ? domains_[domain_of(w)].freq
+                                       : freq_scale_;
+    const double begin = std::max(t, stall_until_);
+    const double duration = task.cycles / (config_.clock_hz * freq);
+    push_event(begin + duration, Event::Kind::kTaskDone, w);
 }
 
 void
@@ -166,7 +195,7 @@ Machine::assign_ready(double t)
     for (std::uint32_t w = 0; w < config_.n_workers && needed > 0; ++w) {
         Worker &worker = workers_[w];
         if (worker.state != WState::kNapIdle || worker.wake_scheduled ||
-            w >= watermark_) {
+            w >= watermark_ || worker.gated) {
             continue;
         }
         worker.wake_scheduled = true;
@@ -178,15 +207,14 @@ Machine::assign_ready(double t)
 void
 Machine::apply_watermark(double t)
 {
-    const bool idle_naps =
-        config_.strategy == mgmt::Strategy::kIdle ||
-        config_.strategy == mgmt::Strategy::kNapIdle ||
-        config_.strategy == mgmt::Strategy::kPowerGating;
+    const bool idle_naps = config_.policy.reactive_idle;
 
     for (std::uint32_t w = 0; w < config_.n_workers; ++w) {
         Worker &worker = workers_[w];
         if (worker.state == WState::kBusy)
             continue; // re-evaluated on completion
+        if (worker.gated)
+            continue; // waiting for its domain's kDomainReady
         if (w >= watermark_) {
             if (worker.state != WState::kNapDeact)
                 set_state(w, t, WState::kNapDeact);
@@ -200,6 +228,132 @@ Machine::apply_watermark(double t)
 }
 
 void
+Machine::update_domains(double t, double est, SimInterval &iv)
+{
+    const mgmt::PowerPolicy &pol = config_.policy;
+    const std::uint32_t needed_cores = std::max<std::uint32_t>(
+        1, std::min(watermark_, config_.n_workers));
+    const std::uint32_t needed_domains = std::min<std::uint32_t>(
+        n_domains_,
+        (needed_cores + pol.domain_size - 1) / pol.domain_size);
+
+    // Pick the slowest f-V rung that still fits the estimated work
+    // (plus headroom) into the dispatch period; the requirement is
+    // normalised to the active set exactly as continuous DVFS does.
+    double rung = 1.0;
+    if (!pol.rungs.empty()) {
+        const double active = static_cast<double>(
+            needed_domains * pol.domain_size);
+        const double required =
+            est * static_cast<double>(config_.n_workers) / active +
+            pol.dvfs_margin;
+        rung = pol.rungs.back();
+        for (double r : pol.rungs) {
+            if (r >= required) {
+                rung = r;
+                break;
+            }
+        }
+    }
+
+    std::uint32_t active_domains = 0;
+    for (std::uint32_t d = 0; d < n_domains_; ++d) {
+        DomainRt &dom = domains_[d];
+        if (d < needed_domains) {
+            dom.surplus_streak = 0;
+            if (dom.state == mgmt::DomainState::kGated) {
+                // Begin waking: workers stay gated (taking no work)
+                // until the wake latency elapses.
+                dom.state = mgmt::DomainState::kActive;
+                iv.transition_energy_j += pol.costs.gate_energy_j;
+                ++iv.gate_transitions;
+                push_event(t + pol.costs.gate_wake_s,
+                           Event::Kind::kDomainReady, d);
+            } else if (dom.state == mgmt::DomainState::kNap) {
+                dom.state = mgmt::DomainState::kActive;
+            }
+            ++active_domains;
+        } else {
+            switch (dom.state) {
+              case mgmt::DomainState::kActive:
+                dom.state = mgmt::DomainState::kNap;
+                dom.surplus_streak = 1;
+                break;
+              case mgmt::DomainState::kNap: {
+                ++dom.surplus_streak;
+                const std::uint32_t lo = d * pol.domain_size;
+                const std::uint32_t hi =
+                    std::min((d + 1) * pol.domain_size,
+                             config_.n_workers);
+                bool draining = false;
+                for (std::uint32_t w = lo; w < hi; ++w)
+                    draining |= workers_[w].state == WState::kBusy;
+                if (dom.surplus_streak >= pol.gate_hysteresis &&
+                    !draining) {
+                    dom.state = mgmt::DomainState::kGated;
+                    iv.transition_energy_j += pol.costs.gate_energy_j;
+                    ++iv.gate_transitions;
+                    for (std::uint32_t w = lo; w < hi; ++w) {
+                        accumulate(w, t);
+                        workers_[w].gated = true;
+                    }
+                }
+                break;
+              }
+              case mgmt::DomainState::kGated:
+                break;
+            }
+        }
+    }
+
+    // Apply the rung chip-wide to the active domains; a switch stalls
+    // new task starts while the PLL/regulator settles and charges
+    // energy per active domain.
+    if (!pol.rungs.empty() && rung != freq_scale_) {
+        ++iv.rung_transitions;
+        iv.transition_energy_j +=
+            pol.costs.rung_energy_j *
+            static_cast<double>(active_domains);
+        stall_until_ = std::max(stall_until_,
+                                t + pol.costs.rung_switch_s);
+        freq_scale_ = rung;
+    }
+    for (std::uint32_t d = 0; d < n_domains_; ++d) {
+        if (domains_[d].state == mgmt::DomainState::kActive)
+            domains_[d].freq = freq_scale_;
+    }
+
+    result_.transition_energy_j += iv.transition_energy_j;
+}
+
+void
+Machine::handle_domain_ready(double t, std::uint32_t d)
+{
+    const mgmt::PowerPolicy &pol = config_.policy;
+    DomainRt &dom = domains_[d];
+    if (dom.state != mgmt::DomainState::kActive)
+        return; // re-gated while waking (stale event)
+    const bool idle_naps = pol.reactive_idle;
+    const std::uint32_t lo = d * pol.domain_size;
+    const std::uint32_t hi =
+        std::min((d + 1) * pol.domain_size, config_.n_workers);
+    for (std::uint32_t w = lo; w < hi; ++w) {
+        Worker &worker = workers_[w];
+        if (!worker.gated)
+            continue;
+        accumulate(w, t);
+        worker.gated = false;
+        if (w < watermark_) {
+            set_state(w, t,
+                      idle_naps ? WState::kNapIdle : WState::kSpin);
+        } else {
+            set_state(w, t, WState::kNapDeact);
+        }
+    }
+    assign_ready(t);
+}
+
+void
 Machine::handle_dispatch(double t, workload::ParameterModel &model)
 {
     const phy::SubframeParams params = model.next_subframe();
@@ -209,9 +363,7 @@ Machine::handle_dispatch(double t, workload::ParameterModel &model)
     double est = 0.0;
     if (estimator_.has_value()) {
         est = estimator_->estimate_subframe(params);
-        if (config_.strategy == mgmt::Strategy::kNap ||
-            config_.strategy == mgmt::Strategy::kNapIdle ||
-            config_.strategy == mgmt::Strategy::kPowerGating) {
+        if (config_.policy.proactive) {
             watermark_ = std::max<std::uint32_t>(
                 1, estimator_->active_cores(est, config_.n_workers,
                                             config_.core_margin));
@@ -225,24 +377,38 @@ Machine::handle_dispatch(double t, workload::ParameterModel &model)
     // has already shrunk the active set the required frequency is
     // est * n_workers / watermark — otherwise the two mechanisms
     // would double-throttle and the backlog would run away.
-    if (config_.dvfs && estimator_.has_value()) {
+    if (config_.policy.dvfs && estimator_.has_value()) {
         const double active = static_cast<double>(
             std::max<std::uint32_t>(watermark_, 1));
         const double required =
             est * static_cast<double>(config_.n_workers) / active;
-        freq_scale_ = std::clamp(required + config_.dvfs_margin,
-                                 config_.dvfs_min_scale, 1.0);
+        freq_scale_ = std::clamp(required + config_.policy.dvfs_margin,
+                                 config_.policy.dvfs_min_scale, 1.0);
     }
-    apply_watermark(t);
 
     // Metadata is indexed by dispatch count, not by floor(t / delta):
     // accumulated floating-point dispatch times can land an ulp below
     // the interval boundary.
     SimInterval &iv =
         interval_at_index(static_cast<std::size_t>(dispatched_));
+
+    if (n_domains_ > 0 && estimator_.has_value())
+        update_domains(t, est, iv);
+    apply_watermark(t);
+
     iv.watermark = watermark_;
     iv.est_activity = est;
     iv.freq_scale = freq_scale_;
+    if (n_domains_ > 0) {
+        iv.domains.resize(n_domains_);
+        for (std::uint32_t d = 0; d < n_domains_; ++d) {
+            iv.domains[d].freq_scale = domains_[d].freq;
+            iv.domains[d].state =
+                static_cast<std::uint8_t>(domains_[d].state);
+        }
+        result_.gate_transitions += iv.gate_transitions;
+        result_.rung_transitions += iv.rung_transitions;
+    }
 
     // Expand users into task DAGs.
     const phy::DecodeModel decode{config_.turbo_iterations > 0,
@@ -280,6 +446,7 @@ Machine::handle_dispatch(double t, workload::ParameterModel &model)
         dag.decode_total = costs.n_decode_tasks;
         dag.decode_left = costs.n_decode_tasks;
         dag.dispatch_time = t;
+        dag.dispatch_index = static_cast<std::uint32_t>(dispatched_);
         dag.in_use = true;
         ++active_dags_;
 
@@ -344,6 +511,7 @@ Machine::complete_stage(double t, const SimTask &task)
         dag.in_use = false;
         result_.user_latency.push_back(
             (t - dag.dispatch_time) / config_.delta_s);
+        result_.user_dispatch.push_back(dag.dispatch_index);
         free_dags_.push_back(task.dag);
         LTE_ASSERT(active_dags_ > 0, "dag underflow");
         --active_dags_;
@@ -364,10 +532,7 @@ Machine::handle_task_done(double t, std::uint32_t w)
     ++result_.tasks_executed;
     complete_stage(t, running_[w]);
 
-    const bool idle_naps =
-        config_.strategy == mgmt::Strategy::kIdle ||
-        config_.strategy == mgmt::Strategy::kNapIdle ||
-        config_.strategy == mgmt::Strategy::kPowerGating;
+    const bool idle_naps = config_.policy.reactive_idle;
 
     if (w >= watermark_) {
         set_state(w, t, WState::kNapDeact);
@@ -387,7 +552,8 @@ Machine::handle_wake(double t, std::uint32_t w)
 {
     Worker &worker = workers_[w];
     worker.wake_scheduled = false;
-    if (worker.state != WState::kNapIdle || w >= watermark_)
+    if (worker.state != WState::kNapIdle || w >= watermark_ ||
+        worker.gated)
         return; // stale wake
     if (!ready_.empty()) {
         const SimTask task = ready_.front();
@@ -420,10 +586,17 @@ Machine::run(workload::ParameterModel &model, std::uint64_t n_subframes)
 
     watermark_ = config_.n_workers;
     freq_scale_ = 1.0;
-    const bool idle_naps =
-        config_.strategy == mgmt::Strategy::kIdle ||
-        config_.strategy == mgmt::Strategy::kNapIdle ||
-        config_.strategy == mgmt::Strategy::kPowerGating;
+    stall_until_ = 0.0;
+    n_domains_ = 0;
+    domains_.clear();
+    if (config_.policy.domain_machine) {
+        n_domains_ = (config_.n_workers + config_.policy.domain_size -
+                      1) /
+                     config_.policy.domain_size;
+        domains_.assign(n_domains_, DomainRt{});
+        result_.n_domains = n_domains_;
+    }
+    const bool idle_naps = config_.policy.reactive_idle;
     for (std::uint32_t w = 0; w < config_.n_workers; ++w) {
         workers_[w].state =
             idle_naps ? WState::kNapIdle : WState::kSpin;
@@ -447,6 +620,9 @@ Machine::run(workload::ParameterModel &model, std::uint64_t n_subframes)
             break;
           case Event::Kind::kWake:
             handle_wake(ev.t, ev.worker);
+            break;
+          case Event::Kind::kDomainReady:
+            handle_domain_ready(ev.t, ev.worker);
             break;
         }
         if (dispatched_ == target_subframes_ && active_dags_ == 0 &&

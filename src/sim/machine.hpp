@@ -10,6 +10,13 @@
  * deactivated by the estimate (Eq. 5 watermark) take no work at all.
  * The run produces a per-interval core-state occupancy trace that the
  * power model turns into Watts.
+ *
+ * Power management follows the machine's mgmt::PowerPolicy: the
+ * paper's reactive/proactive napping, the continuous-DVFS extension,
+ * and (PR 10) the per-domain power-state machine — each 8-core domain
+ * is {active @ f-V rung, nap, gated}; waking a gated domain stalls
+ * its workers for gate_wake_s, rung switches stall new task starts,
+ * and every transition charges energy into the interval trace.
  */
 #ifndef LTE_SIM_MACHINE_HPP
 #define LTE_SIM_MACHINE_HPP
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "mgmt/estimator.hpp"
+#include "mgmt/power_policy.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/trace.hpp"
 #include "workload/parameter_model.hpp"
@@ -62,6 +70,7 @@ class Machine
     struct Dag
     {
         double dispatch_time = 0.0;
+        std::uint32_t dispatch_index = 0;
         double chanest_cycles = 0.0;
         double weights_cycles = 0.0;
         double demod_cycles = 0.0;
@@ -94,8 +103,14 @@ class Machine
     {
         double t = 0.0;
         std::uint64_t seq = 0;
-        enum class Kind : std::uint8_t { kDispatch, kTaskDone, kWake } kind =
-            Kind::kDispatch;
+        enum class Kind : std::uint8_t
+        {
+            kDispatch,
+            kTaskDone,
+            kWake,
+            kDomainReady, ///< gated domain finished waking (worker =
+                          ///< domain index)
+        } kind = Kind::kDispatch;
         std::uint32_t worker = 0;
 
         bool
@@ -112,12 +127,26 @@ class Machine
         WState state = WState::kSpin;
         double last_t = 0.0;
         bool wake_scheduled = false;
+        /** Worker sits in a power-gated domain (domain machine);
+         *  overrides state for occupancy accounting and cannot be
+         *  reactivated until the domain's kDomainReady fires. */
+        bool gated = false;
+    };
+
+    /** Runtime state of one power domain (domain machine only). */
+    struct DomainRt
+    {
+        mgmt::DomainState state = mgmt::DomainState::kActive;
+        /** Consecutive dispatches the domain has been surplus. */
+        std::uint32_t surplus_streak = 0;
+        double freq = 1.0; ///< current f-V rung
     };
 
     // --- event handling ---
     void handle_dispatch(double t, workload::ParameterModel &model);
     void handle_task_done(double t, std::uint32_t w);
     void handle_wake(double t, std::uint32_t w);
+    void handle_domain_ready(double t, std::uint32_t d);
 
     // --- helpers ---
     void push_event(double t, Event::Kind kind, std::uint32_t worker);
@@ -130,8 +159,15 @@ class Machine
     std::optional<std::uint32_t> pop_spinner();
     double next_wake_time(std::uint32_t w, double t) const;
     void apply_watermark(double t);
+    void update_domains(double t, double est, SimInterval &iv);
     std::uint32_t alloc_dag();
     void complete_stage(double t, const SimTask &task);
+
+    std::uint32_t
+    domain_of(std::uint32_t w) const
+    {
+        return w / config_.policy.domain_size;
+    }
 
     SimConfig config_;
     std::size_t n_antennas_;
@@ -151,6 +187,10 @@ class Machine
     double freq_scale_ = 1.0;
     std::uint64_t dispatched_ = 0;
     std::uint64_t target_subframes_ = 0;
+    // domain machine state (empty vectors unless enabled)
+    std::vector<DomainRt> domains_;
+    std::uint32_t n_domains_ = 0;
+    double stall_until_ = 0.0; ///< rung-switch settle deadline
     SimResult result_;
 };
 

@@ -17,7 +17,7 @@
 #include <cstdint>
 
 #include "common/check.hpp"
-#include "mgmt/strategy.hpp"
+#include "mgmt/power_policy.hpp"
 
 namespace lte::sim {
 
@@ -38,8 +38,11 @@ struct SimConfig
      *  so the maximum workload saturates the chip (DESIGN.md). */
     double cycles_per_op = 1.0;
 
-    /** Core-deactivation strategy under study. */
-    mgmt::Strategy strategy = mgmt::Strategy::kNoNap;
+    /** Power-management policy under study: which mechanisms are
+     *  enabled (reactive napping, Eq. 5 watermark, DVFS, the
+     *  per-domain state machine) and their parameters.  The five
+     *  paper strategies are the PowerPolicy::from_strategy presets. */
+    mgmt::PowerPolicy policy = mgmt::PowerPolicy::nonap();
 
     /** Wake-poll period of a reactive (IDLE) napping worker looking
      *  for work; bounds the pickup latency. */
@@ -63,15 +66,6 @@ struct SimConfig
      *  pass-through pipeline: no decode stage at all. */
     std::uint32_t turbo_iterations = 0;
 
-    // --- DVFS extension (the paper's future-work direction) ---
-    /** Scale clock frequency per subframe from the workload estimate
-     *  instead of (or in addition to) gating cores. */
-    bool dvfs = false;
-    /** Estimation headroom added before choosing the frequency. */
-    double dvfs_margin = 0.10;
-    /** Lowest allowed frequency as a fraction of the nominal clock. */
-    double dvfs_min_scale = 0.25;
-
     void
     validate() const
     {
@@ -82,10 +76,7 @@ struct SimConfig
         LTE_CHECK(cycles_per_op > 0.0, "cycles/op must be positive");
         LTE_CHECK(idle_wake_period_s > 0.0,
                   "wake period must be positive");
-        LTE_CHECK(dvfs_margin >= 0.0 && dvfs_margin <= 1.0,
-                  "DVFS margin must be a fraction");
-        LTE_CHECK(dvfs_min_scale > 0.0 && dvfs_min_scale <= 1.0,
-                  "DVFS floor must be in (0, 1]");
+        policy.validate();
     }
 };
 

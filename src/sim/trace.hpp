@@ -13,8 +13,26 @@
 namespace lte::sim {
 
 /**
+ * Per-power-domain occupancy within one dispatch interval
+ * (domain-machine runs only; DESIGN.md Sec. 3k).  The five core-second
+ * tracks sum to domain_size * dur.
+ */
+struct DomainInterval
+{
+    double busy_cs = 0.0;
+    double spin_cs = 0.0;
+    double nap_idle_cs = 0.0;
+    double nap_deact_cs = 0.0;
+    double gated_cs = 0.0;
+    /** The domain's f-V rung this interval (fraction of nominal). */
+    double freq_scale = 1.0;
+    /** mgmt::DomainState at dispatch (0 active, 1 nap, 2 gated). */
+    std::uint8_t state = 0;
+};
+
+/**
  * Core-state occupancy over one dispatch interval (core-seconds per
- * state; they sum to n_workers * dur).
+ * state; busy+spin+nap_idle+nap_deact+gated sum to n_workers * dur).
  */
 struct SimInterval
 {
@@ -24,9 +42,18 @@ struct SimInterval
     double spin_cs = 0.0;     ///< active, spinning for work
     double nap_idle_cs = 0.0; ///< reactive nap (polls for work)
     double nap_deact_cs = 0.0;///< deactivated by estimate (status poll)
+    double gated_cs = 0.0;    ///< power-gated by the domain machine
     std::uint32_t watermark = 0;   ///< active cores this interval
     double est_activity = 0.0;     ///< estimator output (if any)
     double freq_scale = 1.0;       ///< DVFS frequency (fraction of nominal)
+
+    // --- per-domain state machine (empty unless enabled) ---
+    /** Per-domain occupancy and rung; one entry per power domain. */
+    std::vector<DomainInterval> domains;
+    /** Energy charged for state/rung transitions this interval [J]. */
+    double transition_energy_j = 0.0;
+    std::uint32_t gate_transitions = 0; ///< domain gate/ungate events
+    std::uint32_t rung_transitions = 0; ///< f-V rung switches
 
     /** Measured activity of this interval (busy share of workers). */
     double
@@ -48,6 +75,13 @@ struct SimResult
     double wall_s = 0.0;        ///< simulated duration
     double total_busy_cs = 0.0; ///< integral of busy core-seconds
     std::uint32_t n_workers = 0;
+    /** Power domains tracked by the domain state machine (0 = the
+     *  legacy chip-wide accounting). */
+    std::uint32_t n_domains = 0;
+    /** Total transition energy charged by the domain machine [J]. */
+    double transition_energy_j = 0.0;
+    std::uint64_t gate_transitions = 0;
+    std::uint64_t rung_transitions = 0;
 
     /** Per-subframe Eq. 5 outputs (empty without an estimator). */
     std::vector<std::uint32_t> active_cores;
@@ -61,6 +95,9 @@ struct SimResult
      * ~3; sustained growth means the machine cannot keep up.
      */
     std::vector<double> user_latency;
+    /** Dispatch (subframe) index of each user_latency entry, so
+     *  deadline misses can be bucketed by offered load. */
+    std::vector<std::uint32_t> user_dispatch;
 
     double
     max_latency() const

@@ -42,6 +42,8 @@ class DiurnalModel : public ParameterModel
     /** Instantaneous target load for a subframe index. */
     double load_at(std::uint64_t subframe) const;
 
+    const DiurnalModelConfig &config() const { return cfg_; }
+
   private:
     DiurnalModelConfig cfg_;
     Rng rng_;

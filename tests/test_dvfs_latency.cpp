@@ -87,7 +87,7 @@ TEST(Latency, DeadlineHitRateBoundaries)
 TEST(Dvfs, FrequencyTracksEstimatedLoad)
 {
     sim::SimConfig cfg = calibrated();
-    cfg.dvfs = true;
+    cfg.policy.dvfs = true;
     sim::Machine machine(cfg);
     machine.set_estimator(quick_estimator(cfg));
     workload::SteadyModel model(user(20, 1, Modulation::kQpsk));
@@ -97,14 +97,14 @@ TEST(Dvfs, FrequencyTracksEstimatedLoad)
     for (std::size_t i = 1; i < 30; ++i) {
         EXPECT_LE(result.intervals[i].freq_scale, 0.5)
             << "i=" << i << " est=" << result.intervals[i].est_activity;
-        EXPECT_GE(result.intervals[i].freq_scale, cfg.dvfs_min_scale);
+        EXPECT_GE(result.intervals[i].freq_scale, cfg.policy.dvfs_min_scale);
     }
 }
 
 TEST(Dvfs, FullLoadRunsAtFullClock)
 {
     sim::SimConfig cfg = calibrated();
-    cfg.dvfs = true;
+    cfg.policy.dvfs = true;
     sim::Machine machine(cfg);
     machine.set_estimator(quick_estimator(cfg));
     workload::SteadyModel model(user(200, 4, Modulation::k64Qam));
@@ -117,7 +117,7 @@ TEST(Dvfs, ScalingStretchesBusyTimeButWorkCompletes)
 {
     sim::SimConfig base = calibrated();
     sim::SimConfig dvfs = base;
-    dvfs.dvfs = true;
+    dvfs.policy.dvfs = true;
 
     workload::SteadyModel m1(user(30, 1, Modulation::kQpsk));
     workload::SteadyModel m2(user(30, 1, Modulation::kQpsk));
@@ -161,7 +161,7 @@ TEST(Dvfs, StudyVariantSavesPowerOnPaperModel)
         plain.run_strategy(mgmt::Strategy::kNoNap).avg_power_w;
 
     core::StudyConfig dvfs_cfg = cfg;
-    dvfs_cfg.sim.dvfs = true;
+    dvfs_cfg.sim.policy.dvfs = true;
     core::UplinkStudy dvfs(dvfs_cfg);
     dvfs.prepare();
     const auto outcome = dvfs.run_strategy(mgmt::Strategy::kNoNap);
@@ -176,7 +176,7 @@ TEST(Dvfs, StudyVariantSavesPowerOnPaperModel)
 TEST(Dvfs, RejectsBadConfig)
 {
     sim::SimConfig cfg;
-    cfg.dvfs_min_scale = 0.0;
+    cfg.policy.dvfs_min_scale = 0.0;
     EXPECT_THROW(sim::Machine machine(cfg), std::invalid_argument);
     power::PowerModelConfig pcfg;
     pcfg.dvfs_voltage_floor = 1.5;

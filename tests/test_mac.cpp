@@ -18,6 +18,7 @@
 #include "mac/scheduler.hpp"
 #include "phy/user_processor.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/task.hpp"
 #include "workload/paper_model.hpp"
 
 namespace lte::mac {
@@ -393,6 +394,54 @@ TEST(CrcProvenance, BypassDegradeFlipsRealDecodeToModelled)
     EXPECT_TRUE(provenance(phy::DegradeLevel::kBypass));
 }
 
+TEST(CrcProvenance, BypassSamplingKeepsRealCrcForSampledUsers)
+{
+    // decode_sample_rate keeps a deterministic per-(subframe, user)
+    // fraction of a shed subframe at the reduced-iteration real
+    // decode, so the MAC's online BLER calibration still gets ground
+    // truth while the rest of the subframe rides the bypass.
+    runtime::EngineConfig cfg;
+    cfg.kind = runtime::EngineKind::kSerial;
+    cfg.receiver.use_real_turbo = true;
+    cfg.receiver.decode_sample_rate = 0.5;
+    cfg.input.pool_size = 2;
+    cfg.input.real_turbo = true;
+    cfg.input.realistic = true;
+    cfg.input.seed = 5;
+    auto engine = runtime::make_engine(cfg);
+
+    phy::SubframeParams params;
+    params.subframe_index = 3;
+    for (std::uint32_t id = 0; id < 6; ++id) {
+        phy::UserParams user;
+        user.id = id;
+        user.prb = 8;
+        user.layers = 1;
+        user.mod = Modulation::kQpsk;
+        params.users.push_back(user);
+    }
+    const auto signals = engine->input().signals_for(params);
+
+    runtime::SubframeJob job;
+    job.prepare(params, signals, cfg.receiver);
+    job.set_degrade(phy::DegradeLevel::kBypass);
+    std::size_t sampled_users = 0;
+    for (std::size_t u = 0; u < job.n_users; ++u) {
+        const bool sampled =
+            runtime::SubframeJob::sample_hash(params.subframe_index,
+                                              params.users[u].id) <
+            cfg.receiver.decode_sample_rate;
+        sampled_users += sampled;
+        // A sampled user really decodes (real CRC); the rest are
+        // hard-decided and must say their verdict is modelled.
+        EXPECT_EQ(job.users[u]->proc.process_all().crc_modelled,
+                  !sampled)
+            << "user " << u;
+    }
+    EXPECT_GT(sampled_users, 0u);
+    EXPECT_LT(sampled_users, job.n_users);
+}
+
 // ------------------------------------------------ engine closed loop
 
 TEST(StreamingMacClosedLoop, EngineRunConservesUnderShedding)
@@ -636,6 +685,128 @@ TEST(MacRouter, RoutesFeedbackByCell)
     EXPECT_EQ(router.unrouted(), 1u);
 }
 
+// ------------------------------------------- online BLER calibration
+
+TEST(MacBlerCalibration, GapConvergesTowardObservedBias)
+{
+    MacConfig cfg = small_config();
+    cfg.calibrate_bler = true;
+    cfg.bler_gap_alpha = 0.08;
+    MacScheduler sched(cfg);
+    phy::SubframeParams sf;
+    // Real-CRC feedback that always fails: the logistic predictor is
+    // optimistic by construction here, so the EWMA gap must climb
+    // toward the observed bias (near 1 once OLLA has backed off).
+    for (std::size_t t = 0; t < 800; ++t) {
+        sched.next_tti_into(sf);
+        if (!sf.users.empty())
+            sched.on_subframe_complete(
+                feedback_for(sf, false, false, 0.05f),
+                phy::DegradeLevel::kNone);
+    }
+    EXPECT_GT(sched.bler_gap(), 0.5);
+    EXPECT_LE(sched.bler_gap(), 1.0);
+
+    // Mirror image: flawless real decodes drive the gap negative
+    // (observed 0 minus a strictly positive prediction).
+    MacScheduler clean(cfg);
+    for (std::size_t t = 0; t < 800; ++t) {
+        clean.next_tti_into(sf);
+        if (!sf.users.empty())
+            clean.on_subframe_complete(
+                feedback_for(sf, true, false, 0.05f),
+                phy::DegradeLevel::kNone);
+    }
+    EXPECT_LT(clean.bler_gap(), 0.0);
+    EXPECT_GE(clean.bler_gap(), -1.0);
+}
+
+TEST(MacBlerCalibration, GapShiftsModelledDraws)
+{
+    MacConfig cfg = small_config();
+    cfg.calibrate_bler = true;
+    cfg.bler_gap_alpha = 0.1;
+    MacScheduler sched(cfg);
+    phy::SubframeParams sf;
+    // Phase 1: load a large positive gap from failing real decodes.
+    for (std::size_t t = 0; t < 400; ++t) {
+        sched.next_tti_into(sf);
+        if (!sf.users.empty())
+            sched.on_subframe_complete(
+                feedback_for(sf, false, false, 0.05f),
+                phy::DegradeLevel::kNone);
+    }
+    ASSERT_GT(sched.bler_gap(), 0.5);
+    // Phase 2: modelled feedback only (the gap is frozen).  The
+    // corrected draw p + gap must NACK far more often than the
+    // uncorrected OLLA steady state (~target_bler) would.
+    const MacStats before = sched.stats();
+    for (std::size_t t = 0; t < 400; ++t) {
+        sched.next_tti_into(sf);
+        if (!sf.users.empty())
+            sched.on_subframe_complete(
+                feedback_for(sf, false, true, 0.0f),
+                phy::DegradeLevel::kNone);
+    }
+    const MacStats after = sched.stats();
+    const auto acks = after.acks - before.acks;
+    const auto nacks = after.nacks - before.nacks;
+    ASSERT_GT(acks + nacks, 100u);
+    EXPECT_GT(static_cast<double>(nacks) /
+                  static_cast<double>(acks + nacks),
+              0.5);
+}
+
+TEST(MacBlerCalibration, ZeroGapKeepsDrawsBitIdentical)
+{
+    // With the knob on but no real feedback the gap stays 0 and the
+    // modelled draw consumes the RNG exactly as the legacy path —
+    // grant sequences must stay bit-identical to a knob-off twin.
+    MacConfig on = small_config();
+    on.calibrate_bler = true;
+    MacScheduler a(on);
+    MacScheduler b(small_config());
+    phy::SubframeParams sa;
+    phy::SubframeParams sb;
+    for (std::size_t t = 0; t < 300; ++t) {
+        a.next_tti_into(sa);
+        b.next_tti_into(sb);
+        ASSERT_EQ(sa.users.size(), sb.users.size()) << "tti " << t;
+        for (std::size_t u = 0; u < sa.users.size(); ++u)
+            ASSERT_EQ(sa.users[u], sb.users[u]) << "tti " << t;
+        if (!sa.users.empty()) {
+            a.on_subframe_complete(feedback_for(sa, false, true, 0.0f),
+                                   phy::DegradeLevel::kNone);
+            b.on_subframe_complete(feedback_for(sb, false, true, 0.0f),
+                                   phy::DegradeLevel::kNone);
+        }
+    }
+    EXPECT_EQ(a.stats().nacks, b.stats().nacks);
+    EXPECT_DOUBLE_EQ(a.bler_gap(), 0.0);
+}
+
+TEST(MacArrivalScale, ScaleModulatesOfferedTraffic)
+{
+    MacScheduler sched(small_config());
+    EXPECT_THROW(sched.set_arrival_scale(-0.5), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(sched.arrival_scale(), 1.0);
+
+    // Scale 0 stops the arrival process entirely.
+    MacScheduler idle(small_config());
+    idle.set_arrival_scale(0.0);
+    run_modelled_loop(idle, 200);
+    EXPECT_EQ(idle.stats().packets_arrived, 0u);
+
+    // Higher scale offers proportionally more traffic.
+    MacScheduler heavy(small_config());
+    heavy.set_arrival_scale(3.0);
+    run_modelled_loop(heavy, 200);
+    MacScheduler light(small_config());
+    run_modelled_loop(light, 200);
+    EXPECT_GT(heavy.stats().packets_arrived,
+              light.stats().packets_arrived);
+}
+
 TEST(MacConfigValidate, RejectsBadConfigs)
 {
     MacConfig cfg = small_config();
@@ -646,6 +817,12 @@ TEST(MacConfigValidate, RejectsBadConfigs)
     EXPECT_THROW(MacScheduler{cfg}, std::invalid_argument);
     cfg = small_config();
     cfg.target_bler = 1.5;
+    EXPECT_THROW(MacScheduler{cfg}, std::invalid_argument);
+    cfg = small_config();
+    cfg.bler_gap_alpha = 0.0;
+    EXPECT_THROW(MacScheduler{cfg}, std::invalid_argument);
+    cfg = small_config();
+    cfg.bler_gap_alpha = 1.5;
     EXPECT_THROW(MacScheduler{cfg}, std::invalid_argument);
     EXPECT_EQ(parse_scheduler_policy("pf"),
               SchedulerPolicy::kProportionalFair);

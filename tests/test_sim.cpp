@@ -121,7 +121,7 @@ TEST(Machine, SplitTailShortensHeavyUserLatency)
 TEST(Machine, NoNapUsesOnlySpinAndBusy)
 {
     SimConfig cfg = calibrated_config();
-    cfg.strategy = mgmt::Strategy::kNoNap;
+    cfg.policy = mgmt::PowerPolicy::nonap();
     workload::SteadyModel model(user(30, 1, Modulation::kQpsk));
     Machine machine(cfg);
     const SimResult result = machine.run(model, 40);
@@ -135,7 +135,7 @@ TEST(Machine, NoNapUsesOnlySpinAndBusy)
 TEST(Machine, IdleStrategyNapsInsteadOfSpinning)
 {
     SimConfig cfg = calibrated_config();
-    cfg.strategy = mgmt::Strategy::kIdle;
+    cfg.policy = mgmt::PowerPolicy::idle();
     workload::SteadyModel model(user(30, 1, Modulation::kQpsk));
     Machine machine(cfg);
     const SimResult result = machine.run(model, 40);
@@ -151,7 +151,7 @@ TEST(Machine, IdleStrategyNapsInsteadOfSpinning)
 TEST(Machine, NapStrategyDeactivatesCoresAtLowLoad)
 {
     SimConfig cfg = calibrated_config();
-    cfg.strategy = mgmt::Strategy::kNap;
+    cfg.policy = mgmt::PowerPolicy::nap();
     Machine machine(cfg);
     machine.set_estimator(quick_estimator(cfg));
     workload::SteadyModel model(user(2, 1, Modulation::kQpsk));
@@ -172,7 +172,7 @@ TEST(Machine, NapStrategyDeactivatesCoresAtLowLoad)
 TEST(Machine, WorkStillCompletesUnderNap)
 {
     SimConfig cfg = calibrated_config();
-    cfg.strategy = mgmt::Strategy::kNapIdle;
+    cfg.policy = mgmt::PowerPolicy::nap_idle();
     Machine machine(cfg);
     machine.set_estimator(quick_estimator(cfg));
     workload::PaperModelConfig mc;
@@ -243,9 +243,9 @@ TEST(Machine, IdlePickupLatencyDelaysCompletion)
     // Reactive napping adds wake latency: the same workload finishes
     // no earlier (and typically later) under IDLE than under NONAP.
     SimConfig nonap = calibrated_config();
-    nonap.strategy = mgmt::Strategy::kNoNap;
+    nonap.policy = mgmt::PowerPolicy::nonap();
     SimConfig idle = nonap;
-    idle.strategy = mgmt::Strategy::kIdle;
+    idle.policy = mgmt::PowerPolicy::idle();
     idle.idle_wake_period_s = 1e-3; // exaggerate for visibility
 
     workload::SteadyModel m1(user(100, 4, Modulation::k64Qam));
@@ -261,7 +261,7 @@ TEST(Machine, DeterministicAcrossRuns)
 {
     auto once = [] {
         SimConfig cfg = calibrated_config();
-        cfg.strategy = mgmt::Strategy::kNapIdle;
+        cfg.policy = mgmt::PowerPolicy::nap_idle();
         Machine machine(cfg);
         machine.set_estimator(quick_estimator(cfg));
         workload::PaperModelConfig mc;

@@ -208,5 +208,71 @@ TEST(DiurnalModel, SubframesAlwaysValid)
         EXPECT_NO_THROW(model.next_subframe().validate());
 }
 
+TEST(DiurnalModel, ValidateRejectsBadConfigs)
+{
+    auto broken = [](auto mutate) {
+        DiurnalModelConfig cfg;
+        mutate(cfg);
+        return cfg;
+    };
+    EXPECT_THROW(broken([](auto &c) { c.average_load = 0.0; })
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(broken([](auto &c) { c.average_load = 1.5; })
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(broken([](auto &c) { c.swing = -0.1; }).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(broken([](auto &c) { c.swing = 1.1; }).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(broken([](auto &c) { c.period_subframes = 1; })
+                     .validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(broken([](auto &c) { c.max_prb = 1; }).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(broken([](auto &c) { c.max_users = 0; }).validate(),
+                 std::invalid_argument);
+}
+
+TEST(DiurnalModel, DeterministicPerSeed)
+{
+    DiurnalModelConfig cfg;
+    cfg.period_subframes = 500;
+    DiurnalModel a(cfg), b(cfg);
+    cfg.seed ^= 0x5bd1e995u;
+    DiurnalModel c(cfg);
+    bool any_difference = false;
+    for (int i = 0; i < 500; ++i) {
+        const auto sa = a.next_subframe();
+        const auto sb = b.next_subframe();
+        const auto sc = c.next_subframe();
+        ASSERT_EQ(sa.users.size(), sb.users.size());
+        for (std::size_t u = 0; u < sa.users.size(); ++u)
+            EXPECT_EQ(sa.users[u], sb.users[u]);
+        if (sa.users.size() != sc.users.size() ||
+            !std::equal(sa.users.begin(), sa.users.end(),
+                        sc.users.begin()))
+            any_difference = true;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(DiurnalModel, ResetReplaysTheSameDay)
+{
+    DiurnalModelConfig cfg;
+    cfg.period_subframes = 300;
+    DiurnalModel model(cfg);
+    std::vector<phy::SubframeParams> first;
+    for (int i = 0; i < 300; ++i)
+        first.push_back(model.next_subframe());
+    model.reset();
+    for (int i = 0; i < 300; ++i) {
+        const auto sf = model.next_subframe();
+        ASSERT_EQ(sf.users.size(), first[i].users.size());
+        for (std::size_t u = 0; u < sf.users.size(); ++u)
+            EXPECT_EQ(sf.users[u], first[i].users[u]);
+    }
+}
+
 } // namespace
 } // namespace lte::workload
